@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the simulator substrate itself
+ * (host-side throughput): cache model probes, trace resolution, the
+ * timing model, the discrete-event timeline, and the thread pool.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "apps/minife/minife_core.hh"
+#include "cpu/threadpool.hh"
+#include "kernelir/trace.hh"
+#include "runtime/context.hh"
+#include "kernelir/tracegen.hh"
+#include "sim/cache.hh"
+#include "sim/device.hh"
+#include "sim/timeline.hh"
+#include "sim/timing.hh"
+
+namespace
+{
+
+using namespace hetsim;
+
+void
+benchCacheSequential(benchmark::State &state)
+{
+    sim::SetAssocCache cache(768 * KiB, 64, 16);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(benchCacheSequential);
+
+void
+benchCacheRandom(benchmark::State &state)
+{
+    sim::SetAssocCache cache(static_cast<u64>(state.range(0)) * KiB,
+                             64, 16);
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(256 * MiB)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(benchCacheRandom)->Arg(512)->Arg(768)->Arg(4096);
+
+void
+benchTimeKernel(benchmark::State &state)
+{
+    sim::DeviceSpec spec = sim::radeonR9_280X();
+    sim::KernelProfile prof;
+    prof.name = "bench";
+    prof.items = 1 << 20;
+    prof.flopsPerItem = 100;
+    prof.memInstrsPerItem = 16;
+    prof.dramBytesPerItem = 64;
+    prof.l2BytesPerItem = 64;
+    sim::CodegenResult cg;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim::timeKernel(spec, spec.stockFreq(),
+                            Precision::Single, prof, cg));
+    }
+}
+BENCHMARK(benchTimeKernel);
+
+void
+benchTimelineSchedule(benchmark::State &state)
+{
+    sim::Timeline tl;
+    sim::ResourceId q = tl.addResource("q");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tl.schedule(q, 1e-6));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(benchTimelineSchedule);
+
+void
+benchThreadPool(benchmark::State &state)
+{
+    cpu::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    std::vector<double> data(1 << 20, 1.0);
+    for (auto _ : state) {
+        pool.parallelFor(data.size(), [&](u64 b, u64 e) {
+            for (u64 i = b; i < e; ++i)
+                data[i] = data[i] * 1.0000001 + 1e-9;
+        });
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<i64>(data.size()));
+}
+BENCHMARK(benchThreadPool)->Arg(1)->Arg(2)->Arg(4);
+
+void
+benchSpmvTraceResolution(benchmark::State &state)
+{
+    // Full trace-driven profile resolution of the miniFE SpMV (the
+    // most expensive resolver path); the global memo is what makes
+    // frequency sweeps cheap, so bypass it with a fresh name here.
+    apps::minife::Problem<float> prob(40, 2);
+    sim::DeviceSpec spec = sim::radeonR9_280X();
+    int salt = 0;
+    for (auto _ : state) {
+        ir::ProfileResolver resolver(spec);
+        auto desc =
+            prob.spmvDescriptor(apps::minife::SpmvStyle::CsrAdaptive);
+        desc.name += std::to_string(salt++);
+        benchmark::DoNotOptimize(resolver.resolve(
+            desc, prob.rows, Precision::Single, true, 0));
+    }
+}
+BENCHMARK(benchSpmvTraceResolution)->Unit(benchmark::kMillisecond);
+
+void
+benchFunctionalLaunch(benchmark::State &state)
+{
+    rt::RuntimeContext ctx(sim::a10_7850kCpu(),
+                           ir::ModelKind::OpenMp, Precision::Single);
+    ir::KernelDescriptor desc;
+    desc.name = "bench_launch";
+    desc.flopsPerItem = 1;
+    ir::MemStream s;
+    s.buffer = "x";
+    s.bytesPerItemSp = 4;
+    s.workingSetBytesSp = 1 * MiB;
+    desc.streams.push_back(s);
+    std::atomic<u64> sink{0};
+    for (auto _ : state) {
+        ctx.launch(desc, 1 << 16, {}, [&](u64 b, u64 e) {
+            sink.fetch_add(e - b, std::memory_order_relaxed);
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(benchFunctionalLaunch);
+
+} // namespace
+
+BENCHMARK_MAIN();

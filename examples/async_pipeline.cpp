@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Domain example: a chunked signal-processing pipeline written
+ * against the Heterogeneous Compute API of the paper's Section VII -
+ * raw pointers, explicit asynchronous copies, completion futures, and
+ * copy/compute overlap with double buffering.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "hc/hc.hh"
+
+using namespace hetsim;
+
+namespace
+{
+
+ir::KernelDescriptor
+fftLikeKernel(u64 chunk)
+{
+    ir::KernelDescriptor desc;
+    desc.name = "chunk_filter";
+    desc.flopsPerItem = 1500; // several filter passes per sample
+    desc.intOpsPerItem = 40;
+    ir::MemStream io{"chunk", 8, true, sim::AccessPattern::Sequential,
+                     chunk * 4, 0.0, nullptr};
+    desc.streams = {io};
+    return desc;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+
+    constexpr u64 chunk = 8ull << 20; // 32 MiB of samples
+    constexpr int chunks = 12;
+
+    std::vector<float> ping(chunk), pong(chunk);
+    std::vector<float> out(chunks, 0.0f);
+    for (u64 i = 0; i < chunk; ++i)
+        ping[i] = pong[i] =
+            static_cast<float>(std::sin(0.001 * double(i)));
+
+    auto run = [&](bool overlap) {
+        hc::AcceleratorView av(sim::DeviceType::DiscreteGpu,
+                               Precision::Single);
+        av.registerPointer(ping.data(), chunk * 4, "ping");
+        av.registerPointer(pong.data(), chunk * 4, "pong");
+        float *bufs[2] = {ping.data(), pong.data()};
+        ir::KernelDescriptor desc = fftLikeKernel(chunk);
+        ir::OptHints hints;
+        hints.hoistedInvariants = true;
+
+        hc::CompletionFuture prev_kernel{};
+        for (int c = 0; c < chunks; ++c) {
+            float *buf = bufs[c % 2];
+            // Explicit staging: the async copy overlaps with the
+            // previous chunk's kernel unless we serialize on it.
+            hc::CompletionFuture copy = av.copyAsync(
+                buf, hc::CopyDir::HostToDevice,
+                overlap ? hc::CompletionFuture{} : prev_kernel);
+            prev_kernel = av.launchAsync(
+                desc, chunk, hints,
+                [buf, &out, c](u64 begin, u64 end) {
+                    float acc = 0.0f;
+                    for (u64 i = begin; i < end; ++i)
+                        acc += buf[i] * buf[i];
+                    out[c] += acc; // single-threaded per range chunk
+                },
+                {copy});
+        }
+        return av.wait();
+    };
+
+    double sync_s = run(false);
+    double async_s = run(true);
+
+    std::printf("chunked pipeline, %d x %.0f MiB chunks on the "
+                "R9 280X:\n",
+                chunks, double(chunk) * 4 / (1 << 20));
+    std::printf("  synchronous staging : %7.3f ms\n", sync_s * 1e3);
+    std::printf("  async copy overlap  : %7.3f ms  (%.2fx)\n",
+                async_s * 1e3, sync_s / async_s);
+    std::printf("\nchunk energies (sanity): %.1f %.1f %.1f ...\n",
+                out[0], out[1], out[2]);
+    std::printf("\nThis is the Section VII pitch: OpenCL-class "
+                "control with single-source C++ and\nexplicit "
+                "asynchronous transfers.\n");
+    return 0;
+}

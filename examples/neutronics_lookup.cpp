@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Domain example: macroscopic cross-section lookups written against
+ * the OpenACC-style directive API, using the XSBench core as the
+ * nuclear-data library.
+ *
+ * Shows: declaring host arrays to the runtime, a hand-placed data
+ * region hoisting the (large) table staging out of the sweep, and
+ * kernels-loop clauses - contrasted against the conservative default
+ * where the runtime stages data around every region.
+ */
+
+#include <cstdio>
+
+#include "acc/acc.hh"
+#include "apps/xsbench/xsbench_core.hh"
+
+using namespace hetsim;
+using apps::xsbench::Problem;
+
+namespace
+{
+
+/** One batched lookup sweep; @return simulated seconds. */
+double
+sweep(Problem<float> &xs, const sim::DeviceSpec &device,
+      bool use_data_region, int batches)
+{
+    acc::Runtime rt(device, Precision::Single);
+
+    const void *energy = xs.unionEnergy.data();
+    const void *index = xs.unionIndex.data();
+    const void *grids = xs.nuclideEnergy.data();
+    const void *materials = xs.matNuclide.data();
+    const void *results = xs.results.data();
+    rt.declare(energy, xs.unionEnergy.size() * 4, "union-energy");
+    rt.declare(index, xs.unionIndex.size() * 4, "union-index");
+    rt.declare(grids,
+               (xs.nuclideEnergy.size() + xs.nuclideXs.size()) * 4,
+               "nuclide-grids");
+    rt.declare(materials,
+               (xs.matStart.size() + xs.matNuclide.size()) * 4,
+               "materials");
+    rt.declare(results, xs.results.size() * 4, "results");
+
+    acc::LoopClauses clauses;
+    clauses.independent = true;
+    clauses.vector = 64;
+    u64 batch = xs.lookups / batches;
+
+    auto run_batches = [&] {
+        for (int b = 0; b < batches; ++b) {
+            u64 base = b * batch;
+            // #pragma acc kernels loop gang vector independent
+            acc::kernelsLoop(rt, xs.descriptor(), batch, clauses,
+                             {energy, index, grids, materials},
+                             {results}, [&xs, base](u64 i) {
+                                 xs.macroXsLookup(base + i,
+                                                  base + i + 1);
+                             });
+        }
+    };
+
+    if (use_data_region) {
+        // #pragma acc data copyin(table) copyout(results)
+        acc::DataRegion region(
+            rt, acc::CopyIn{energy, index, grids, materials},
+            acc::CopyOut{results});
+        run_batches();
+    } else {
+        run_batches(); // runtime stages the table around every batch
+    }
+    return rt.elapsedSeconds();
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+
+    // A reduced Hoogenboom-Martin-style model: ~2,800 gridpoints per
+    // nuclide, 500k lookups in 10 batches.
+    Problem<float> xs(2800, 500000);
+    std::printf("nuclear-data table: %.1f MiB, %llu lookups\n\n",
+                static_cast<double>(xs.tableBytes()) / (1 << 20),
+                static_cast<unsigned long long>(xs.lookups));
+
+    double dgpu_naive =
+        sweep(xs, sim::radeonR9_280X(), false, 10);
+    double dgpu_region =
+        sweep(xs, sim::radeonR9_280X(), true, 10);
+    double apu = sweep(xs, sim::a10_7850kGpu(), false, 10);
+
+    std::printf("discrete GPU, per-batch staging : %8.3f ms\n",
+                dgpu_naive * 1e3);
+    std::printf("discrete GPU, data region       : %8.3f ms "
+                "(%.1fx)\n",
+                dgpu_region * 1e3, dgpu_naive / dgpu_region);
+    std::printf("APU (zero copy), no directives  : %8.3f ms\n\n",
+                apu * 1e3);
+
+    std::printf("mean macro XS over all lookups: %.4f "
+                "(validates the sweep ran)\n",
+                xs.checksum());
+    std::printf("\nThe data directive is what separates a naive "
+                "OpenACC port from a usable one on a\ndiscrete GPU; "
+                "on the APU the distinction disappears (paper Sec. "
+                "VI-A).\n");
+    return 0;
+}

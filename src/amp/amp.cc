@@ -1,0 +1,100 @@
+#include "amp.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::amp
+{
+
+accelerator
+accelerator::get(sim::DeviceType type)
+{
+    switch (type) {
+      case sim::DeviceType::DiscreteGpu:
+        return accelerator(sim::radeonR9_280X());
+      case sim::DeviceType::IntegratedGpu:
+        return accelerator(sim::a10_7850kGpu());
+      case sim::DeviceType::Cpu:
+        return accelerator(sim::a10_7850kCpu());
+    }
+    fatal("unknown accelerator type");
+}
+
+accelerator_view::accelerator_view(const accelerator &accel,
+                                   Precision precision)
+    : rt(accel.spec(), ir::ModelKind::CppAmp, precision)
+{
+}
+
+namespace detail
+{
+
+ViewState::ViewState(accelerator_view &av, u64 bytes, std::string name,
+                     bool writable)
+    : writable(writable)
+{
+    bufId = av.runtime().createBuffer("array_view:" + name, bytes);
+}
+
+void
+ViewState::ensureOnDeviceFor(accelerator_view &av)
+{
+    if (discarded) {
+        // discard_data(): contents will be overwritten on the device.
+        discarded = false;
+        av.runtime().markDeviceDirty(bufId);
+        return;
+    }
+    sim::TaskId task = av.runtime().ensureOnDevice(bufId, av.lastTask);
+    if (task != sim::NoTask)
+        av.lastTask = task;
+}
+
+void
+ViewState::markKernelWrote(accelerator_view &av)
+{
+    av.runtime().markDeviceDirty(bufId);
+}
+
+void
+ViewState::synchronizeOn(accelerator_view &av)
+{
+    sim::TaskId task = av.runtime().ensureOnHost(bufId, av.lastTask);
+    if (task != sim::NoTask)
+        av.lastTask = task;
+}
+
+void
+ViewState::refreshOn(accelerator_view &av)
+{
+    av.runtime().markHostDirty(bufId);
+}
+
+sim::TaskId
+launchCommon(accelerator_view &av, const ir::KernelDescriptor &desc,
+             u64 items, const ir::OptHints &hints,
+             const std::vector<ViewRef> &views,
+             const rt::KernelBody &body)
+{
+    // The AMP runtime synchronizes every captured view before the
+    // launch: copy-in anything stale (mutable views included, unless
+    // discarded - the runtime cannot know the kernel overwrites them).
+    for (const ViewRef &view : views)
+        view.viewState().ensureOnDeviceFor(av);
+
+    std::span<const sim::TaskId> deps;
+    if (av.lastTask != sim::NoTask)
+        deps = std::span<const sim::TaskId>(&av.lastTask, 1);
+    sim::TaskId task =
+        av.runtime().launch(desc, items, hints, body, deps);
+    av.lastTask = task;
+
+    for (const ViewRef &view : views) {
+        if (view.viewState().isWritable())
+            view.viewState().markKernelWrote(av);
+    }
+    return task;
+}
+
+} // namespace detail
+
+} // namespace hetsim::amp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * CoMD, OpenACC implementation: a data region over the atom arrays
+ * and "kernels loop" directives.  The force loop's neighbor-cell scan
+ * (indirect, variable trip count) is exactly the loop the PGI
+ * compiler fails to vectorize - the paper's worst case.
+ */
+
+#include "comd_core.hh"
+#include "comd_variants.hh"
+
+#include "acc/acc.hh"
+
+namespace hetsim::apps::comd
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledCells(cfg.scale), scaledSteps(cfg.scale),
+                       cfg.functional);
+    Precision prec = precisionOf<Real>();
+
+    acc::Runtime rt(spec, prec);
+    rt.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        rt.runtime().setFreq(cfg.freq);
+
+    const u64 rb = sizeof(Real);
+    const void *positions = prob.rx.data();
+    const void *velocities = prob.vx.data();
+    const void *forces = prob.fx.data();
+    const void *cells = prob.cellAtoms.data();
+    rt.declare(positions, 3 * prob.numAtoms * rb, "positions");
+    rt.declare(velocities, 3 * prob.numAtoms * rb, "velocities");
+    rt.declare(forces, 4 * prob.numAtoms * rb, "forces+epot");
+    rt.declare(cells,
+               (prob.cellAtoms.size() + prob.cellStart.size()) * 4,
+               "cell-lists");
+
+    ir::KernelDescriptor force_d = prob.forceDescriptor();
+    ir::KernelDescriptor vel_d = prob.advanceVelocityDescriptor();
+    ir::KernelDescriptor pos_d = prob.advancePositionDescriptor();
+
+    acc::LoopClauses flat;
+    flat.vector = 128;
+    flat.independent = true;
+
+    {
+        // #pragma acc data copyin(r,v,f,cells) copyout(r,v,f)
+        acc::DataRegion data(
+            rt, acc::CopyIn{positions, velocities, forces, cells},
+            acc::CopyOut{positions, velocities, forces});
+
+        for (int step = 0; step < prob.steps; ++step) {
+            acc::LoopClauses gangs = flat;
+            gangs.gang = (prob.numAtoms + 127) / 128;
+
+            // #pragma acc kernels loop gang vector independent
+            acc::kernelsLoop(rt, vel_d, prob.numAtoms, gangs,
+                             {forces}, {velocities}, [&prob](u64 i) {
+                                 prob.advanceVelocity(i, i + 1);
+                             });
+            acc::kernelsLoop(rt, pos_d, prob.numAtoms, gangs,
+                             {velocities}, {positions}, [&prob](u64 i) {
+                                 prob.advancePosition(i, i + 1);
+                             });
+            if ((step + 1) % prob.ps.rebuildInterval == 0) {
+                // #pragma acc update host(r) ... device(cells)
+                rt.runtime().hostWork(prob.rebuildHostSeconds());
+                if (cfg.functional)
+                    prob.buildCells();
+            }
+            // The neighbor-cell gather loop: PGI cannot map this onto
+            // the vector units (paper Sec. VI-A).
+            acc::kernelsLoop(rt, force_d, prob.numAtoms, gangs,
+                             {positions, cells}, {forces},
+                             [&prob](u64 i) {
+                                 prob.computeForceLj(i, i + 1);
+                             });
+            acc::kernelsLoop(rt, vel_d, prob.numAtoms, gangs,
+                             {forces}, {velocities}, [&prob](u64 i) {
+                                 prob.advanceVelocity(i, i + 1);
+                             });
+        }
+    }
+
+    core::RunResult result = core::summarize(rt.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.unitCells, prob.steps);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOpenAcc(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::comd

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * CoMD, C++ AMP implementation: tiled parallel_for_each for the force
+ * kernel ("exposing parallelism in the form of tiles improved the
+ * performance of CoMD by almost 3x" - paper Sec. VI-C) with
+ * tile_static staging of the neighbor cells.
+ */
+
+#include "comd_core.hh"
+#include "comd_variants.hh"
+
+#include "amp/amp.hh"
+
+namespace hetsim::apps::comd
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledCells(cfg.scale), scaledSteps(cfg.scale),
+                       cfg.functional);
+    Precision prec = precisionOf<Real>();
+
+    amp::accelerator accel = amp::accelerator::fromSpec(spec);
+    amp::accelerator_view av(accel, prec);
+    av.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        av.runtime().setFreq(cfg.freq);
+
+    amp::array_view<Real> positions(av, prob.rx.data(),
+                                    3 * prob.numAtoms, "positions");
+    amp::array_view<Real> velocities(av, prob.vx.data(),
+                                     3 * prob.numAtoms, "velocities");
+    amp::array_view<Real> forces(av, prob.fx.data(), 4 * prob.numAtoms,
+                                 "forces+epot");
+    amp::array_view<const u32> cells(av, prob.cellAtoms.data(),
+                                     prob.cellAtoms.size(),
+                                     "cell-lists");
+
+    ir::KernelDescriptor force_d = prob.forceDescriptor();
+    ir::KernelDescriptor vel_d = prob.advanceVelocityDescriptor();
+    ir::KernelDescriptor pos_d = prob.advancePositionDescriptor();
+
+    for (int step = 0; step < prob.steps; ++step) {
+        amp::extent<1> atoms(prob.numAtoms);
+
+        amp::parallel_for_each(
+            av, atoms, vel_d, {velocities, forces},
+            [&prob](amp::index<1> idx) {
+                prob.advanceVelocity(idx[0], idx[0] + 1);
+            });
+        amp::parallel_for_each(
+            av, atoms, pos_d, {positions, velocities},
+            [&prob](amp::index<1> idx) {
+                prob.advancePosition(idx[0], idx[0] + 1);
+            });
+        if ((step + 1) % prob.ps.rebuildInterval == 0) {
+            positions.synchronize(); // host needs current positions
+            av.lastTask = av.runtime().hostWork(
+                prob.rebuildHostSeconds(), av.lastTask);
+            if (cfg.functional)
+                prob.buildCells();
+            cells.refresh(); // bins changed on the host
+        }
+        // Tiled force kernel with tile_static cell staging.
+        amp::parallel_for_each(
+            av, atoms.tile<64>(), force_d, {positions, cells, forces},
+            [&prob](amp::tiled_index<64> t_idx) {
+                u64 i = t_idx.global[0];
+                prob.computeForceLj(i, i + 1);
+            },
+            /*use_tile_static=*/true);
+        amp::parallel_for_each(
+            av, atoms, vel_d, {velocities, forces},
+            [&prob](amp::index<1> idx) {
+                prob.advanceVelocity(idx[0], idx[0] + 1);
+            });
+    }
+
+    positions.synchronize();
+    velocities.synchronize();
+    forces.synchronize();
+
+    core::RunResult result = core::summarize(av.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.unitCells, prob.steps);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runCppAmp(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::comd

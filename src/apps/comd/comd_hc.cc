@@ -1,0 +1,122 @@
+/**
+ * @file
+ * CoMD, Heterogeneous Compute implementation (paper Section VII):
+ * OpenCL-class force kernel (LDS staging, tiles) written single-
+ * source over raw pointers; the periodic link-cell rebuild's
+ * position read-back and list upload are explicit asynchronous
+ * copies that overlap the surrounding kernels.
+ */
+
+#include "comd_core.hh"
+#include "comd_variants.hh"
+
+#include "hc/hc.hh"
+
+namespace hetsim::apps::comd
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledCells(cfg.scale), scaledSteps(cfg.scale),
+                       cfg.functional);
+    Precision prec = precisionOf<Real>();
+
+    hc::AcceleratorView av(spec, prec);
+    av.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        av.runtime().setFreq(cfg.freq);
+
+    const u64 rb = sizeof(Real);
+    const void *positions = prob.rx.data();
+    const void *velocities = prob.vx.data();
+    const void *forces = prob.fx.data();
+    const void *cells = prob.cellAtoms.data();
+    av.registerPointer(positions, 3 * prob.numAtoms * rb, "positions");
+    av.registerPointer(velocities, 3 * prob.numAtoms * rb,
+                       "velocities");
+    av.registerPointer(forces, 4 * prob.numAtoms * rb, "forces");
+    av.registerPointer(cells,
+                       (prob.cellAtoms.size() + prob.cellStart.size()) *
+                           4,
+                       "cell-lists");
+
+    hc::CompletionFuture staged;
+    for (const void *p : {positions, velocities, forces, cells})
+        staged = av.copyAsync(p, hc::CopyDir::HostToDevice);
+
+    ir::KernelDescriptor force_d = prob.forceDescriptor();
+    ir::KernelDescriptor vel_d = prob.advanceVelocityDescriptor();
+    ir::KernelDescriptor pos_d = prob.advancePositionDescriptor();
+
+    ir::OptHints force_hints;
+    force_hints.tiled = true;
+    force_hints.useLds = true;
+    force_hints.unroll = 4;
+    force_hints.hoistedInvariants = true;
+
+    hc::CompletionFuture last = staged;
+    for (int step = 0; step < prob.steps; ++step) {
+        last = av.launchAsync(vel_d, prob.numAtoms, {},
+                              [&prob](u64 b, u64 e) {
+                                  prob.advanceVelocity(b, e);
+                              },
+                              {last});
+        last = av.launchAsync(pos_d, prob.numAtoms, {},
+                              [&prob](u64 b, u64 e) {
+                                  prob.advancePosition(b, e);
+                              },
+                              {last});
+        if ((step + 1) % prob.ps.rebuildInterval == 0) {
+            hc::CompletionFuture back = av.copyAsync(
+                positions, hc::CopyDir::DeviceToHost, last);
+            sim::TaskId rebuilt = av.runtime().hostWork(
+                prob.rebuildHostSeconds(), back.task);
+            if (cfg.functional)
+                prob.buildCells();
+            last = av.copyAsync(cells, hc::CopyDir::HostToDevice,
+                                hc::CompletionFuture{rebuilt});
+            if (!last.valid())
+                last = hc::CompletionFuture{rebuilt}; // zero copy
+        }
+        last = av.launchAsync(force_d, prob.numAtoms, force_hints,
+                              [&prob](u64 b, u64 e) {
+                                  prob.computeForceLj(b, e);
+                              },
+                              {last});
+        last = av.launchAsync(vel_d, prob.numAtoms, {},
+                              [&prob](u64 b, u64 e) {
+                                  prob.advanceVelocity(b, e);
+                              },
+                              {last});
+    }
+
+    for (const void *p : {positions, velocities, forces})
+        av.copyAsync(p, hc::CopyDir::DeviceToHost, last);
+    av.wait();
+
+    core::RunResult result = core::summarize(av.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.unitCells, prob.steps);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runHc(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::comd

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CoMD, OpenMP CPU implementation: the three kernels parallelized
+ * with "#pragma omp parallel for" over atoms.
+ */
+
+#include "comd_core.hh"
+#include "comd_variants.hh"
+
+#include "runtime/context.hh"
+
+namespace hetsim::apps::comd
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledCells(cfg.scale), scaledSteps(cfg.scale),
+                       cfg.functional);
+
+    rt::RuntimeContext rt(ompCpu(), ir::ModelKind::OpenMp,
+                          precisionOf<Real>());
+    if (cfg.freq.coreMhz > 0.0)
+        rt.setFreq(cfg.freq);
+    rt.setFunctionalExecution(cfg.functional);
+
+    ir::KernelDescriptor force = prob.forceDescriptor();
+    ir::KernelDescriptor vel = prob.advanceVelocityDescriptor();
+    ir::KernelDescriptor pos = prob.advancePositionDescriptor();
+
+    for (int step = 0; step < prob.steps; ++step) {
+        // #pragma omp parallel for
+        rt.launch(vel, prob.numAtoms, ir::OptHints{},
+                  [&prob](u64 b, u64 e) { prob.advanceVelocity(b, e); });
+        // #pragma omp parallel for
+        rt.launch(pos, prob.numAtoms, ir::OptHints{},
+                  [&prob](u64 b, u64 e) { prob.advancePosition(b, e); });
+        if ((step + 1) % prob.ps.rebuildInterval == 0) {
+            rt.hostWork(prob.rebuildHostSeconds());
+            if (cfg.functional)
+                prob.buildCells();
+        }
+        // #pragma omp parallel for schedule(dynamic)
+        rt.launch(force, prob.numAtoms, ir::OptHints{},
+                  [&prob](u64 b, u64 e) { prob.computeForceLj(b, e); });
+        rt.launch(vel, prob.numAtoms, ir::OptHints{},
+                  [&prob](u64 b, u64 e) { prob.advanceVelocity(b, e); });
+    }
+
+    core::RunResult result = core::summarize(rt);
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.unitCells, prob.steps);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOpenMp(const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(cfg);
+    return runImpl<double>(cfg);
+}
+
+} // namespace hetsim::apps::comd

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * CoMD, OpenCL implementation: hand-tuned force kernel staging cell
+ * atoms through the LDS, explicit buffers and staging; the link cells
+ * are rebuilt on the host, costing a position read-back and a list
+ * upload on the discrete GPU.
+ */
+
+#include "comd_core.hh"
+#include "comd_variants.hh"
+
+#include "common/logging.hh"
+#include "opencl/opencl.hh"
+
+namespace hetsim::apps::comd
+{
+
+namespace
+{
+
+const char *kComdSource = R"CLC(
+// comd_lj.cl - hand-tuned LJ force kernel: the work-group cooperates
+// to stage each neighbor cell's positions into the LDS, then every
+// lane accumulates forces over the staged atoms.
+__kernel void compute_force_lj(__global const real_t *rx, ...);
+__kernel void advance_velocity(__global real_t *v, ...);
+__kernel void advance_position(__global real_t *r, ...);
+)CLC";
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledCells(cfg.scale), scaledSteps(cfg.scale),
+                       cfg.functional);
+    Precision prec = precisionOf<Real>();
+
+    ocl::Device device(spec);
+    ocl::Context context(device, prec);
+    context.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        context.runtime().setFreq(cfg.freq);
+    ocl::CommandQueue queue(context, device);
+
+    ocl::Program program(context, kComdSource);
+    ir::KernelDescriptor force_d = prob.forceDescriptor();
+    ir::KernelDescriptor vel_d = prob.advanceVelocityDescriptor();
+    ir::KernelDescriptor pos_d = prob.advancePositionDescriptor();
+    program.declareKernel(force_d, 5);
+    program.declareKernel(vel_d, 3);
+    program.declareKernel(pos_d, 3);
+    if (program.build() != ocl::Success)
+        fatal("CoMD: clBuildProgram failed:\n%s",
+              program.buildLog().c_str());
+
+    const u64 rb = sizeof(Real);
+    ocl::Buffer positions(context, ocl::MemFlags::ReadWrite,
+                          3 * prob.numAtoms * rb, "positions");
+    ocl::Buffer velocities(context, ocl::MemFlags::ReadWrite,
+                           3 * prob.numAtoms * rb, "velocities");
+    ocl::Buffer forces(context, ocl::MemFlags::ReadWrite,
+                       4 * prob.numAtoms * rb, "forces+epot");
+    ocl::Buffer cells(context, ocl::MemFlags::ReadOnly,
+                      (prob.cellAtoms.size() + prob.cellStart.size()) * 4,
+                      "cell-lists");
+
+    queue.enqueueWriteBuffer(positions);
+    queue.enqueueWriteBuffer(velocities);
+    queue.enqueueWriteBuffer(forces);
+    queue.enqueueWriteBuffer(cells);
+
+    ocl::Kernel force_k = program.createKernel("compute_force_lj");
+    force_k.setArg(0, positions);
+    force_k.setArg(1, cells);
+    force_k.setArg(2, forces);
+    force_k.setArg(3, static_cast<i64>(prob.numAtoms));
+    force_k.setArg(4, prob.boxLen);
+    ir::OptHints force_hints;
+    force_hints.tiled = true;
+    force_hints.useLds = true; // stage neighbor cells in the LDS
+    force_hints.unroll = 4;
+    force_hints.hoistedInvariants = true;
+    force_k.setOptHints(force_hints);
+    force_k.bindBody(
+        [&prob](u64 b, u64 e) { prob.computeForceLj(b, e); });
+
+    ocl::Kernel vel_k = program.createKernel("advance_velocity");
+    vel_k.setArg(0, velocities);
+    vel_k.setArg(1, forces);
+    vel_k.setArg(2, static_cast<i64>(prob.numAtoms));
+    vel_k.bindBody(
+        [&prob](u64 b, u64 e) { prob.advanceVelocity(b, e); });
+
+    ocl::Kernel pos_k = program.createKernel("advance_position");
+    pos_k.setArg(0, positions);
+    pos_k.setArg(1, velocities);
+    pos_k.setArg(2, static_cast<i64>(prob.numAtoms));
+    pos_k.bindBody(
+        [&prob](u64 b, u64 e) { prob.advancePosition(b, e); });
+
+    for (int step = 0; step < prob.steps; ++step) {
+        queue.enqueueNDRangeKernel(vel_k, prob.numAtoms, 64);
+        queue.enqueueNDRangeKernel(pos_k, prob.numAtoms, 64);
+        if ((step + 1) % prob.ps.rebuildInterval == 0) {
+            // Host rebuild: positions back, new bins up.
+            queue.enqueueReadBuffer(positions);
+            queue.enqueueNativeKernel(prob.rebuildHostSeconds());
+            if (cfg.functional)
+                prob.buildCells();
+            queue.enqueueWriteBuffer(cells);
+        }
+        queue.enqueueNDRangeKernel(force_k, prob.numAtoms, 64);
+        queue.enqueueNDRangeKernel(vel_k, prob.numAtoms, 64);
+    }
+
+    queue.enqueueReadBuffer(positions);
+    queue.enqueueReadBuffer(velocities);
+    queue.enqueueReadBuffer(forces);
+    queue.finish();
+
+    core::RunResult result = core::summarize(context.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.unitCells, prob.steps);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOpenCl(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::comd

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Per-programming-model entry points of the CoMD proxy app.
+ */
+
+#ifndef HETSIM_APPS_COMD_COMD_VARIANTS_HH
+#define HETSIM_APPS_COMD_COMD_VARIANTS_HH
+
+#include "core/workload.hh"
+#include "sim/device.hh"
+
+namespace hetsim::apps::comd
+{
+
+core::RunResult runSerial(const core::WorkloadConfig &cfg);
+core::RunResult runOpenMp(const core::WorkloadConfig &cfg);
+core::RunResult runOpenCl(const sim::DeviceSpec &device,
+                          const core::WorkloadConfig &cfg);
+core::RunResult runCppAmp(const sim::DeviceSpec &device,
+                          const core::WorkloadConfig &cfg);
+core::RunResult runOpenAcc(const sim::DeviceSpec &device,
+                           const core::WorkloadConfig &cfg);
+core::RunResult runHc(const sim::DeviceSpec &device,
+                      const core::WorkloadConfig &cfg);
+
+} // namespace hetsim::apps::comd
+
+#endif // HETSIM_APPS_COMD_COMD_VARIANTS_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * LULESH, C++ AMP implementation: array_views over the twelve logical
+ * arrays, one parallel_for_each per kernel.
+ *
+ * On the discrete GPU, kernel k16 (monotonic Q region) could not be
+ * compiled by CLAMP (the paper's "27 of the 28 kernels" compiler bug)
+ * and runs on the host instead, forcing the Q-gradient arrays to
+ * round-trip over PCIe every iteration.
+ */
+
+#include "lulesh_meta.hh"
+#include "lulesh_variants.hh"
+
+#include "amp/amp.hh"
+
+namespace hetsim::apps::lulesh
+{
+
+namespace
+{
+
+/** The kernel CLAMP fails to compile for the discrete GPU (0-based). */
+constexpr int brokenKernel = 15; // k16_monotonic_q_region
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledEdge(cfg.scale),
+                       scaledIterations(cfg.scale));
+    auto descs = buildDescriptors(prob);
+    const auto &io = kernelIo();
+    Precision prec = precisionOf<Real>();
+
+    amp::accelerator accel = amp::accelerator::fromSpec(spec);
+    amp::accelerator_view av(accel, prec);
+    av.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        av.runtime().setFreq(cfg.freq);
+
+    // One array_view per logical buffer group.
+    std::vector<amp::array_view<Real>> views;
+    views.reserve(static_cast<size_t>(Buf::Count));
+    for (int b = 0; b < static_cast<int>(Buf::Count); ++b) {
+        Buf group = static_cast<Buf>(b);
+        views.emplace_back(av, prob.e.data(),
+                           bufBytes(prob, group) / sizeof(Real),
+                           bufName(group));
+    }
+    auto views_of = [&](int k) {
+        std::vector<amp::ViewRef> list;
+        for (Buf group : io[k].reads)
+            list.emplace_back(views[static_cast<size_t>(group)]);
+        for (Buf group : io[k].writes)
+            list.emplace_back(views[static_cast<size_t>(group)]);
+        return list;
+    };
+
+    const bool broken_on_this_device = !spec.zeroCopy;
+
+    for (int iter = 0; iter < prob.iterations; ++iter) {
+        for (int k = 0; k < kernelCount; ++k) {
+            if (k == brokenKernel && broken_on_this_device) {
+                // Host fallback: pull the inputs, run on one core,
+                // invalidate the device copy of what the host wrote.
+                views[static_cast<size_t>(Buf::QGrad)].synchronize();
+                av.lastTask = av.runtime().hostWork(
+                    hostFallbackSeconds(descs[k],
+                                        prob.itemsFor(k + 1), prec),
+                    av.lastTask);
+                if (cfg.functional)
+                    kernelBody(prob, k)(0, prob.itemsFor(k + 1));
+                views[static_cast<size_t>(Buf::QGrad)].refresh();
+                continue;
+            }
+            amp::extent<1> domain(prob.itemsFor(k + 1));
+            amp::parallel_for_each(av, domain.tile<64>(), descs[k],
+                                   views_of(k),
+                                   [body = kernelBody(prob, k)](
+                                       amp::tiled_index<64> t_idx) {
+                                       u64 i = t_idx.global[0];
+                                       body(i, i + 1);
+                                   });
+        }
+        // dt partials to the host (forces a small synchronize).
+        views[static_cast<size_t>(Buf::DtPart)].synchronize();
+        av.lastTask =
+            av.runtime().hostWork(2e-6, av.lastTask);
+        if (cfg.functional)
+            prob.updateDtHost();
+    }
+
+    views[static_cast<size_t>(Buf::ElemCore)].synchronize();
+    views[static_cast<size_t>(Buf::Coords)].synchronize();
+
+    core::RunResult result = core::summarize(av.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.edge, prob.iterations);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runCppAmp(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::lulesh

@@ -1,0 +1,849 @@
+#include "lulesh_core.hh"
+
+namespace hetsim::apps::lulesh
+{
+
+namespace
+{
+
+/** Scalar triple product of three vectors given by components. */
+inline double
+triple(double x1, double y1, double z1, double x2, double y2, double z2,
+       double x3, double y3, double z3)
+{
+    return x1 * (y2 * z3 - z2 * y3) + x2 * (z1 * y3 - y1 * z3) +
+           x3 * (y1 * z2 - z1 * y2);
+}
+
+constexpr double tiny = 1e-30;
+
+} // namespace
+
+template <typename Real>
+Problem<Real>::Problem(int edge_, int iterations_)
+    : edge(edge_), iterations(iterations_)
+{
+    if (edge < 2)
+        fatal("LULESH: mesh edge must be >= 2 (got %d)", edge);
+    numElem = static_cast<u64>(edge) * edge * edge;
+    u64 np = static_cast<u64>(edge) + 1;
+    numNode = np * np * np;
+    buildMesh();
+    initSedov();
+}
+
+template <typename Real>
+void
+Problem<Real>::buildMesh()
+{
+    const u64 np = static_cast<u64>(edge) + 1;
+    auto node_id = [np](u64 i, u64 j, u64 k) {
+        return i + np * (j + np * k);
+    };
+
+    nodelist.resize(8 * numElem);
+    u64 elem = 0;
+    for (u64 k = 0; k < static_cast<u64>(edge); ++k) {
+        for (u64 j = 0; j < static_cast<u64>(edge); ++j) {
+            for (u64 i = 0; i < static_cast<u64>(edge); ++i, ++elem) {
+                u32 *corner = &nodelist[8 * elem];
+                corner[0] = static_cast<u32>(node_id(i, j, k));
+                corner[1] = static_cast<u32>(node_id(i + 1, j, k));
+                corner[2] = static_cast<u32>(node_id(i + 1, j + 1, k));
+                corner[3] = static_cast<u32>(node_id(i, j + 1, k));
+                corner[4] = static_cast<u32>(node_id(i, j, k + 1));
+                corner[5] = static_cast<u32>(node_id(i + 1, j, k + 1));
+                corner[6] =
+                    static_cast<u32>(node_id(i + 1, j + 1, k + 1));
+                corner[7] = static_cast<u32>(node_id(i, j + 1, k + 1));
+            }
+        }
+    }
+
+    // Node -> element-corner adjacency (CSR), for force assembly.
+    std::vector<u32> counts(numNode, 0);
+    for (u64 c = 0; c < 8 * numElem; ++c)
+        ++counts[nodelist[c]];
+    nodeElemStart.resize(numNode + 1);
+    nodeElemStart[0] = 0;
+    for (u64 n = 0; n < numNode; ++n)
+        nodeElemStart[n + 1] = nodeElemStart[n] + counts[n];
+    nodeElemCorner.resize(8 * numElem);
+    std::vector<u32> fill(numNode, 0);
+    for (u64 c = 0; c < 8 * numElem; ++c) {
+        u32 n = nodelist[c];
+        nodeElemCorner[nodeElemStart[n] + fill[n]++] =
+            static_cast<u32>(c);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::initSedov()
+{
+    const u64 np = static_cast<u64>(edge) + 1;
+    const double h = 1.125 / edge;
+
+    x.resize(numNode);
+    y.resize(numNode);
+    z.resize(numNode);
+    u64 n = 0;
+    for (u64 k = 0; k < np; ++k)
+        for (u64 j = 0; j < np; ++j)
+            for (u64 i = 0; i < np; ++i, ++n) {
+                x[n] = static_cast<Real>(h * i);
+                y[n] = static_cast<Real>(h * j);
+                z[n] = static_cast<Real>(h * k);
+            }
+
+    auto zero_n = [this](std::vector<Real> &vec) {
+        vec.assign(numNode, Real(0));
+    };
+    zero_n(xd); zero_n(yd); zero_n(zd);
+    zero_n(xdd); zero_n(ydd); zero_n(zdd);
+    zero_n(fx); zero_n(fy); zero_n(fz);
+    zero_n(nodalMass);
+
+    auto zero_e = [this](std::vector<Real> &vec) {
+        vec.assign(numElem, Real(0));
+    };
+    zero_e(e); zero_e(p); zero_e(q); zero_e(delv); zero_e(vdov);
+    zero_e(ss); zero_e(sigxx); zero_e(sigyy); zero_e(sigzz);
+    zero_e(dxx); zero_e(dyy); zero_e(dzz);
+    zero_e(delvXi); zero_e(delvEta); zero_e(delvZeta);
+    zero_e(ql); zero_e(qq); zero_e(compression);
+    zero_e(workPOld); zero_e(workEOld); zero_e(workQOld);
+    zero_e(pHalf); zero_e(eNew); zero_e(pNew); zero_e(qNew);
+    zero_e(bvc); zero_e(hgCoefs); zero_e(determ);
+    v.assign(numElem, Real(1));
+    vnew.assign(numElem, Real(1));
+    arealg.assign(numElem, static_cast<Real>(h));
+
+    volo.resize(numElem);
+    elemMass.resize(numElem);
+    for (u64 elem = 0; elem < numElem; ++elem) {
+        double px[8], py[8], pz[8];
+        gatherCorners(elem, px, py, pz);
+        double vol = hexVolume(px, py, pz);
+        volo[elem] = static_cast<Real>(vol);
+        elemMass[elem] = static_cast<Real>(cs.refDens * vol);
+        for (int c = 0; c < 8; ++c)
+            nodalMass[corners(elem)[c]] +=
+                static_cast<Real>(cs.refDens * vol / 8.0);
+    }
+
+    fxElem.assign(8 * numElem, Real(0));
+    fyElem.assign(8 * numElem, Real(0));
+    fzElem.assign(8 * numElem, Real(0));
+    dtCourantElem.assign(numElem, Real(1e20));
+    dtHydroElem.assign(numElem, Real(1e20));
+
+    // Sedov: deposit the blast energy in the origin element.
+    double e0 = cs.initialEnergy;
+    e[0] = static_cast<Real>(e0);
+
+    // Initial timestep sized against the blast sound speed.
+    double c0 = std::sqrt(cs.gammaEos * (cs.gammaEos + 1.0) * e0);
+    dt = 0.1 * h / c0;
+    simTime = 0.0;
+}
+
+template <typename Real>
+double
+Problem<Real>::hexVolume(const double px[8], const double py[8],
+                         const double pz[8])
+{
+    // LULESH CalcElemVolume.
+    double dx61 = px[6] - px[1], dy61 = py[6] - py[1],
+           dz61 = pz[6] - pz[1];
+    double dx70 = px[7] - px[0], dy70 = py[7] - py[0],
+           dz70 = pz[7] - pz[0];
+    double dx63 = px[6] - px[3], dy63 = py[6] - py[3],
+           dz63 = pz[6] - pz[3];
+    double dx20 = px[2] - px[0], dy20 = py[2] - py[0],
+           dz20 = pz[2] - pz[0];
+    double dx50 = px[5] - px[0], dy50 = py[5] - py[0],
+           dz50 = pz[5] - pz[0];
+    double dx64 = px[6] - px[4], dy64 = py[6] - py[4],
+           dz64 = pz[6] - pz[4];
+    double dx31 = px[3] - px[1], dy31 = py[3] - py[1],
+           dz31 = pz[3] - pz[1];
+    double dx72 = px[7] - px[2], dy72 = py[7] - py[2],
+           dz72 = pz[7] - pz[2];
+    double dx43 = px[4] - px[3], dy43 = py[4] - py[3],
+           dz43 = pz[4] - pz[3];
+    double dx57 = px[5] - px[7], dy57 = py[5] - py[7],
+           dz57 = pz[5] - pz[7];
+    double dx14 = px[1] - px[4], dy14 = py[1] - py[4],
+           dz14 = pz[1] - pz[4];
+    double dx25 = px[2] - px[5], dy25 = py[2] - py[5],
+           dz25 = pz[2] - pz[5];
+
+    double volume =
+        triple(dx31 + dx72, dy31 + dy72, dz31 + dz72, dx63, dy63, dz63,
+               dx20, dy20, dz20) +
+        triple(dx43 + dx57, dy43 + dy57, dz43 + dz57, dx64, dy64, dz64,
+               dx70, dy70, dz70) +
+        triple(dx14 + dx25, dy14 + dy25, dz14 + dz25, dx61, dy61, dz61,
+               dx50, dy50, dz50);
+    return volume / 12.0;
+}
+
+template <typename Real>
+void
+Problem<Real>::gatherCorners(u64 elem, double px[8], double py[8],
+                             double pz[8]) const
+{
+    const u32 *corner = corners(elem);
+    for (int c = 0; c < 8; ++c) {
+        px[c] = static_cast<double>(x[corner[c]]);
+        py[c] = static_cast<double>(y[corner[c]]);
+        pz[c] = static_cast<double>(z[corner[c]]);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::gatherCornerVelocities(u64 elem, double vx[8],
+                                      double vy[8], double vz[8]) const
+{
+    const u32 *corner = corners(elem);
+    for (int c = 0; c < 8; ++c) {
+        vx[c] = static_cast<double>(xd[corner[c]]);
+        vy[c] = static_cast<double>(yd[corner[c]]);
+        vz[c] = static_cast<double>(zd[corner[c]]);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::cornerNormals(const double px[8], const double py[8],
+                             const double pz[8], double nx[8],
+                             double ny[8], double nz[8])
+{
+    for (int c = 0; c < 8; ++c) {
+        nx[c] = 0.0;
+        ny[c] = 0.0;
+        nz[c] = 0.0;
+    }
+    // LULESH CalcElemNodeNormals / SumElemFaceNormal.
+    static const int faces[6][4] = {{0, 1, 2, 3}, {0, 4, 5, 1},
+                                    {1, 5, 6, 2}, {2, 6, 7, 3},
+                                    {3, 7, 4, 0}, {4, 7, 6, 5}};
+    for (const auto &f : faces) {
+        double bx0 = 0.5 * (px[f[3]] + px[f[2]] - px[f[1]] - px[f[0]]);
+        double by0 = 0.5 * (py[f[3]] + py[f[2]] - py[f[1]] - py[f[0]]);
+        double bz0 = 0.5 * (pz[f[3]] + pz[f[2]] - pz[f[1]] - pz[f[0]]);
+        double bx1 = 0.5 * (px[f[2]] + px[f[1]] - px[f[3]] - px[f[0]]);
+        double by1 = 0.5 * (py[f[2]] + py[f[1]] - py[f[3]] - py[f[0]]);
+        double bz1 = 0.5 * (pz[f[2]] + pz[f[1]] - pz[f[3]] - pz[f[0]]);
+        double ax = 0.25 * (by0 * bz1 - bz0 * by1);
+        double ay = 0.25 * (bz0 * bx1 - bx0 * bz1);
+        double az = 0.25 * (bx0 * by1 - by0 * bx1);
+        for (int fc = 0; fc < 4; ++fc) {
+            nx[f[fc]] += ax;
+            ny[f[fc]] += ay;
+            nz[f[fc]] += az;
+        }
+    }
+}
+
+// --- Kernels ---------------------------------------------------------------
+
+template <typename Real>
+void
+Problem<Real>::k01InitStress(u64 begin, u64 end)
+{
+    for (u64 i = begin; i < end; ++i) {
+        Real s = -p[i] - q[i];
+        sigxx[i] = s;
+        sigyy[i] = s;
+        sigzz[i] = s;
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k02IntegrateStress(u64 begin, u64 end)
+{
+    for (u64 elem = begin; elem < end; ++elem) {
+        double px[8], py[8], pz[8], nx[8], ny[8], nz[8];
+        gatherCorners(elem, px, py, pz);
+        determ[elem] = static_cast<Real>(hexVolume(px, py, pz));
+        cornerNormals(px, py, pz, nx, ny, nz);
+        for (int c = 0; c < 8; ++c) {
+            fxElem[8 * elem + c] =
+                static_cast<Real>(-sigxx[elem] * nx[c]);
+            fyElem[8 * elem + c] =
+                static_cast<Real>(-sigyy[elem] * ny[c]);
+            fzElem[8 * elem + c] =
+                static_cast<Real>(-sigzz[elem] * nz[c]);
+        }
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k03SumStressForces(u64 begin, u64 end)
+{
+    for (u64 node = begin; node < end; ++node) {
+        double sx = 0.0, sy = 0.0, sz = 0.0;
+        for (u32 s = nodeElemStart[node]; s < nodeElemStart[node + 1];
+             ++s) {
+            u32 corner = nodeElemCorner[s];
+            sx += static_cast<double>(fxElem[corner]);
+            sy += static_cast<double>(fyElem[corner]);
+            sz += static_cast<double>(fzElem[corner]);
+        }
+        fx[node] = static_cast<Real>(sx);
+        fy[node] = static_cast<Real>(sy);
+        fz[node] = static_cast<Real>(sz);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k04CalcHourglassCoefs(u64 begin, u64 end)
+{
+    for (u64 i = begin; i < end; ++i) {
+        double vol = static_cast<double>(volo[i]) *
+                     static_cast<double>(v[i]);
+        double coef = cs.hgcoef * 0.01 * static_cast<double>(ss[i]) *
+                      static_cast<double>(elemMass[i]) /
+                      (std::cbrt(std::max(vol, tiny)));
+        hgCoefs[i] = static_cast<Real>(coef);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k05CalcHourglassForce(u64 begin, u64 end)
+{
+    for (u64 elem = begin; elem < end; ++elem) {
+        double vx[8], vy[8], vz[8];
+        gatherCornerVelocities(elem, vx, vy, vz);
+        double mx = 0.0, my = 0.0, mz = 0.0;
+        for (int c = 0; c < 8; ++c) {
+            mx += vx[c];
+            my += vy[c];
+            mz += vz[c];
+        }
+        mx *= 0.125;
+        my *= 0.125;
+        mz *= 0.125;
+        double coef = static_cast<double>(hgCoefs[elem]);
+        // Reduced-order hourglass control: damp deviation of corner
+        // velocities from the element mean.
+        for (int c = 0; c < 8; ++c) {
+            fxElem[8 * elem + c] =
+                static_cast<Real>(coef * (mx - vx[c]));
+            fyElem[8 * elem + c] =
+                static_cast<Real>(coef * (my - vy[c]));
+            fzElem[8 * elem + c] =
+                static_cast<Real>(coef * (mz - vz[c]));
+        }
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k06SumHourglassForces(u64 begin, u64 end)
+{
+    for (u64 node = begin; node < end; ++node) {
+        double sx = 0.0, sy = 0.0, sz = 0.0;
+        for (u32 s = nodeElemStart[node]; s < nodeElemStart[node + 1];
+             ++s) {
+            u32 corner = nodeElemCorner[s];
+            sx += static_cast<double>(fxElem[corner]);
+            sy += static_cast<double>(fyElem[corner]);
+            sz += static_cast<double>(fzElem[corner]);
+        }
+        fx[node] += static_cast<Real>(sx);
+        fy[node] += static_cast<Real>(sy);
+        fz[node] += static_cast<Real>(sz);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k07CalcAcceleration(u64 begin, u64 end)
+{
+    for (u64 node = begin; node < end; ++node) {
+        Real mass = nodalMass[node];
+        xdd[node] = fx[node] / mass;
+        ydd[node] = fy[node] / mass;
+        zdd[node] = fz[node] / mass;
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k08ApplyAccelBcX(u64 begin, u64 end)
+{
+    const u64 np = static_cast<u64>(edge) + 1;
+    for (u64 t = begin; t < end; ++t) {
+        u64 j = t % np, k = t / np;
+        xdd[np * (j + np * k)] = Real(0);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k09ApplyAccelBcY(u64 begin, u64 end)
+{
+    const u64 np = static_cast<u64>(edge) + 1;
+    for (u64 t = begin; t < end; ++t) {
+        u64 i = t % np, k = t / np;
+        ydd[i + np * np * k] = Real(0);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k10ApplyAccelBcZ(u64 begin, u64 end)
+{
+    const u64 np = static_cast<u64>(edge) + 1;
+    for (u64 t = begin; t < end; ++t) {
+        u64 i = t % np, j = t / np;
+        zdd[i + np * j] = Real(0);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k11CalcVelocity(u64 begin, u64 end)
+{
+    const Real dt_r = static_cast<Real>(dt);
+    const Real cut = static_cast<Real>(cs.uCut);
+    for (u64 node = begin; node < end; ++node) {
+        Real vx = xd[node] + xdd[node] * dt_r;
+        Real vy = yd[node] + ydd[node] * dt_r;
+        Real vz = zd[node] + zdd[node] * dt_r;
+        xd[node] = std::fabs(vx) < cut ? Real(0) : vx;
+        yd[node] = std::fabs(vy) < cut ? Real(0) : vy;
+        zd[node] = std::fabs(vz) < cut ? Real(0) : vz;
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k12CalcPosition(u64 begin, u64 end)
+{
+    const Real dt_r = static_cast<Real>(dt);
+    for (u64 node = begin; node < end; ++node) {
+        x[node] += xd[node] * dt_r;
+        y[node] += yd[node] * dt_r;
+        z[node] += zd[node] * dt_r;
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k13CalcKinematics(u64 begin, u64 end)
+{
+    for (u64 elem = begin; elem < end; ++elem) {
+        double px[8], py[8], pz[8];
+        gatherCorners(elem, px, py, pz);
+        double vol = std::max(hexVolume(px, py, pz), tiny);
+        double rel = vol / static_cast<double>(volo[elem]);
+        vnew[elem] = static_cast<Real>(rel);
+        delv[elem] = static_cast<Real>(rel -
+                                       static_cast<double>(v[elem]));
+        arealg[elem] = static_cast<Real>(std::cbrt(vol));
+        double vd = (rel - static_cast<double>(v[elem])) /
+                    (rel * std::max(dt, tiny));
+        vdov[elem] = static_cast<Real>(vd);
+        dxx[elem] = static_cast<Real>(vd / 3.0);
+        dyy[elem] = static_cast<Real>(vd / 3.0);
+        dzz[elem] = static_cast<Real>(vd / 3.0);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k14CalcLagrangeRemaining(u64 begin, u64 end)
+{
+    for (u64 elem = begin; elem < end; ++elem) {
+        Real third = vdov[elem] / Real(3);
+        dxx[elem] -= third;
+        dyy[elem] -= third;
+        dzz[elem] -= third;
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k15CalcMonotonicQGradient(u64 begin, u64 end)
+{
+    // Face-averaged velocity gradients along the local axes.
+    static const int minus_x[4] = {0, 3, 7, 4}, plus_x[4] = {1, 2, 6, 5};
+    static const int minus_y[4] = {0, 1, 5, 4}, plus_y[4] = {3, 2, 6, 7};
+    static const int minus_z[4] = {0, 1, 2, 3}, plus_z[4] = {4, 5, 6, 7};
+
+    for (u64 elem = begin; elem < end; ++elem) {
+        double px[8], py[8], pz[8], vx[8], vy[8], vz[8];
+        gatherCorners(elem, px, py, pz);
+        gatherCornerVelocities(elem, vx, vy, vz);
+
+        auto face_avg = [](const double *vals, const int idx[4]) {
+            return 0.25 * (vals[idx[0]] + vals[idx[1]] + vals[idx[2]] +
+                           vals[idx[3]]);
+        };
+        auto grad = [&](const double *pos, const double *vel,
+                        const int *minus, const int *plus) {
+            double dp = face_avg(pos, plus) - face_avg(pos, minus);
+            double dv = face_avg(vel, plus) - face_avg(vel, minus);
+            return dv / std::max(std::fabs(dp), tiny) *
+                   (dp < 0.0 ? -1.0 : 1.0);
+        };
+
+        delvXi[elem] = static_cast<Real>(grad(px, vx, minus_x, plus_x));
+        delvEta[elem] = static_cast<Real>(grad(py, vy, minus_y, plus_y));
+        delvZeta[elem] =
+            static_cast<Real>(grad(pz, vz, minus_z, plus_z));
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k16CalcMonotonicQRegion(u64 begin, u64 end)
+{
+    const u64 ex = static_cast<u64>(edge);
+    auto limiter = [](double self, double neighbor) {
+        if (std::fabs(self) < tiny)
+            return 1.0;
+        return std::clamp(neighbor / self, 0.0, 1.0);
+    };
+
+    for (u64 elem = begin; elem < end; ++elem) {
+        u64 i = elem % ex;
+        u64 j = (elem / ex) % ex;
+        u64 k = elem / (ex * ex);
+
+        double self = static_cast<double>(delvXi[elem]);
+        double phi = 1.0;
+        if (i > 0) {
+            phi = std::min(
+                phi, limiter(self,
+                             static_cast<double>(delvXi[elem - 1])));
+        }
+        if (i + 1 < ex) {
+            phi = std::min(
+                phi, limiter(self,
+                             static_cast<double>(delvXi[elem + 1])));
+        }
+        double self_e = static_cast<double>(delvEta[elem]);
+        if (j > 0) {
+            phi = std::min(
+                phi, limiter(self_e, static_cast<double>(
+                                         delvEta[elem - ex])));
+        }
+        if (j + 1 < ex) {
+            phi = std::min(
+                phi, limiter(self_e, static_cast<double>(
+                                         delvEta[elem + ex])));
+        }
+        double self_z = static_cast<double>(delvZeta[elem]);
+        if (k > 0) {
+            phi = std::min(
+                phi, limiter(self_z, static_cast<double>(
+                                         delvZeta[elem - ex * ex])));
+        }
+        if (k + 1 < ex) {
+            phi = std::min(
+                phi, limiter(self_z, static_cast<double>(
+                                         delvZeta[elem + ex * ex])));
+        }
+
+        double dv = self + self_e + self_z; // total velocity divergence
+        if (dv >= 0.0) {
+            ql[elem] = Real(0);
+            qq[elem] = Real(0);
+            continue;
+        }
+        double rho = static_cast<double>(elemMass[elem]) /
+                     (static_cast<double>(volo[elem]) *
+                      std::max(static_cast<double>(vnew[elem]), tiny));
+        double len = static_cast<double>(arealg[elem]);
+        double dvl = -dv * len; // compression speed scale
+        ql[elem] =
+            static_cast<Real>(cs.qlcMonoq * rho *
+                              static_cast<double>(ss[elem]) * dvl * phi);
+        qq[elem] =
+            static_cast<Real>(cs.qqcMonoq * rho * dvl * dvl * phi);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k17ApplyMaterialProps(u64 begin, u64 end)
+{
+    constexpr Real eos_vmin = Real(0.1);
+    constexpr Real eos_vmax = Real(10.0);
+    for (u64 elem = begin; elem < end; ++elem)
+        vnew[elem] = std::clamp(vnew[elem], eos_vmin, eos_vmax);
+}
+
+template <typename Real>
+void
+Problem<Real>::k18EosCompress(u64 begin, u64 end)
+{
+    for (u64 elem = begin; elem < end; ++elem)
+        compression[elem] = Real(1) / vnew[elem] - Real(1);
+}
+
+template <typename Real>
+void
+Problem<Real>::k19EosInitWork(u64 begin, u64 end)
+{
+    for (u64 elem = begin; elem < end; ++elem) {
+        workPOld[elem] = p[elem];
+        workEOld[elem] = e[elem];
+        workQOld[elem] = q[elem];
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k20CalcPressureHalf(u64 begin, u64 end)
+{
+    const Real c1s = static_cast<Real>(cs.gammaEos);
+    const Real emin = static_cast<Real>(cs.eMin);
+    const Real pmin = static_cast<Real>(cs.pMin);
+    for (u64 elem = begin; elem < end; ++elem) {
+        bvc[elem] = c1s / vnew[elem];
+        Real e_est =
+            workEOld[elem] -
+            Real(0.5) * delv[elem] * (workPOld[elem] + workQOld[elem]);
+        eNew[elem] = std::max(e_est, emin);
+        pHalf[elem] = std::max(bvc[elem] * eNew[elem], pmin);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k21CalcEnergyHalf(u64 begin, u64 end)
+{
+    const Real emin = static_cast<Real>(cs.eMin);
+    for (u64 elem = begin; elem < end; ++elem) {
+        Real q_half =
+            delv[elem] <= Real(0) ? ql[elem] + qq[elem] : Real(0);
+        qNew[elem] = q_half;
+        Real de = Real(0.5) * delv[elem] *
+                  (Real(3) * (workPOld[elem] + workQOld[elem]) -
+                   Real(4) * (pHalf[elem] + q_half));
+        eNew[elem] = std::max(eNew[elem] + de, emin);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k22CalcPressureNew(u64 begin, u64 end)
+{
+    const Real pmin = static_cast<Real>(cs.pMin);
+    for (u64 elem = begin; elem < end; ++elem)
+        pNew[elem] = std::max(bvc[elem] * eNew[elem], pmin);
+}
+
+template <typename Real>
+void
+Problem<Real>::k23CalcEnergyNew(u64 begin, u64 end)
+{
+    const Real emin = static_cast<Real>(cs.eMin);
+    const Real sixth = Real(1) / Real(6);
+    for (u64 elem = begin; elem < end; ++elem) {
+        Real de = -delv[elem] * sixth *
+                  (Real(7) * (workPOld[elem] + workQOld[elem]) -
+                   Real(8) * (pHalf[elem] + qNew[elem]) +
+                   (pNew[elem] + qNew[elem]));
+        eNew[elem] = std::max(eNew[elem] + de, emin);
+        if (std::fabs(static_cast<double>(eNew[elem])) < 1e-12)
+            eNew[elem] = Real(0);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k24CalcQNew(u64 begin, u64 end)
+{
+    const Real qstop = static_cast<Real>(cs.qStop);
+    for (u64 elem = begin; elem < end; ++elem) {
+        Real q_val =
+            delv[elem] <= Real(0) ? ql[elem] + qq[elem] : Real(0);
+        if (q_val > qstop)
+            q_val = qstop;
+        q[elem] = q_val;
+        p[elem] = pNew[elem];
+        e[elem] = eNew[elem];
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k25CalcSoundSpeed(u64 begin, u64 end)
+{
+    const double gamma = cs.gammaEos + 1.0;
+    for (u64 elem = begin; elem < end; ++elem) {
+        double ssc = gamma * static_cast<double>(pNew[elem]) *
+                     static_cast<double>(vnew[elem]);
+        ss[elem] = static_cast<Real>(std::sqrt(std::max(ssc, 1e-20)));
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k26UpdateVolumes(u64 begin, u64 end)
+{
+    const Real cut = static_cast<Real>(cs.vCut);
+    for (u64 elem = begin; elem < end; ++elem) {
+        Real vol = vnew[elem];
+        v[elem] = std::fabs(vol - Real(1)) < cut ? Real(1) : vol;
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k27CalcCourantConstraint(u64 begin, u64 end)
+{
+    for (u64 elem = begin; elem < end; ++elem) {
+        if (vdov[elem] == Real(0)) {
+            dtCourantElem[elem] = Real(1e20);
+            continue;
+        }
+        double len = static_cast<double>(arealg[elem]);
+        double vd = static_cast<double>(vdov[elem]);
+        double ssc = static_cast<double>(ss[elem]);
+        double denom =
+            std::sqrt(ssc * ssc + 4.0 * len * len * vd * vd);
+        dtCourantElem[elem] =
+            static_cast<Real>(len / std::max(denom, tiny));
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::k28CalcHydroConstraint(u64 begin, u64 end)
+{
+    for (u64 elem = begin; elem < end; ++elem) {
+        if (vdov[elem] == Real(0)) {
+            dtHydroElem[elem] = Real(1e20);
+            continue;
+        }
+        dtHydroElem[elem] = static_cast<Real>(
+            cs.dvovMax /
+            (std::fabs(static_cast<double>(vdov[elem])) + tiny));
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::updateDtHost()
+{
+    double cour = 1e20, hydro = 1e20;
+    for (u64 elem = 0; elem < numElem; ++elem) {
+        cour = std::min(cour,
+                        static_cast<double>(dtCourantElem[elem]));
+        hydro = std::min(hydro,
+                         static_cast<double>(dtHydroElem[elem]));
+    }
+    dtCourant = cour;
+    dtHydro = hydro;
+    double newdt = std::min(cs.cfl * cour, hydro);
+    newdt = std::min(newdt, dt * cs.dtMaxGrowth);
+    dt = std::clamp(newdt, 1e-12, 1e-1);
+    simTime += dt;
+}
+
+template <typename Real>
+u64
+Problem<Real>::itemsFor(int kernel_index) const
+{
+    const u64 np = static_cast<u64>(edge) + 1;
+    switch (kernel_index) {
+      case 3:
+      case 6:
+      case 7:
+      case 11:
+      case 12:
+        return numNode;
+      case 8:
+      case 9:
+      case 10:
+        return np * np;
+      default:
+        return numElem;
+    }
+}
+
+template <typename Real>
+double
+Problem<Real>::checksum() const
+{
+    double total_e = 0.0, total_v = 0.0;
+    for (u64 elem = 0; elem < numElem; ++elem) {
+        total_e += static_cast<double>(e[elem]);
+        total_v += static_cast<double>(v[elem]);
+    }
+    return static_cast<double>(e[0]) + 1e-3 * total_e +
+           1e-6 * total_v;
+}
+
+template <typename Real>
+bool
+Problem<Real>::finite() const
+{
+    auto ok = [](const std::vector<Real> &vec) {
+        for (Real val : vec) {
+            if (!std::isfinite(static_cast<double>(val)))
+                return false;
+        }
+        return true;
+    };
+    return ok(e) && ok(p) && ok(v) && ok(x) && ok(xd) && ok(q);
+}
+
+template <typename Real>
+void
+runReference(Problem<Real> &prob)
+{
+    for (int iter = 0; iter < prob.iterations; ++iter) {
+        prob.k01InitStress(0, prob.numElem);
+        prob.k02IntegrateStress(0, prob.numElem);
+        prob.k03SumStressForces(0, prob.numNode);
+        prob.k04CalcHourglassCoefs(0, prob.numElem);
+        prob.k05CalcHourglassForce(0, prob.numElem);
+        prob.k06SumHourglassForces(0, prob.numNode);
+        prob.k07CalcAcceleration(0, prob.numNode);
+        u64 face = prob.itemsFor(8);
+        prob.k08ApplyAccelBcX(0, face);
+        prob.k09ApplyAccelBcY(0, face);
+        prob.k10ApplyAccelBcZ(0, face);
+        prob.k11CalcVelocity(0, prob.numNode);
+        prob.k12CalcPosition(0, prob.numNode);
+        prob.k13CalcKinematics(0, prob.numElem);
+        prob.k14CalcLagrangeRemaining(0, prob.numElem);
+        prob.k15CalcMonotonicQGradient(0, prob.numElem);
+        prob.k16CalcMonotonicQRegion(0, prob.numElem);
+        prob.k17ApplyMaterialProps(0, prob.numElem);
+        prob.k18EosCompress(0, prob.numElem);
+        prob.k19EosInitWork(0, prob.numElem);
+        prob.k20CalcPressureHalf(0, prob.numElem);
+        prob.k21CalcEnergyHalf(0, prob.numElem);
+        prob.k22CalcPressureNew(0, prob.numElem);
+        prob.k23CalcEnergyNew(0, prob.numElem);
+        prob.k24CalcQNew(0, prob.numElem);
+        prob.k25CalcSoundSpeed(0, prob.numElem);
+        prob.k26UpdateVolumes(0, prob.numElem);
+        prob.k27CalcCourantConstraint(0, prob.numElem);
+        prob.k28CalcHydroConstraint(0, prob.numElem);
+        prob.updateDtHost();
+    }
+}
+
+template void runReference<float>(Problem<float> &);
+template void runReference<double>(Problem<double> &);
+
+template struct Problem<float>;
+template struct Problem<double>;
+
+} // namespace hetsim::apps::lulesh

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * LULESH, Heterogeneous Compute implementation (paper Section VII):
+ * single-source kernels over raw pointers, explicit asynchronous
+ * staging of the mesh, and a dt read-back that overlaps with the
+ * next iteration's leading kernels.
+ *
+ * HC has no broken kernel: unlike the CLAMP path, all 28 kernels run
+ * on the device on both machines.
+ */
+
+#include "lulesh_meta.hh"
+#include "lulesh_variants.hh"
+
+#include "hc/hc.hh"
+
+namespace hetsim::apps::lulesh
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledEdge(cfg.scale),
+                       scaledIterations(cfg.scale));
+    auto descs = buildDescriptors(prob);
+    Precision prec = precisionOf<Real>();
+
+    hc::AcceleratorView av(spec, prec);
+    av.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        av.runtime().setFreq(cfg.freq);
+
+    // Raw pointers, registered once (am_alloc style).
+    std::array<const void *, size_t(Buf::Count)> ptr{};
+    ptr[size_t(Buf::Coords)] = prob.x.data();
+    ptr[size_t(Buf::Vel)] = prob.xd.data();
+    ptr[size_t(Buf::Accel)] = prob.xdd.data();
+    ptr[size_t(Buf::Force)] = prob.fx.data();
+    ptr[size_t(Buf::Mass)] = prob.nodalMass.data();
+    ptr[size_t(Buf::ElemCore)] = prob.e.data();
+    ptr[size_t(Buf::Stress)] = prob.sigxx.data();
+    ptr[size_t(Buf::QGrad)] = prob.delvXi.data();
+    ptr[size_t(Buf::EosWork)] = prob.compression.data();
+    ptr[size_t(Buf::Connect)] = prob.nodelist.data();
+    ptr[size_t(Buf::CornerF)] = prob.fxElem.data();
+    ptr[size_t(Buf::DtPart)] = prob.dtCourantElem.data();
+    for (int b = 0; b < int(Buf::Count); ++b) {
+        av.registerPointer(ptr[size_t(b)],
+                           bufBytes(prob, Buf(b)),
+                           bufName(Buf(b)));
+    }
+
+    // Explicit asynchronous staging of the inputs, up front.
+    hc::CompletionFuture staged;
+    for (Buf group : {Buf::Coords, Buf::Vel, Buf::Mass, Buf::ElemCore,
+                      Buf::Connect}) {
+        staged = av.copyAsync(ptr[size_t(group)],
+                              hc::CopyDir::HostToDevice);
+    }
+
+    ir::OptHints hints;
+    hints.hoistedInvariants = true;
+
+    hc::CompletionFuture last = staged;
+    for (int iter = 0; iter < prob.iterations; ++iter) {
+        for (int k = 0; k < kernelCount; ++k) {
+            ir::OptHints kh = hints;
+            kh.useLds = descs[k].loop.reduction;
+            last = av.launchAsync(descs[k], prob.itemsFor(k + 1), kh,
+                                  kernelBody(prob, k), {last});
+        }
+        // dt partials stream back while nothing else needs the DMA.
+        hc::CompletionFuture dt = av.copyAsync(
+            ptr[size_t(Buf::DtPart)], hc::CopyDir::DeviceToHost, last);
+        av.runtime().hostWork(2e-6, dt.task);
+        if (cfg.functional)
+            prob.updateDtHost();
+    }
+
+    av.copyAsync(ptr[size_t(Buf::ElemCore)],
+                 hc::CopyDir::DeviceToHost, last);
+    av.copyAsync(ptr[size_t(Buf::Coords)], hc::CopyDir::DeviceToHost,
+                 last);
+    av.wait();
+
+    core::RunResult result = core::summarize(av.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.edge, prob.iterations);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runHc(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::lulesh

@@ -1,0 +1,45 @@
+#include "lulesh_meta.hh"
+
+namespace hetsim::apps::lulesh
+{
+
+const std::array<KernelIo, kernelCount> &
+kernelIo()
+{
+    using B = Buf;
+    static const std::array<KernelIo, kernelCount> table = {{
+        /* k01 */ {{B::ElemCore}, {B::Stress}},
+        /* k02 */ {{B::Coords, B::Connect, B::Stress},
+                   {B::CornerF, B::ElemCore}},
+        /* k03 */ {{B::CornerF, B::Connect}, {B::Force}},
+        /* k04 */ {{B::ElemCore}, {B::EosWork}},
+        /* k05 */ {{B::Vel, B::Connect, B::EosWork}, {B::CornerF}},
+        /* k06 */ {{B::CornerF, B::Connect}, {B::Force}},
+        /* k07 */ {{B::Force, B::Mass}, {B::Accel}},
+        /* k08 */ {{}, {B::Accel}},
+        /* k09 */ {{}, {B::Accel}},
+        /* k10 */ {{}, {B::Accel}},
+        /* k11 */ {{B::Accel}, {B::Vel}},
+        /* k12 */ {{B::Vel}, {B::Coords}},
+        /* k13 */ {{B::Coords, B::Connect, B::ElemCore},
+                   {B::ElemCore, B::Stress}},
+        /* k14 */ {{B::ElemCore}, {B::Stress}},
+        /* k15 */ {{B::Coords, B::Vel, B::Connect}, {B::QGrad}},
+        /* k16 */ {{B::QGrad, B::ElemCore}, {B::QGrad}},
+        /* k17 */ {{B::ElemCore}, {B::ElemCore}},
+        /* k18 */ {{B::ElemCore}, {B::EosWork}},
+        /* k19 */ {{B::ElemCore}, {B::EosWork}},
+        /* k20 */ {{B::ElemCore, B::EosWork}, {B::EosWork}},
+        /* k21 */ {{B::ElemCore, B::QGrad, B::EosWork}, {B::EosWork}},
+        /* k22 */ {{B::EosWork}, {B::EosWork}},
+        /* k23 */ {{B::ElemCore, B::EosWork}, {B::EosWork}},
+        /* k24 */ {{B::QGrad, B::EosWork, B::ElemCore}, {B::ElemCore}},
+        /* k25 */ {{B::EosWork, B::ElemCore}, {B::ElemCore}},
+        /* k26 */ {{B::ElemCore}, {B::ElemCore}},
+        /* k27 */ {{B::ElemCore}, {B::DtPart}},
+        /* k28 */ {{B::ElemCore}, {B::DtPart}},
+    }};
+    return table;
+}
+
+} // namespace hetsim::apps::lulesh

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * LULESH kernel descriptors: what each programming model's compiler
+ * sees of the 28 per-iteration kernels, with address-trace generators
+ * over the real mesh connectivity.
+ */
+
+#ifndef HETSIM_APPS_LULESH_LULESH_META_HH
+#define HETSIM_APPS_LULESH_LULESH_META_HH
+
+#include <array>
+#include <vector>
+
+#include "kernelir/kernel.hh"
+#include "kernelir/tracegen.hh"
+#include "lulesh_core.hh"
+#include "runtime/context.hh"
+
+namespace hetsim::apps::lulesh
+{
+
+/** Logical device-buffer groups used by the model variants. */
+enum class Buf : int
+{
+    Coords,
+    Vel,
+    Accel,
+    Force,
+    Mass,
+    ElemCore,  ///< e,p,q,v,volo,delv,vdov,arealg,ss,vnew,elemMass,determ
+    Stress,    ///< sigxx/yy/zz + dxx/dyy/dzz
+    QGrad,     ///< delvXi/Eta/Zeta, ql, qq
+    EosWork,   ///< compression, work*, pHalf, eNew, pNew, qNew, bvc, hg
+    Connect,   ///< nodelist + node->corner CSR (u32)
+    CornerF,   ///< per-corner force staging
+    DtPart,    ///< reduced dt partials read back by the host
+    Count,
+};
+
+/** @return debug name of a buffer group. */
+inline const char *
+bufName(Buf buf)
+{
+    static const char *names[] = {"coords",   "vel",     "accel",
+                                  "force",    "mass",    "elem-core",
+                                  "stress",   "qgrad",   "eos-work",
+                                  "connect",  "cornerf", "dtpart"};
+    return names[static_cast<int>(buf)];
+}
+
+/** @return size in bytes of a buffer group for this problem. */
+template <typename Real>
+u64
+bufBytes(const Problem<Real> &prob, Buf buf)
+{
+    const u64 rb = sizeof(Real);
+    const u64 ne = prob.numElem;
+    const u64 nn = prob.numNode;
+    switch (buf) {
+      case Buf::Coords:
+      case Buf::Vel:
+      case Buf::Accel:
+      case Buf::Force:
+        return 3 * nn * rb;
+      case Buf::Mass:
+        return nn * rb;
+      case Buf::ElemCore:
+        return 12 * ne * rb;
+      case Buf::Stress:
+        return 6 * ne * rb;
+      case Buf::QGrad:
+        return 5 * ne * rb;
+      case Buf::EosWork:
+        return 10 * ne * rb;
+      case Buf::Connect:
+        return (16 * ne + nn + 1) * 4;
+      case Buf::CornerF:
+        return 24 * ne * rb;
+      case Buf::DtPart:
+        return 1024;
+      case Buf::Count:
+        break;
+    }
+    panic("bad LULESH buffer group");
+}
+
+/** Buffers read and written by each of the 28 kernels. */
+struct KernelIo
+{
+    std::vector<Buf> reads;
+    std::vector<Buf> writes;
+};
+
+/** @return the per-kernel buffer usage table (index = kernel - 1). */
+const std::array<KernelIo, kernelCount> &kernelIo();
+
+/**
+ * Build the 28 descriptors (index i = kernel k(i+1)).  Trace closures
+ * reference @p prob's connectivity arrays: the Problem must outlive
+ * the descriptors.
+ */
+template <typename Real>
+std::vector<ir::KernelDescriptor>
+buildDescriptors(const Problem<Real> &prob)
+{
+    const u64 ne = prob.numElem;
+    const u64 nn = prob.numNode;
+    const u64 node_bytes = nn * 4;
+    const u64 elem_bytes = ne * 4;
+    constexpr u32 rb = sizeof(Real);
+
+    // Gather of a nodal array through the element corner list.
+    auto node_gather = [&prob](double bytes_per_item, u64 ws) {
+        ir::MemStream stream;
+        stream.buffer = "nodal-gather";
+        stream.bytesPerItemSp = bytes_per_item;
+        stream.pattern = sim::AccessPattern::Gather;
+        stream.workingSetBytesSp = ws;
+        const std::vector<u32> *idx = &prob.nodelist;
+        stream.trace = ir::gatherTrace(
+            [idx](u64 k) { return static_cast<u64>((*idx)[k]); },
+            idx->size(), rb);
+        return stream;
+    };
+
+    // Gather of the corner-force arrays through the node adjacency.
+    auto corner_gather = [&prob](double bytes_per_item) {
+        ir::MemStream stream;
+        stream.buffer = "corner-gather";
+        stream.bytesPerItemSp = bytes_per_item;
+        stream.pattern = sim::AccessPattern::Gather;
+        stream.workingSetBytesSp = prob.numElem * 8 * 4;
+        const std::vector<u32> *idx = &prob.nodeElemCorner;
+        stream.trace = ir::gatherTrace(
+            [idx](u64 k) { return static_cast<u64>((*idx)[k]); },
+            idx->size(), rb);
+        return stream;
+    };
+
+    // Plain streaming access of per-element or per-node data.
+    auto stream_of = [](const char *name, double bytes_per_item, u64 ws,
+                        bool real_data = true) {
+        ir::MemStream stream;
+        stream.buffer = name;
+        stream.bytesPerItemSp = bytes_per_item;
+        stream.scalesWithPrecision = real_data;
+        stream.pattern = sim::AccessPattern::Sequential;
+        stream.workingSetBytesSp = ws;
+        return stream;
+    };
+
+    // Structured-neighbor stencil over element-indexed arrays (k16).
+    auto neighbor_stencil = [&prob, ne](double bytes_per_item) {
+        ir::MemStream stream;
+        stream.buffer = "elem-stencil";
+        stream.bytesPerItemSp = bytes_per_item;
+        stream.pattern = sim::AccessPattern::Stencil;
+        stream.workingSetBytesSp = ne * 4;
+        const u64 ex = static_cast<u64>(prob.edge);
+        stream.trace = ir::gatherTrace(
+            [ex, ne](u64 k) {
+                u64 elem = k / 7;
+                static const i64 off[7] = {0, 1, -1, 0, 0, 0, 0};
+                i64 delta = off[k % 7];
+                if (k % 7 == 3)
+                    delta = static_cast<i64>(ex);
+                else if (k % 7 == 4)
+                    delta = -static_cast<i64>(ex);
+                else if (k % 7 == 5)
+                    delta = static_cast<i64>(ex * ex);
+                else if (k % 7 == 6)
+                    delta = -static_cast<i64>(ex * ex);
+                i64 n = static_cast<i64>(elem) + delta;
+                if (n < 0 || n >= static_cast<i64>(ne))
+                    n = static_cast<i64>(elem);
+                return static_cast<u64>(n);
+            },
+            ne * 7, rb);
+        return stream;
+    };
+
+    std::vector<ir::KernelDescriptor> descs(kernelCount);
+    auto &d = descs;
+
+    d[0].name = "k01_init_stress";
+    d[0].flopsPerItem = 3;
+    d[0].intOpsPerItem = 2;
+    d[0].streams = {stream_of("pq", 8, elem_bytes),
+                    stream_of("sig", 12, elem_bytes)};
+
+    d[1].name = "k02_integrate_stress";
+    d[1].flopsPerItem = 2000;
+    d[1].intOpsPerItem = 60;
+    d[1].loop.indirectAddressing = true;
+    d[1].streams = {node_gather(96, node_bytes * 3),
+                    stream_of("nodelist", 32, ne * 32, false),
+                    stream_of("sig", 12, elem_bytes),
+                    stream_of("fcorner", 100, ne * 100)};
+
+    d[2].name = "k03_sum_stress_forces";
+    d[2].flopsPerItem = 24;
+    d[2].intOpsPerItem = 20;
+    d[2].loop.indirectAddressing = true;
+    d[2].loop.variableTripCount = true;
+    d[2].streams = {corner_gather(96),
+                    stream_of("csr", 40, ne * 36, false),
+                    stream_of("force", 12, node_bytes * 3)};
+
+    d[3].name = "k04_hourglass_coefs";
+    d[3].flopsPerItem = 15;
+    d[3].intOpsPerItem = 2;
+    d[3].streams = {stream_of("elem-in", 16, elem_bytes * 4),
+                    stream_of("hgcoef", 4, elem_bytes)};
+
+    d[4].name = "k05_hourglass_force";
+    d[4].flopsPerItem = 3000;
+    d[4].intOpsPerItem = 50;
+    d[4].loop.indirectAddressing = true;
+    d[4].streams = {node_gather(96, node_bytes * 3),
+                    stream_of("nodelist", 32, ne * 32, false),
+                    stream_of("hgcoef", 4, elem_bytes),
+                    stream_of("fcorner", 96, ne * 96)};
+
+    d[5].name = "k06_sum_hourglass_forces";
+    d[5] = d[2];
+    d[5].name = "k06_sum_hourglass_forces";
+
+    d[6].name = "k07_calc_acceleration";
+    d[6].flopsPerItem = 3;
+    d[6].intOpsPerItem = 2;
+    d[6].streams = {stream_of("force+mass", 16, node_bytes * 4),
+                    stream_of("accel", 12, node_bytes * 3)};
+
+    for (int k = 7; k <= 9; ++k) {
+        d[k].name = k == 7   ? "k08_accel_bc_x"
+                    : k == 8 ? "k09_accel_bc_y"
+                             : "k10_accel_bc_z";
+        d[k].flopsPerItem = 1;
+        d[k].intOpsPerItem = 6;
+        ir::MemStream bc = stream_of("accel-face", 4, node_bytes);
+        bc.pattern = sim::AccessPattern::Strided;
+        d[k].streams = {bc};
+    }
+
+    d[10].name = "k11_calc_velocity";
+    d[10].flopsPerItem = 9;
+    d[10].intOpsPerItem = 2;
+    d[10].loop.divergentControlFlow = true;
+    d[10].streams = {stream_of("accel", 12, node_bytes * 3),
+                     stream_of("vel", 48, node_bytes * 3)};
+
+    d[11].name = "k12_calc_position";
+    d[11].flopsPerItem = 6;
+    d[11].intOpsPerItem = 2;
+    d[11].streams = {stream_of("vel", 12, node_bytes * 3),
+                     stream_of("coords", 48, node_bytes * 3)};
+
+    d[12].name = "k13_calc_kinematics";
+    d[12].flopsPerItem = 1200;
+    d[12].intOpsPerItem = 55;
+    d[12].loop.indirectAddressing = true;
+    d[12].streams = {node_gather(96, node_bytes * 3),
+                     stream_of("nodelist", 32, ne * 32, false),
+                     stream_of("vol-in", 8, elem_bytes * 2),
+                     stream_of("kin-out", 28, elem_bytes * 7)};
+
+    d[13].name = "k14_lagrange_remaining";
+    d[13].flopsPerItem = 6;
+    d[13].intOpsPerItem = 1;
+    d[13].streams = {stream_of("vdov", 4, elem_bytes),
+                     stream_of("strain", 48, elem_bytes * 3)};
+
+    d[14].name = "k15_monotonic_q_gradient";
+    d[14].flopsPerItem = 300;
+    d[14].intOpsPerItem = 45;
+    d[14].loop.indirectAddressing = true;
+    d[14].streams = {node_gather(192, node_bytes * 6),
+                     stream_of("nodelist", 32, ne * 32, false),
+                     stream_of("qgrad-out", 12, elem_bytes * 3)};
+
+    d[15].name = "k16_monotonic_q_region";
+    d[15].flopsPerItem = 70;
+    d[15].intOpsPerItem = 30;
+    d[15].loop.divergentControlFlow = true;
+    d[15].streams = {neighbor_stencil(36),
+                     stream_of("elem-in", 20, elem_bytes * 5),
+                     stream_of("qlqq", 8, elem_bytes * 2)};
+
+    d[16].name = "k17_apply_material_props";
+    d[16].flopsPerItem = 2;
+    d[16].intOpsPerItem = 1;
+    d[16].loop.divergentControlFlow = true;
+    d[16].streams = {stream_of("vnew", 8, elem_bytes)};
+
+    d[17].name = "k18_eos_compress";
+    d[17].flopsPerItem = 2;
+    d[17].intOpsPerItem = 1;
+    d[17].streams = {stream_of("vnew", 4, elem_bytes),
+                     stream_of("compression", 4, elem_bytes)};
+
+    d[18].name = "k19_eos_init_work";
+    d[18].flopsPerItem = 1;
+    d[18].intOpsPerItem = 1;
+    d[18].streams = {stream_of("peq", 12, elem_bytes * 3),
+                     stream_of("work", 12, elem_bytes * 3)};
+
+    d[19].name = "k20_calc_pressure_half";
+    d[19].flopsPerItem = 16;
+    d[19].intOpsPerItem = 1;
+    d[19].streams = {stream_of("eos-in", 20, elem_bytes * 5),
+                     stream_of("eos-out", 12, elem_bytes * 3)};
+
+    d[20].name = "k21_calc_energy_half";
+    d[20].flopsPerItem = 24;
+    d[20].intOpsPerItem = 1;
+    d[20].loop.divergentControlFlow = true;
+    d[20].streams = {stream_of("eos-in", 24, elem_bytes * 6),
+                     stream_of("eos-out", 8, elem_bytes * 2)};
+
+    d[21].name = "k22_calc_pressure_new";
+    d[21].flopsPerItem = 3;
+    d[21].intOpsPerItem = 1;
+    d[21].streams = {stream_of("eos-in", 8, elem_bytes * 2),
+                     stream_of("pnew", 4, elem_bytes)};
+
+    d[22].name = "k23_calc_energy_new";
+    d[22].flopsPerItem = 24;
+    d[22].intOpsPerItem = 1;
+    d[22].streams = {stream_of("eos-in", 24, elem_bytes * 6),
+                     stream_of("enew", 8, elem_bytes)};
+
+    d[23].name = "k24_calc_q_new";
+    d[23].flopsPerItem = 5;
+    d[23].intOpsPerItem = 1;
+    d[23].loop.divergentControlFlow = true;
+    d[23].streams = {stream_of("eos-in", 20, elem_bytes * 5),
+                     stream_of("commit", 12, elem_bytes * 3)};
+
+    d[24].name = "k25_calc_sound_speed";
+    d[24].flopsPerItem = 16;
+    d[24].intOpsPerItem = 1;
+    d[24].streams = {stream_of("eos-in", 8, elem_bytes * 2),
+                     stream_of("ss", 4, elem_bytes)};
+
+    d[25].name = "k26_update_volumes";
+    d[25].flopsPerItem = 3;
+    d[25].intOpsPerItem = 1;
+    d[25].loop.divergentControlFlow = true;
+    d[25].streams = {stream_of("vnew", 4, elem_bytes),
+                     stream_of("v", 4, elem_bytes)};
+
+    d[26].name = "k27_courant_constraint";
+    d[26].flopsPerItem = 24;
+    d[26].intOpsPerItem = 2;
+    d[26].loop.divergentControlFlow = true;
+    d[26].loop.reduction = true;
+    d[26].streams = {stream_of("cons-in", 12, elem_bytes * 3),
+                     stream_of("dtcand", 4, elem_bytes)};
+
+    d[27].name = "k28_hydro_constraint";
+    d[27].flopsPerItem = 4;
+    d[27].intOpsPerItem = 2;
+    d[27].loop.divergentControlFlow = true;
+    d[27].loop.reduction = true;
+    d[27].streams = {stream_of("vdov", 4, elem_bytes),
+                     stream_of("dtcand", 4, elem_bytes)};
+
+    return descs;
+}
+
+/** Bind kernel index i (0-based) to its Problem method. */
+template <typename Real>
+rt::KernelBody
+kernelBody(Problem<Real> &prob, int index)
+{
+    using P = Problem<Real>;
+    static const std::array<void (P::*)(u64, u64), kernelCount> table = {
+        &P::k01InitStress,       &P::k02IntegrateStress,
+        &P::k03SumStressForces,  &P::k04CalcHourglassCoefs,
+        &P::k05CalcHourglassForce, &P::k06SumHourglassForces,
+        &P::k07CalcAcceleration, &P::k08ApplyAccelBcX,
+        &P::k09ApplyAccelBcY,    &P::k10ApplyAccelBcZ,
+        &P::k11CalcVelocity,     &P::k12CalcPosition,
+        &P::k13CalcKinematics,   &P::k14CalcLagrangeRemaining,
+        &P::k15CalcMonotonicQGradient, &P::k16CalcMonotonicQRegion,
+        &P::k17ApplyMaterialProps, &P::k18EosCompress,
+        &P::k19EosInitWork,      &P::k20CalcPressureHalf,
+        &P::k21CalcEnergyHalf,   &P::k22CalcPressureNew,
+        &P::k23CalcEnergyNew,    &P::k24CalcQNew,
+        &P::k25CalcSoundSpeed,   &P::k26UpdateVolumes,
+        &P::k27CalcCourantConstraint, &P::k28CalcHydroConstraint,
+    };
+    auto method = table[static_cast<size_t>(index)];
+    return [&prob, method](u64 begin, u64 end) {
+        (prob.*method)(begin, end);
+    };
+}
+
+} // namespace hetsim::apps::lulesh
+
+#endif // HETSIM_APPS_LULESH_LULESH_META_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * LULESH, OpenMP CPU implementation: every kernel loop annotated with
+ * "#pragma omp parallel for" and run on the 4-core host.
+ */
+
+#include "lulesh_meta.hh"
+#include "lulesh_variants.hh"
+
+#include "runtime/context.hh"
+
+namespace hetsim::apps::lulesh
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledEdge(cfg.scale),
+                       scaledIterations(cfg.scale));
+    auto descs = buildDescriptors(prob);
+
+    rt::RuntimeContext rt(ompCpu(), ir::ModelKind::OpenMp,
+                          precisionOf<Real>());
+    if (cfg.freq.coreMhz > 0.0)
+        rt.setFreq(cfg.freq);
+    rt.setFunctionalExecution(cfg.functional);
+
+    for (int iter = 0; iter < prob.iterations; ++iter) {
+        // #pragma omp parallel for (per kernel loop)
+        for (int k = 0; k < kernelCount; ++k) {
+            rt.launch(descs[k], prob.itemsFor(k + 1), ir::OptHints{},
+                      kernelBody(prob, k));
+        }
+        rt.hostWork(2e-6);
+        if (cfg.functional)
+            prob.updateDtHost();
+    }
+
+    core::RunResult result = core::summarize(rt);
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.edge, prob.iterations);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOpenMp(const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(cfg);
+    return runImpl<double>(cfg);
+}
+
+} // namespace hetsim::apps::lulesh

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * LULESH, OpenCL implementation: explicit cl_mem buffers for the
+ * twelve logical device arrays, 28 hand-tuned kernels, explicit
+ * staging of the mesh once at start-up and of the reduced dt partials
+ * every iteration.
+ */
+
+#include "lulesh_meta.hh"
+#include "lulesh_variants.hh"
+
+#include "common/logging.hh"
+#include "opencl/opencl.hh"
+
+namespace hetsim::apps::lulesh
+{
+
+namespace
+{
+
+/** Abbreviated device source; stands for the 28-kernel .cl file. */
+const char *kLuleshSource = R"CLC(
+// lulesh_kernels.cl - 28 hand-tuned kernels: stress integration,
+// hourglass control, nodal update, kinematics, monotonic Q, EOS
+// pipeline, volume update and time-constraint reductions.  Gather
+// kernels stage corner data through registers; reductions stage
+// partials through the LDS.
+__kernel void k01_init_stress(__global const real_t *p, ...);
+/* ... */
+__kernel void k28_hydro_constraint(__global const real_t *vdov, ...);
+)CLC";
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledEdge(cfg.scale),
+                       scaledIterations(cfg.scale));
+    auto descs = buildDescriptors(prob);
+    const auto &io = kernelIo();
+    Precision prec = precisionOf<Real>();
+
+    // InitCl(): device, context, queue, program.
+    ocl::Device device(spec);
+    ocl::Context context(device, prec);
+    context.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        context.runtime().setFreq(cfg.freq);
+    ocl::CommandQueue queue(context, device);
+    ocl::Program program(context, kLuleshSource);
+
+    for (int k = 0; k < kernelCount; ++k) {
+        u32 args = static_cast<u32>(io[k].reads.size() +
+                                    io[k].writes.size() + 1);
+        program.declareKernel(descs[k], args);
+    }
+    if (program.build() != ocl::Success)
+        fatal("LULESH: clBuildProgram failed:\n%s",
+              program.buildLog().c_str());
+
+    // Create one cl_mem per logical buffer group and stage the mesh.
+    std::vector<ocl::Buffer> bufs(static_cast<size_t>(Buf::Count));
+    for (int b = 0; b < static_cast<int>(Buf::Count); ++b) {
+        Buf group = static_cast<Buf>(b);
+        ocl::Status status = ocl::Success;
+        bufs[b] = ocl::Buffer(context, ocl::MemFlags::ReadWrite,
+                              bufBytes(prob, group), bufName(group),
+                              &status);
+        if (status != ocl::Success)
+            fatal("LULESH: clCreateBuffer(%s) failed", bufName(group));
+        queue.enqueueWriteBuffer(bufs[b]);
+    }
+
+    // Create and tune the 28 kernel objects.
+    std::vector<ocl::Kernel> kernels(kernelCount);
+    for (int k = 0; k < kernelCount; ++k) {
+        ocl::Status status = ocl::Success;
+        kernels[k] = program.createKernel(descs[k].name, &status);
+        if (status != ocl::Success)
+            fatal("LULESH: clCreateKernel(%s) failed",
+                  descs[k].name.c_str());
+
+        u32 arg = 0;
+        for (Buf group : io[k].reads)
+            kernels[k].setArg(arg++, bufs[static_cast<size_t>(group)]);
+        for (Buf group : io[k].writes)
+            kernels[k].setArg(arg++, bufs[static_cast<size_t>(group)]);
+        kernels[k].setArg(arg, static_cast<i64>(prob.numElem));
+
+        ir::OptHints hints;
+        hints.hoistedInvariants = true;
+        hints.useLds = descs[k].loop.reduction; // LDS tree reductions
+        kernels[k].setOptHints(hints);
+        kernels[k].bindBody(kernelBody(prob, k));
+    }
+
+    // Time integration.
+    for (int iter = 0; iter < prob.iterations; ++iter) {
+        for (int k = 0; k < kernelCount; ++k) {
+            ocl::Status status = queue.enqueueNDRangeKernel(
+                kernels[k], prob.itemsFor(k + 1), 128);
+            if (status != ocl::Success)
+                fatal("LULESH: enqueue %s failed (%d)",
+                      descs[k].name.c_str(), int(status));
+        }
+        // Reduced dt partials back to the host, final min on the CPU.
+        queue.enqueueReadBuffer(
+            bufs[static_cast<size_t>(Buf::DtPart)]);
+        queue.enqueueNativeKernel(2e-6);
+        if (cfg.functional)
+            prob.updateDtHost();
+    }
+
+    // Results back to the host.
+    queue.enqueueReadBuffer(bufs[static_cast<size_t>(Buf::ElemCore)]);
+    queue.enqueueReadBuffer(bufs[static_cast<size_t>(Buf::Coords)]);
+    queue.finish();
+
+    core::RunResult result = core::summarize(context.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.edge, prob.iterations);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOpenCl(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::lulesh

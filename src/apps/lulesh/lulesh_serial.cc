@@ -1,0 +1,61 @@
+/**
+ * @file
+ * LULESH, serial CPU implementation: the 28 kernels run one after the
+ * other on a single core; dt is reduced on the host each iteration.
+ */
+
+#include "lulesh_meta.hh"
+#include "lulesh_variants.hh"
+
+#include "runtime/context.hh"
+
+namespace hetsim::apps::lulesh
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledEdge(cfg.scale),
+                       scaledIterations(cfg.scale));
+    auto descs = buildDescriptors(prob);
+
+    rt::RuntimeContext rt(serialCpu(), ir::ModelKind::Serial,
+                          precisionOf<Real>());
+    if (cfg.freq.coreMhz > 0.0)
+        rt.setFreq(cfg.freq);
+    rt.setFunctionalExecution(cfg.functional);
+
+    for (int iter = 0; iter < prob.iterations; ++iter) {
+        for (int k = 0; k < kernelCount; ++k) {
+            rt.launch(descs[k], prob.itemsFor(k + 1), ir::OptHints{},
+                      kernelBody(prob, k));
+        }
+        rt.hostWork(2e-6); // final dt min on the host
+        if (cfg.functional)
+            prob.updateDtHost();
+    }
+
+    core::RunResult result = core::summarize(rt);
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        // The serial run *is* the reference; validate self-consistency.
+        result.validated = prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runSerial(const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(cfg);
+    return runImpl<double>(cfg);
+}
+
+} // namespace hetsim::apps::lulesh

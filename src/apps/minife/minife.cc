@@ -1,0 +1,71 @@
+/**
+ * @file
+ * miniFE Workload wrapper.
+ */
+
+#include "minife_variants.hh"
+
+#include "common/logging.hh"
+#include "core/workload.hh"
+
+namespace hetsim::apps::minife
+{
+
+namespace
+{
+
+class MinifeWorkload : public core::Workload
+{
+  public:
+    std::string name() const override { return "miniFE"; }
+
+    std::string cmdline() const override
+    {
+        return "./miniFE -nx 100 -ny 100 -nz 100";
+    }
+
+    std::vector<core::ModelKind>
+    supportedModels() const override
+    {
+        return {core::ModelKind::Serial, core::ModelKind::OpenMp,
+                core::ModelKind::OpenCl, core::ModelKind::CppAmp,
+                core::ModelKind::OpenAcc, core::ModelKind::Hc};
+    }
+
+    core::RunResult
+    run(core::ModelKind model, const sim::DeviceSpec &device,
+        const core::WorkloadConfig &cfg) override
+    {
+        switch (model) {
+          case core::ModelKind::Serial:
+            return runSerial(cfg);
+          case core::ModelKind::OpenMp:
+            return runOpenMp(cfg);
+          case core::ModelKind::OpenCl:
+            return runOpenCl(device, cfg);
+          case core::ModelKind::CppAmp:
+            return runCppAmp(device, cfg);
+          case core::ModelKind::OpenAcc:
+            return runOpenAcc(device, cfg);
+          case core::ModelKind::Hc:
+            return runHc(device, cfg);
+          default:
+            fatal("miniFE: unsupported model");
+        }
+    }
+};
+
+} // namespace
+
+} // namespace hetsim::apps::minife
+
+namespace hetsim::core
+{
+
+std::unique_ptr<Workload>
+makeMiniFe()
+{
+    return std::make_unique<apps::minife::MinifeWorkload>();
+}
+
+} // namespace hetsim::core

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * miniFE, OpenACC implementation: scalar-row CSR SpMV - "specialized
+ * sparse matrix operations cannot be easily expressed at a high
+ * level, and the compiler is unable to recognize and take advantage
+ * of the complicated memory access patterns" (paper Sec. VI-A) - with
+ * compiler-managed transfers around a data region and reduction
+ * clauses for the dots.
+ */
+
+#include "minife_core.hh"
+#include "minife_variants.hh"
+
+#include "acc/acc.hh"
+
+namespace hetsim::apps::minife
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledEdge(cfg.scale),
+                       scaledIterations(cfg.scale));
+    Precision prec = precisionOf<Real>();
+
+    acc::Runtime rt(spec, prec);
+    rt.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        rt.runtime().setFreq(cfg.freq);
+
+    const u64 rb = sizeof(Real);
+    const void *matrix = prob.vals.data();
+    const void *vectors = prob.x.data();
+    const void *partials = prob.dotScratch.data();
+    rt.declare(matrix,
+               prob.vals.size() * rb + prob.cols.size() * 4 +
+                   prob.rowStart.size() * 4,
+               "csr-matrix");
+    rt.declare(vectors, 5 * prob.rows * rb, "cg-vectors");
+    rt.declare(partials, 1024, "dot-partials");
+
+    acc::LoopClauses flat;
+    flat.vector = 128;
+    flat.independent = true;
+    acc::LoopClauses red = flat;
+    red.reduction = true;
+
+    {
+        // #pragma acc data copyin(matrix,vectors) copyout(vectors)
+        acc::DataRegion data(rt, acc::CopyIn{matrix, vectors},
+                             acc::CopyOut{vectors});
+
+        double rr = prob.residual;
+        for (int it = 0; it < prob.iterations; ++it) {
+            // #pragma acc kernels loop independent
+            acc::kernelsLoop(
+                rt, prob.spmvDescriptor(SpmvStyle::CsrScalar),
+                prob.rows, flat, {matrix, vectors}, {vectors},
+                [&prob](u64 i) { prob.spmv(i, i + 1); });
+
+            // #pragma acc kernels loop reduction(+:p_ap)
+            acc::kernelsLoop(rt, prob.dotDescriptor(), prob.rows, red,
+                             {vectors}, {partials}, [&prob](u64 i) {
+                                 prob.dotKernel(prob.p, prob.ap, i,
+                                                i + 1);
+                             });
+            rt.runtime().hostWork(1e-6);
+            double p_ap = cfg.functional ? prob.dotFinish() : 1.0;
+            double alpha = p_ap != 0.0 ? rr / p_ap : 0.0;
+
+            acc::kernelsLoop(rt, prob.waxpbyDescriptor(), prob.rows,
+                             flat, {vectors}, {vectors},
+                             [&prob, alpha](u64 i) {
+                                 prob.waxpby(prob.x, alpha, prob.p,
+                                             1.0, i, i + 1);
+                             });
+            acc::kernelsLoop(rt, prob.waxpbyDescriptor(), prob.rows,
+                             flat, {vectors}, {vectors},
+                             [&prob, alpha](u64 i) {
+                                 prob.waxpby(prob.r, -alpha, prob.ap,
+                                             1.0, i, i + 1);
+                             });
+
+            acc::kernelsLoop(rt, prob.dotDescriptor(), prob.rows, red,
+                             {vectors}, {partials}, [&prob](u64 i) {
+                                 prob.dotKernel(prob.r, prob.r, i,
+                                                i + 1);
+                             });
+            rt.runtime().hostWork(1e-6);
+            double rr_new = cfg.functional ? prob.dotFinish() : 1.0;
+            double beta = rr != 0.0 ? rr_new / rr : 0.0;
+
+            acc::kernelsLoop(rt, prob.waxpbyDescriptor(), prob.rows,
+                             flat, {vectors}, {vectors},
+                             [&prob, beta](u64 i) {
+                                 prob.waxpby(prob.p, 1.0, prob.r,
+                                             beta, i, i + 1);
+                             });
+            rr = rr_new;
+        }
+        prob.residual = rr;
+    }
+
+    core::RunResult result = core::summarize(rt.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.edge, prob.iterations);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOpenAcc(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::minife

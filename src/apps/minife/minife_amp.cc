@@ -1,0 +1,126 @@
+/**
+ * @file
+ * miniFE, C++ AMP implementation: tiled CSR-vector SpMV (tiles stand
+ * in for work-groups; CSR-Adaptive's dynamic row blocking is not
+ * expressible in AMP), array_view-managed transfers, dot partials
+ * synchronized to the host each iteration.
+ */
+
+#include "minife_core.hh"
+#include "minife_variants.hh"
+
+#include "amp/amp.hh"
+
+namespace hetsim::apps::minife
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledEdge(cfg.scale),
+                       scaledIterations(cfg.scale));
+    Precision prec = precisionOf<Real>();
+
+    amp::accelerator accel = amp::accelerator::fromSpec(spec);
+    amp::accelerator_view av(accel, prec);
+    av.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        av.runtime().setFreq(cfg.freq);
+
+    amp::array_view<const Real> matrix(av, prob.vals.data(),
+                                       prob.vals.size() +
+                                           (prob.cols.size() +
+                                            prob.rowStart.size()) / 2,
+                                       "csr-matrix");
+    amp::array_view<Real> vectors(av, prob.x.data(), 5 * prob.rows,
+                                  "cg-vectors");
+    amp::array_view<Real> partials(av, prob.dotScratch.data(), 256,
+                                   "dot-partials");
+
+    ir::KernelDescriptor spmv_d =
+        prob.spmvDescriptor(SpmvStyle::CsrVector);
+    ir::KernelDescriptor dot_d = prob.dotDescriptor();
+    ir::KernelDescriptor axpy_d = prob.waxpbyDescriptor();
+
+    amp::extent<1> domain(prob.rows);
+    double rr = prob.residual;
+    for (int it = 0; it < prob.iterations; ++it) {
+        amp::parallel_for_each(
+            av, domain.tile<64>(), spmv_d, {matrix, vectors},
+            [&prob](amp::tiled_index<64> t) {
+                prob.spmv(t.global[0], t.global[0] + 1);
+            });
+
+        amp::parallel_for_each(
+            av, domain.tile<256>(), dot_d, {vectors, partials},
+            [&prob](amp::tiled_index<256> t) {
+                u64 i = t.global[0];
+                prob.dotKernel(prob.p, prob.ap, i, i + 1);
+            },
+            /*use_tile_static=*/true);
+        partials.synchronize();
+        av.lastTask = av.runtime().hostWork(1e-6, av.lastTask);
+        double p_ap = cfg.functional ? prob.dotFinish() : 1.0;
+        double alpha = p_ap != 0.0 ? rr / p_ap : 0.0;
+
+        amp::parallel_for_each(
+            av, domain, axpy_d, {vectors},
+            [&prob, alpha](amp::index<1> idx) {
+                prob.waxpby(prob.x, alpha, prob.p, 1.0, idx[0],
+                            idx[0] + 1);
+            });
+        amp::parallel_for_each(
+            av, domain, axpy_d, {vectors},
+            [&prob, alpha](amp::index<1> idx) {
+                prob.waxpby(prob.r, -alpha, prob.ap, 1.0, idx[0],
+                            idx[0] + 1);
+            });
+
+        amp::parallel_for_each(
+            av, domain.tile<256>(), dot_d, {vectors, partials},
+            [&prob](amp::tiled_index<256> t) {
+                u64 i = t.global[0];
+                prob.dotKernel(prob.r, prob.r, i, i + 1);
+            },
+            /*use_tile_static=*/true);
+        partials.synchronize();
+        av.lastTask = av.runtime().hostWork(1e-6, av.lastTask);
+        double rr_new = cfg.functional ? prob.dotFinish() : 1.0;
+        double beta = rr != 0.0 ? rr_new / rr : 0.0;
+
+        amp::parallel_for_each(
+            av, domain, axpy_d, {vectors},
+            [&prob, beta](amp::index<1> idx) {
+                prob.waxpby(prob.p, 1.0, prob.r, beta, idx[0],
+                            idx[0] + 1);
+            });
+        rr = rr_new;
+    }
+    prob.residual = rr;
+    vectors.synchronize();
+
+    core::RunResult result = core::summarize(av.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.edge, prob.iterations);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runCppAmp(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::minife

@@ -1,0 +1,283 @@
+#include "minife_core.hh"
+
+#include <cmath>
+
+namespace hetsim::apps::minife
+{
+
+template <typename Real>
+Problem<Real>::Problem(int edge_, int iterations_)
+    : edge(edge_), iterations(iterations_)
+{
+    if (edge < 3)
+        fatal("miniFE: mesh edge must be >= 3");
+    u64 np = static_cast<u64>(edge) + 1;
+    rows = np * np * np;
+    buildMatrix();
+
+    x.assign(rows, Real(0));
+    b.assign(rows, Real(1)); // uniform load
+    r = b;                   // r = b - A*0
+    p = r;
+    ap.assign(rows, Real(0));
+    dotScratch.assign(rows, Real(0));
+    residual = static_cast<double>(rows); // ||r||^2 = n
+}
+
+template <typename Real>
+void
+Problem<Real>::buildMatrix()
+{
+    const i64 np = edge + 1;
+    rowStart.assign(rows + 1, 0);
+
+    auto node = [np](i64 i, i64 j, i64 k) {
+        return static_cast<u64>(i + np * (j + np * k));
+    };
+
+    // Pass 1: count the 27-point neighborhoods.
+    u64 row = 0;
+    for (i64 k = 0; k < np; ++k)
+        for (i64 j = 0; j < np; ++j)
+            for (i64 i = 0; i < np; ++i, ++row) {
+                u32 count = 0;
+                for (i64 dk = -1; dk <= 1; ++dk)
+                    for (i64 dj = -1; dj <= 1; ++dj)
+                        for (i64 di = -1; di <= 1; ++di) {
+                            i64 ni = i + di, nj = j + dj, nk = k + dk;
+                            if (ni < 0 || nj < 0 || nk < 0 ||
+                                ni >= np || nj >= np || nk >= np)
+                                continue;
+                            ++count;
+                        }
+                rowStart[row + 1] = rowStart[row] + count;
+            }
+    nnz = rowStart[rows];
+    cols.resize(nnz);
+    vals.resize(nnz);
+
+    // Pass 2: fill.  Diagonally dominant FE-style stencil.
+    row = 0;
+    u64 at = 0;
+    for (i64 k = 0; k < np; ++k)
+        for (i64 j = 0; j < np; ++j)
+            for (i64 i = 0; i < np; ++i, ++row) {
+                for (i64 dk = -1; dk <= 1; ++dk)
+                    for (i64 dj = -1; dj <= 1; ++dj)
+                        for (i64 di = -1; di <= 1; ++di) {
+                            i64 ni = i + di, nj = j + dj, nk = k + dk;
+                            if (ni < 0 || nj < 0 || nk < 0 ||
+                                ni >= np || nj >= np || nk >= np)
+                                continue;
+                            u64 c = node(ni, nj, nk);
+                            cols[at] = static_cast<u32>(c);
+                            vals[at] = c == row
+                                           ? Real(27.0)
+                                           : Real(-1.0);
+                            ++at;
+                        }
+            }
+}
+
+template <typename Real>
+void
+Problem<Real>::spmv(u64 begin, u64 end)
+{
+    for (u64 row = begin; row < end; ++row) {
+        double sum = 0.0;
+        for (u32 k = rowStart[row]; k < rowStart[row + 1]; ++k)
+            sum += static_cast<double>(vals[k]) *
+                   static_cast<double>(p[cols[k]]);
+        ap[row] = static_cast<Real>(sum);
+    }
+}
+
+template <typename Real>
+void
+Problem<Real>::dotKernel(const std::vector<Real> &u,
+                         const std::vector<Real> &v, u64 begin, u64 end)
+{
+    for (u64 i = begin; i < end; ++i)
+        dotScratch[i] = static_cast<Real>(static_cast<double>(u[i]) *
+                                          static_cast<double>(v[i]));
+}
+
+template <typename Real>
+void
+Problem<Real>::waxpby(std::vector<Real> &w, double alpha,
+                      const std::vector<Real> &u, double beta,
+                      u64 begin, u64 end)
+{
+    for (u64 i = begin; i < end; ++i)
+        w[i] = static_cast<Real>(alpha * static_cast<double>(u[i]) +
+                                 beta * static_cast<double>(w[i]));
+}
+
+template <typename Real>
+double
+Problem<Real>::dotFinish() const
+{
+    double sum = 0.0;
+    for (Real v : dotScratch)
+        sum += static_cast<double>(v);
+    return sum;
+}
+
+template <typename Real>
+double
+Problem<Real>::trueResidual()
+{
+    double sum = 0.0;
+    for (u64 row = 0; row < rows; ++row) {
+        double ax = 0.0;
+        for (u32 k = rowStart[row]; k < rowStart[row + 1]; ++k)
+            ax += static_cast<double>(vals[k]) *
+                  static_cast<double>(x[cols[k]]);
+        double diff = static_cast<double>(b[row]) - ax;
+        sum += diff * diff;
+    }
+    return sum;
+}
+
+template <typename Real>
+double
+Problem<Real>::checksum() const
+{
+    double sum = 0.0;
+    for (Real v : x)
+        sum += static_cast<double>(v);
+    return sum;
+}
+
+template <typename Real>
+bool
+Problem<Real>::finite() const
+{
+    for (u64 i = 0; i < rows; ++i) {
+        if (!std::isfinite(static_cast<double>(x[i])) ||
+            !std::isfinite(static_cast<double>(r[i])))
+            return false;
+    }
+    return std::isfinite(residual);
+}
+
+template <typename Real>
+ir::KernelDescriptor
+Problem<Real>::spmvDescriptor(SpmvStyle style) const
+{
+    const double avg_nnz =
+        static_cast<double>(nnz) / static_cast<double>(rows);
+
+    ir::KernelDescriptor desc;
+    desc.name = "matvec";
+    desc.flopsPerItem = 2.0 * avg_nnz;
+    desc.intOpsPerItem = avg_nnz + 8.0;
+    desc.loop.indirectAddressing = true;
+    desc.loop.variableTripCount = true; // boundary rows are shorter
+    desc.preferredWorkgroup = 64;
+
+    const bool scalar = style == SpmvStyle::CsrScalar;
+    if (style == SpmvStyle::CsrAdaptive) {
+        // The paper's CSR-Adaptive [15]: row blocks staged in LDS.
+        desc.loop.tileable = true;
+        desc.loop.needsBarriers = false;
+        desc.ldsBytesPerItemIfUsed = avg_nnz * 2.0;
+        desc.barriersPerItem = 2.0 / 64.0;
+    } else if (style == SpmvStyle::CsrVector) {
+        desc.loop.tileable = true;
+    } else if (style == SpmvStyle::CsrScalar) {
+        desc.loop.divergentControlFlow = true;
+    }
+
+    ir::MemStream mat;
+    mat.buffer = "vals+cols";
+    mat.bytesPerItemSp = avg_nnz * 8.0; // 4B value + 4B column
+    // Scalar-row CSR walks each row per thread: uncoalesced.
+    mat.pattern = scalar ? sim::AccessPattern::Strided
+                         : sim::AccessPattern::Sequential;
+    mat.workingSetBytesSp = nnz * 8;
+    desc.streams.push_back(std::move(mat));
+
+    ir::MemStream xg;
+    xg.buffer = "x-gather";
+    xg.bytesPerItemSp = avg_nnz * 4.0;
+    xg.pattern = sim::AccessPattern::Gather;
+    xg.workingSetBytesSp = rows * 4;
+    const std::vector<u32> *c = &cols;
+    xg.trace = ir::gatherTrace(
+        [c](u64 k) { return static_cast<u64>((*c)[k]); }, c->size(),
+        sizeof(Real));
+    desc.streams.push_back(std::move(xg));
+
+    ir::MemStream out;
+    out.buffer = "y";
+    out.bytesPerItemSp = 4.0 + 8.0; // y write + row pointers
+    out.pattern = sim::AccessPattern::Sequential;
+    out.workingSetBytesSp = rows * 12;
+    desc.streams.push_back(std::move(out));
+    return desc;
+}
+
+template <typename Real>
+ir::KernelDescriptor
+Problem<Real>::dotDescriptor() const
+{
+    ir::KernelDescriptor desc;
+    desc.name = "dot";
+    desc.flopsPerItem = 2;
+    desc.intOpsPerItem = 2;
+    desc.loop.reduction = true;
+    ir::MemStream io;
+    io.buffer = "dot-io";
+    io.bytesPerItemSp = 12; // two reads, one scratch write
+    io.pattern = sim::AccessPattern::Sequential;
+    io.workingSetBytesSp = rows * 12;
+    desc.streams = {io};
+    return desc;
+}
+
+template <typename Real>
+ir::KernelDescriptor
+Problem<Real>::waxpbyDescriptor() const
+{
+    ir::KernelDescriptor desc;
+    desc.name = "waxpby";
+    desc.flopsPerItem = 3;
+    desc.intOpsPerItem = 2;
+    ir::MemStream io;
+    io.buffer = "waxpby-io";
+    io.bytesPerItemSp = 12;
+    io.pattern = sim::AccessPattern::Sequential;
+    io.workingSetBytesSp = rows * 12;
+    desc.streams = {io};
+    return desc;
+}
+
+template <typename Real>
+void
+runReference(Problem<Real> &prob)
+{
+    double rr = prob.residual;
+    for (int it = 0; it < prob.iterations; ++it) {
+        prob.spmv(0, prob.rows);
+        prob.dotKernel(prob.p, prob.ap, 0, prob.rows);
+        double p_ap = prob.dotFinish();
+        double alpha = p_ap != 0.0 ? rr / p_ap : 0.0;
+        prob.waxpby(prob.x, alpha, prob.p, 1.0, 0, prob.rows);
+        prob.waxpby(prob.r, -alpha, prob.ap, 1.0, 0, prob.rows);
+        prob.dotKernel(prob.r, prob.r, 0, prob.rows);
+        double rr_new = prob.dotFinish();
+        double beta = rr != 0.0 ? rr_new / rr : 0.0;
+        prob.waxpby(prob.p, 1.0, prob.r, beta, 0, prob.rows);
+        rr = rr_new;
+    }
+    prob.residual = rr;
+}
+
+template void runReference<float>(Problem<float> &);
+template void runReference<double>(Problem<double> &);
+
+template struct Problem<float>;
+template struct Problem<double>;
+
+} // namespace hetsim::apps::minife

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * miniFE, serial CPU implementation of the CG solve.
+ */
+
+#include "minife_core.hh"
+#include "minife_variants.hh"
+
+#include "runtime/context.hh"
+
+namespace hetsim::apps::minife
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledEdge(cfg.scale),
+                       scaledIterations(cfg.scale));
+
+    rt::RuntimeContext rt(serialCpu(), ir::ModelKind::Serial,
+                          precisionOf<Real>());
+    if (cfg.freq.coreMhz > 0.0)
+        rt.setFreq(cfg.freq);
+    rt.setFunctionalExecution(cfg.functional);
+
+    ir::KernelDescriptor spmv_d =
+        prob.spmvDescriptor(SpmvStyle::CsrRowSerial);
+    ir::KernelDescriptor dot_d = prob.dotDescriptor();
+    ir::KernelDescriptor axpy_d = prob.waxpbyDescriptor();
+
+    double rr = prob.residual;
+    for (int it = 0; it < prob.iterations; ++it) {
+        rt.launch(spmv_d, prob.rows, ir::OptHints{},
+                  [&prob](u64 b, u64 e) { prob.spmv(b, e); });
+        rt.launch(dot_d, prob.rows, ir::OptHints{},
+                  [&prob](u64 b, u64 e) {
+                      prob.dotKernel(prob.p, prob.ap, b, e);
+                  });
+        rt.hostWork(1e-6);
+        double p_ap = cfg.functional ? prob.dotFinish() : 1.0;
+        double alpha = p_ap != 0.0 ? rr / p_ap : 0.0;
+        rt.launch(axpy_d, prob.rows, ir::OptHints{},
+                  [&prob, alpha](u64 b, u64 e) {
+                      prob.waxpby(prob.x, alpha, prob.p, 1.0, b, e);
+                  });
+        rt.launch(axpy_d, prob.rows, ir::OptHints{},
+                  [&prob, alpha](u64 b, u64 e) {
+                      prob.waxpby(prob.r, -alpha, prob.ap, 1.0, b, e);
+                  });
+        rt.launch(dot_d, prob.rows, ir::OptHints{},
+                  [&prob](u64 b, u64 e) {
+                      prob.dotKernel(prob.r, prob.r, b, e);
+                  });
+        rt.hostWork(1e-6);
+        double rr_new = cfg.functional ? prob.dotFinish() : 1.0;
+        double beta = rr != 0.0 ? rr_new / rr : 0.0;
+        rt.launch(axpy_d, prob.rows, ir::OptHints{},
+                  [&prob, beta](u64 b, u64 e) {
+                      prob.waxpby(prob.p, 1.0, prob.r, beta, b, e);
+                  });
+        rr = rr_new;
+    }
+    prob.residual = rr;
+
+    core::RunResult result = core::summarize(rt);
+    result.checksum = prob.checksum();
+    if (cfg.functional)
+        result.validated = prob.finite();
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runSerial(const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(cfg);
+    return runImpl<double>(cfg);
+}
+
+} // namespace hetsim::apps::minife

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * read-memory Workload wrapper: dispatches to the per-model variants.
+ */
+
+#include "readmem_variants.hh"
+
+#include "common/logging.hh"
+#include "core/workload.hh"
+
+namespace hetsim::apps::readmem
+{
+
+namespace
+{
+
+class ReadMemWorkload : public core::Workload
+{
+  public:
+    std::string name() const override { return "read-benchmark"; }
+
+    std::string
+    cmdline() const override
+    {
+        return "./read-benchmark (in-house, BLOCKSIZE=64)";
+    }
+
+    std::vector<core::ModelKind>
+    supportedModels() const override
+    {
+        return {core::ModelKind::Serial,  core::ModelKind::OpenMp,
+                core::ModelKind::OpenCl,  core::ModelKind::CppAmp,
+                core::ModelKind::OpenAcc, core::ModelKind::Hc};
+    }
+
+    bool kernelOnlyComparison() const override { return true; }
+
+    core::RunResult
+    run(core::ModelKind model, const sim::DeviceSpec &device,
+        const core::WorkloadConfig &cfg) override
+    {
+        switch (model) {
+          case core::ModelKind::Serial:
+            return runSerial(cfg);
+          case core::ModelKind::OpenMp:
+            return runOpenMp(cfg);
+          case core::ModelKind::OpenCl:
+            return runOpenCl(device, cfg);
+          case core::ModelKind::CppAmp:
+            return runCppAmp(device, cfg);
+          case core::ModelKind::OpenAcc:
+            return runOpenAcc(device, cfg);
+          case core::ModelKind::Hc:
+            return runHc(device, cfg);
+        }
+        fatal("read-benchmark: unsupported model");
+    }
+};
+
+} // namespace
+
+} // namespace hetsim::apps::readmem
+
+namespace hetsim::core
+{
+
+std::unique_ptr<Workload>
+makeReadMem()
+{
+    return std::make_unique<apps::readmem::ReadMemWorkload>();
+}
+
+} // namespace hetsim::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * read-memory, OpenACC implementation (paper Figure 5): the OpenMP
+ * loop annotated with a kernels directive; the compiler manages the
+ * data movement.
+ */
+
+#include "readmem_core.hh"
+#include "readmem_variants.hh"
+
+#include "acc/acc.hh"
+
+namespace hetsim::apps::readmem
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(cfg.scale);
+    Precision prec = precisionOf<Real>();
+
+    acc::Runtime rt(spec, prec);
+    rt.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        rt.runtime().setFreq(cfg.freq);
+
+    const Real *in = prob.in.data();
+    Real *out = prob.out.data();
+    rt.declare(in, prob.elements * sizeof(Real), "in");
+    rt.declare(out, prob.items() * sizeof(Real), "out");
+
+    ir::KernelDescriptor desc = prob.descriptor();
+
+    // #pragma acc kernels loop
+    //     gang(size/BLOCKSIZE) vector(BLOCKSIZE) independent
+    acc::LoopClauses clauses;
+    clauses.gang = prob.elements / blockSize;
+    clauses.vector = static_cast<u32>(blockSize);
+    clauses.independent = true;
+
+    acc::kernelsLoop(rt, desc, prob.items(), clauses, {in}, {out},
+                     [in, out](u64 block) {
+                         u64 i = block * blockSize;
+                         Real sum = Real(0);
+                         for (u64 j = 0; j < blockSize; ++j)
+                             sum += in[i + j];
+                         out[block] = sum;
+                     });
+
+    core::RunResult result = core::summarize(rt.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        auto ref = prob.reference();
+        result.validated = almostEqual<Real>(prob.out, ref);
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOpenAcc(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::readmem

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * read-memory, C++ AMP implementation (paper Figure 6): single-source
+ * lambda over array_views, tiled extent, runtime-managed transfers.
+ */
+
+#include "readmem_core.hh"
+#include "readmem_variants.hh"
+
+#include "amp/amp.hh"
+
+namespace hetsim::apps::readmem
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(cfg.scale);
+    Precision prec = precisionOf<Real>();
+
+    amp::accelerator accel = amp::accelerator::fromSpec(spec);
+    amp::accelerator_view av(accel, prec);
+    av.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        av.runtime().setFreq(cfg.freq);
+
+    amp::array_view<const Real> in_view(av, prob.in.data(),
+                                        prob.elements, "in");
+    amp::array_view<Real> out_view(av, prob.out.data(), prob.items(),
+                                   "out");
+    out_view.discard_data();
+
+    ir::KernelDescriptor desc = prob.descriptor();
+
+    // Compute number of threads to launch on the GPU.
+    amp::extent<1> num_gpu_threads(prob.elements / blockSize);
+
+    constexpr int tile_size = 64;
+    amp::parallel_for_each(
+        av, num_gpu_threads.tile<tile_size>(), desc,
+        {in_view, out_view},
+        [in_view, out_view](amp::tiled_index<tile_size> t_idx)
+        /* restrict(amp) */ {
+            u64 tid = t_idx.global[0];
+            u64 st_idx = tid * blockSize;
+            Real sum = Real(0);
+            for (u64 j = 0; j < blockSize; ++j)
+                sum += in_view[st_idx + j];
+            out_view[tid] = sum;
+        });
+
+    out_view.synchronize();
+
+    core::RunResult result = core::summarize(av.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        auto ref = prob.reference();
+        result.validated = almostEqual<Real>(prob.out, ref);
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runCppAmp(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::readmem

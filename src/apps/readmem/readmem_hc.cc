@@ -1,0 +1,82 @@
+/**
+ * @file
+ * read-memory, Heterogeneous Compute implementation (paper Section
+ * VII): single-source kernel over raw pointers with explicit
+ * asynchronous transfers overlapping execution.
+ */
+
+#include "readmem_core.hh"
+#include "readmem_variants.hh"
+
+#include "hc/hc.hh"
+
+namespace hetsim::apps::readmem
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(cfg.scale);
+    Precision prec = precisionOf<Real>();
+
+    hc::AcceleratorView av(spec, prec);
+    av.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        av.runtime().setFreq(cfg.freq);
+
+    // Raw pointers registered directly - no cl_mem / array_view.
+    const Real *in = prob.in.data();
+    Real *out = prob.out.data();
+    av.registerPointer(in, prob.elements * sizeof(Real), "in");
+    av.registerPointer(out, prob.items() * sizeof(Real), "out");
+
+    ir::KernelDescriptor desc = prob.descriptor();
+    ir::OptHints hints;
+    hints.unroll = 8;
+    hints.hoistedInvariants = true;
+
+    // Explicit asynchronous staging...
+    hc::CompletionFuture staged =
+        av.copyAsync(in, hc::CopyDir::HostToDevice);
+
+    // ...then the kernel, dependent only on the copy it needs.
+    hc::CompletionFuture done = av.launchAsync(
+        desc, prob.items(), hints,
+        [in, out](u64 begin, u64 end) {
+            for (u64 tid = begin; tid < end; ++tid) {
+                u64 st_idx = tid * blockSize;
+                Real sum = Real(0);
+                for (u64 j = 0; j < blockSize; ++j)
+                    sum += in[st_idx + j];
+                out[tid] = sum;
+            }
+        },
+        {staged});
+
+    av.copyAsync(out, hc::CopyDir::DeviceToHost, done);
+    av.wait();
+
+    core::RunResult result = core::summarize(av.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        auto ref = prob.reference();
+        result.validated = almostEqual<Real>(prob.out, ref);
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runHc(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::readmem

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * read-memory, OpenMP CPU implementation (paper Figure 3b): the
+ * serial loop with a "#pragma omp parallel for" on the block loop.
+ */
+
+#include "readmem_core.hh"
+#include "readmem_variants.hh"
+
+#include "runtime/context.hh"
+
+namespace hetsim::apps::readmem
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(cfg.scale);
+
+    rt::RuntimeContext rt(ompCpu(), ir::ModelKind::OpenMp,
+                          precisionOf<Real>());
+    if (cfg.freq.coreMhz > 0.0)
+        rt.setFreq(cfg.freq);
+    rt.setFunctionalExecution(cfg.functional);
+
+    ir::KernelDescriptor desc = prob.descriptor();
+
+    // #pragma omp parallel for
+    rt.launch(desc, prob.items(), ir::OptHints{},
+              [&prob](u64 begin, u64 end) {
+                  const Real *in = prob.in.data();
+                  Real *out = prob.out.data();
+                  for (u64 block = begin; block < end; ++block) {
+                      u64 i = block * blockSize;
+                      Real sum = Real(0);
+                      for (u64 j = 0; j < blockSize; ++j)
+                          sum += in[i + j];
+                      out[block] = sum;
+                  }
+              });
+
+    core::RunResult result = core::summarize(rt);
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        auto ref = prob.reference();
+        result.validated = almostEqual<Real>(prob.out, ref);
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOpenMp(const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(cfg);
+    return runImpl<double>(cfg);
+}
+
+} // namespace hetsim::apps::readmem

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * read-memory, OpenCL implementation (paper Figure 4): segregated
+ * host and device code, explicit buffer staging, hand-tuned kernel.
+ */
+
+#include "readmem_core.hh"
+#include "readmem_variants.hh"
+
+#include "common/logging.hh"
+#include "opencl/opencl.hh"
+
+namespace hetsim::apps::readmem
+{
+
+namespace
+{
+
+/** Device code: the hand-written OpenCL C kernel (Figure 4b). */
+const char *kReadMemSource = R"CLC(
+__kernel void read_mem(__global const real_t *in,
+                       __global real_t *out,
+                       const long size)
+{
+    int tid = get_global_id(0);
+    int st_idx = tid * BLOCKSIZE;
+
+    real_t sum = (real_t)0;
+    #pragma unroll 8
+    for (int j = 0; j < BLOCKSIZE; ++j) {
+        sum += in[st_idx + j];
+    }
+    out[tid] = sum;
+}
+)CLC";
+
+/** InitCl(): boilerplate device/context/queue/program setup. */
+template <typename Real>
+struct ClState
+{
+    ocl::Device device;
+    ocl::Context context;
+    ocl::CommandQueue queue;
+    ocl::Program program;
+
+    ClState(const sim::DeviceSpec &spec, Precision prec,
+            const Problem<Real> &prob)
+        : device(spec),
+          context(device, prec),
+          queue(context, device),
+          program(context, kReadMemSource)
+    {
+        ir::KernelDescriptor desc = prob.descriptor();
+        // Hand tuning applied to the kernel source above.
+        program.declareKernel(desc, 3);
+        ocl::Status status = program.build();
+        if (status != ocl::Success)
+            fatal("readmem: clBuildProgram failed: %s",
+                  program.buildLog().c_str());
+    }
+};
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(cfg.scale);
+    Precision prec = precisionOf<Real>();
+
+    // InitCl(): initialize device, context, command queues, compile.
+    ClState<Real> cl(spec, prec, prob);
+    cl.context.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        cl.context.runtime().setFreq(cfg.freq);
+
+    // Create OpenCL 'cl_mem' buffers.
+    ocl::Status status = ocl::Success;
+    ocl::Buffer in_cl(cl.context, ocl::MemFlags::ReadOnly,
+                      prob.elements * sizeof(Real), "in", &status);
+    if (status != ocl::Success)
+        fatal("readmem: clCreateBuffer(in) failed (%d)", int(status));
+    ocl::Buffer out_cl(cl.context, ocl::MemFlags::WriteOnly,
+                       prob.items() * sizeof(Real), "out", &status);
+    if (status != ocl::Success)
+        fatal("readmem: clCreateBuffer(out) failed (%d)", int(status));
+
+    // Copy data into GPU memory if on discrete GPU.
+    cl.queue.enqueueWriteBuffer(in_cl);
+
+    // Set OpenCL kernel arguments.
+    ocl::Kernel kernel = cl.program.createKernel("read_mem", &status);
+    if (status != ocl::Success)
+        fatal("readmem: clCreateKernel failed (%d)", int(status));
+    kernel.setArg(0, in_cl);
+    kernel.setArg(1, out_cl);
+    kernel.setArg(2, static_cast<i64>(prob.elements));
+
+    ir::OptHints hints;
+    hints.unroll = 8;
+    hints.hoistedInvariants = true;
+    kernel.setOptHints(hints);
+
+    kernel.bindBody([&prob](u64 begin, u64 end) {
+        const Real *in = prob.in.data();
+        Real *out = prob.out.data();
+        for (u64 tid = begin; tid < end; ++tid) {
+            u64 st_idx = tid * blockSize;
+            Real sum = Real(0);
+            for (u64 j = 0; j < blockSize; ++j)
+                sum += in[st_idx + j];
+            out[tid] = sum;
+        }
+    });
+
+    // Compute number of threads and launch the kernel.
+    u64 num_gpu_threads = prob.elements / blockSize;
+    status = cl.queue.enqueueNDRangeKernel(kernel, num_gpu_threads, 64);
+    if (status != ocl::Success)
+        fatal("readmem: clEnqueueNDRangeKernel failed (%d)", int(status));
+
+    // Copy data back to host memory if on discrete GPU.
+    cl.queue.enqueueReadBuffer(out_cl);
+    cl.queue.finish();
+
+    core::RunResult result = core::summarize(cl.context.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        auto ref = prob.reference();
+        result.validated = almostEqual<Real>(prob.out, ref);
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOpenCl(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::readmem

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * read-memory, serial CPU implementation (paper Figure 3a).
+ */
+
+#include "readmem_core.hh"
+#include "readmem_variants.hh"
+
+#include "runtime/context.hh"
+
+namespace hetsim::apps::readmem
+{
+
+namespace
+{
+
+/** Stream through 'in', summing BLOCKSIZE contiguous elements. */
+template <typename Real>
+void
+read_serial_cpu(const Real *in, Real *out, u64 first_block,
+                u64 last_block)
+{
+    for (u64 block = first_block; block < last_block; ++block) {
+        u64 i = block * blockSize;
+        Real sum = Real(0);
+        for (u64 j = 0; j < blockSize; ++j)
+            sum += in[i + j];
+        out[block] = sum;
+    }
+}
+
+template <typename Real>
+core::RunResult
+runImpl(const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(cfg.scale);
+
+    rt::RuntimeContext rt(serialCpu(), ir::ModelKind::Serial,
+                          precisionOf<Real>());
+    if (cfg.freq.coreMhz > 0.0)
+        rt.setFreq(cfg.freq);
+    rt.setFunctionalExecution(cfg.functional);
+
+    ir::KernelDescriptor desc = prob.descriptor();
+    rt.launch(desc, prob.items(), ir::OptHints{},
+              [&prob](u64 begin, u64 end) {
+                  read_serial_cpu(prob.in.data(), prob.out.data(), begin,
+                                  end);
+              });
+
+    core::RunResult result = core::summarize(rt);
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        auto ref = prob.reference();
+        result.validated = almostEqual<Real>(prob.out, ref);
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runSerial(const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(cfg);
+    return runImpl<double>(cfg);
+}
+
+} // namespace hetsim::apps::readmem

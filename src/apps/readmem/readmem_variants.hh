@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Per-programming-model entry points of the read-memory benchmark.
+ * Each is implemented in its own source file, written in that model's
+ * style; the files double as the Table IV SLOC measurement corpus.
+ */
+
+#ifndef HETSIM_APPS_READMEM_READMEM_VARIANTS_HH
+#define HETSIM_APPS_READMEM_READMEM_VARIANTS_HH
+
+#include "core/workload.hh"
+#include "sim/device.hh"
+
+namespace hetsim::apps::readmem
+{
+
+core::RunResult runSerial(const core::WorkloadConfig &cfg);
+core::RunResult runOpenMp(const core::WorkloadConfig &cfg);
+core::RunResult runOpenCl(const sim::DeviceSpec &device,
+                          const core::WorkloadConfig &cfg);
+core::RunResult runCppAmp(const sim::DeviceSpec &device,
+                          const core::WorkloadConfig &cfg);
+core::RunResult runOpenAcc(const sim::DeviceSpec &device,
+                           const core::WorkloadConfig &cfg);
+core::RunResult runHc(const sim::DeviceSpec &device,
+                      const core::WorkloadConfig &cfg);
+
+} // namespace hetsim::apps::readmem
+
+#endif // HETSIM_APPS_READMEM_READMEM_VARIANTS_HH

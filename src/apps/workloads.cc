@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Registry of all proxy applications, in the paper's order.
+ */
+
+#include "core/workload.hh"
+
+namespace hetsim::core
+{
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> workloads;
+    workloads.push_back(makeReadMem());
+    workloads.push_back(makeLulesh());
+    workloads.push_back(makeComd());
+    workloads.push_back(makeXsbench());
+    workloads.push_back(makeMiniFe());
+    return workloads;
+}
+
+} // namespace hetsim::core

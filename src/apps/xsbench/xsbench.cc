@@ -1,0 +1,68 @@
+/**
+ * @file
+ * XSBench Workload wrapper.
+ */
+
+#include "xsbench_variants.hh"
+
+#include "common/logging.hh"
+#include "core/workload.hh"
+
+namespace hetsim::apps::xsbench
+{
+
+namespace
+{
+
+class XsbenchWorkload : public core::Workload
+{
+  public:
+    std::string name() const override { return "XSBench"; }
+
+    std::string cmdline() const override { return "./XSBench -s small"; }
+
+    std::vector<core::ModelKind>
+    supportedModels() const override
+    {
+        return {core::ModelKind::Serial, core::ModelKind::OpenMp,
+                core::ModelKind::OpenCl, core::ModelKind::CppAmp,
+                core::ModelKind::OpenAcc, core::ModelKind::Hc};
+    }
+
+    core::RunResult
+    run(core::ModelKind model, const sim::DeviceSpec &device,
+        const core::WorkloadConfig &cfg) override
+    {
+        switch (model) {
+          case core::ModelKind::Serial:
+            return runSerial(cfg);
+          case core::ModelKind::OpenMp:
+            return runOpenMp(cfg);
+          case core::ModelKind::OpenCl:
+            return runOpenCl(device, cfg);
+          case core::ModelKind::CppAmp:
+            return runCppAmp(device, cfg);
+          case core::ModelKind::OpenAcc:
+            return runOpenAcc(device, cfg);
+          case core::ModelKind::Hc:
+            return runHc(device, cfg);
+          default:
+            fatal("XSBench: unsupported model");
+        }
+    }
+};
+
+} // namespace
+
+} // namespace hetsim::apps::xsbench
+
+namespace hetsim::core
+{
+
+std::unique_ptr<Workload>
+makeXsbench()
+{
+    return std::make_unique<apps::xsbench::XsbenchWorkload>();
+}
+
+} // namespace hetsim::core

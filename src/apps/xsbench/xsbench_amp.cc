@@ -1,0 +1,81 @@
+/**
+ * @file
+ * XSBench, C++ AMP implementation: const array_views over the table,
+ * a single parallel_for_each.  On the APU the HSA runtime works on
+ * the host table in place (zero copy) - the configuration where the
+ * paper finds C++ AMP the *fastest* model for XSBench.
+ */
+
+#include "xsbench_core.hh"
+#include "xsbench_variants.hh"
+
+#include "amp/amp.hh"
+
+namespace hetsim::apps::xsbench
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledGridpoints(cfg.scale),
+                       scaledLookups(cfg.scale));
+    Precision prec = precisionOf<Real>();
+
+    amp::accelerator accel = amp::accelerator::fromSpec(spec);
+    amp::accelerator_view av(accel, prec);
+    av.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        av.runtime().setFreq(cfg.freq);
+
+    amp::array_view<const Real> union_energy(
+        av, prob.unionEnergy.data(), prob.unionEnergy.size(),
+        "union-energy");
+    amp::array_view<const u32> union_index(av, prob.unionIndex.data(),
+                                           prob.unionIndex.size(),
+                                           "union-index");
+    amp::array_view<const Real> grids(av, prob.nuclideEnergy.data(),
+                                      prob.nuclideEnergy.size() +
+                                          prob.nuclideXs.size(),
+                                      "nuclide-grids");
+    amp::array_view<const u32> materials(av, prob.matNuclide.data(),
+                                         prob.matStart.size() +
+                                             prob.matNuclide.size(),
+                                         "materials");
+    amp::array_view<Real> results(av, prob.results.data(),
+                                  prob.results.size(), "results");
+    results.discard_data();
+
+    amp::extent<1> domain(prob.lookups);
+    amp::parallel_for_each(
+        av, domain, prob.descriptor(),
+        {union_energy, union_index, grids, materials, results},
+        [&prob](amp::index<1> idx) {
+            prob.macroXsLookup(idx[0], idx[0] + 1);
+        });
+    results.synchronize();
+
+    core::RunResult result = core::summarize(av.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.gridpointsPerNuclide, prob.lookups);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runCppAmp(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::xsbench

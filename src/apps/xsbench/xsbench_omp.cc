@@ -1,0 +1,55 @@
+/**
+ * @file
+ * XSBench, OpenMP CPU implementation: the lookup loop annotated with
+ * "#pragma omp parallel for schedule(dynamic)".
+ */
+
+#include "xsbench_core.hh"
+#include "xsbench_variants.hh"
+
+#include "runtime/context.hh"
+
+namespace hetsim::apps::xsbench
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledGridpoints(cfg.scale),
+                       scaledLookups(cfg.scale));
+
+    rt::RuntimeContext rt(ompCpu(), ir::ModelKind::OpenMp,
+                          precisionOf<Real>());
+    if (cfg.freq.coreMhz > 0.0)
+        rt.setFreq(cfg.freq);
+    rt.setFunctionalExecution(cfg.functional);
+
+    // #pragma omp parallel for schedule(dynamic)
+    rt.launch(prob.descriptor(), prob.lookups, ir::OptHints{},
+              [&prob](u64 b, u64 e) { prob.macroXsLookup(b, e); });
+
+    core::RunResult result = core::summarize(rt);
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.gridpointsPerNuclide, prob.lookups);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOpenMp(const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(cfg);
+    return runImpl<double>(cfg);
+}
+
+} // namespace hetsim::apps::xsbench

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * Four severities are provided, mirroring gem5's logging conventions:
+ *
+ *  - panic():  an internal invariant was violated (a hetsim bug).
+ *              Prints and calls std::abort().
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments).  Prints and
+ *              calls std::exit(1).
+ *  - warn():   something is modeled approximately; execution continues.
+ *  - inform(): plain status output.
+ */
+
+#ifndef HETSIM_COMMON_LOGGING_HH
+#define HETSIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hetsim
+{
+
+/** Abort with a formatted message; use for internal invariant failures. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user-caused errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it during sweeps). */
+void setInformEnabled(bool enabled);
+
+/** @return whether inform() output is currently enabled. */
+bool informEnabled();
+
+/**
+ * Format a printf-style string into a std::string.
+ *
+ * @param fmt printf format string.
+ * @return the formatted string.
+ */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_LOGGING_HH

@@ -1,0 +1,17 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+namespace hetsim
+{
+
+void
+Stats::dump(std::ostream &os) const
+{
+    for (const auto &[name, value] : values) {
+        os << std::left << std::setw(40) << name << ' '
+           << std::setprecision(9) << value << '\n';
+    }
+}
+
+} // namespace hetsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A small named-statistics registry, in the spirit of gem5's stats
+ * package.  Runtimes register counters (kernel launches, bytes moved,
+ * simulated seconds, ...) that the harness dumps after a run.
+ */
+
+#ifndef HETSIM_COMMON_STATS_HH
+#define HETSIM_COMMON_STATS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace hetsim
+{
+
+/** An ordered collection of named scalar statistics. */
+class Stats
+{
+  public:
+    /** Add @p delta to the statistic named @p name (creating it at 0). */
+    void
+    add(const std::string &name, double delta)
+    {
+        values[name] += delta;
+    }
+
+    /** Set the statistic named @p name to @p value. */
+    void
+    set(const std::string &name, double value)
+    {
+        values[name] = value;
+    }
+
+    /** @return the value of @p name, or 0 if never touched. */
+    double
+    get(const std::string &name) const
+    {
+        auto it = values.find(name);
+        return it == values.end() ? 0.0 : it->second;
+    }
+
+    /** @return whether the statistic exists. */
+    bool
+    has(const std::string &name) const
+    {
+        return values.count(name) != 0;
+    }
+
+    /** Merge another stats set into this one (summing). */
+    void
+    merge(const Stats &other)
+    {
+        for (const auto &[name, value] : other.values)
+            values[name] += value;
+    }
+
+    /** Remove all statistics. */
+    void clear() { values.clear(); }
+
+    /** Dump all statistics, one "name value" per line. */
+    void dump(std::ostream &os) const;
+
+    /** @return read-only access to the underlying map. */
+    const std::map<std::string, double> &all() const { return values; }
+
+  private:
+    std::map<std::string, double> values;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_STATS_HH

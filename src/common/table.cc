@@ -1,0 +1,147 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace hetsim
+{
+
+Table::Table(std::string caption) : caption(std::move(caption))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> hdr)
+{
+    header = std::move(hdr);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!header.empty() && row.size() != header.size()) {
+        panic("table row has %zu cells, header has %zu", row.size(),
+              header.size());
+    }
+    rows.push_back(std::move(row));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &vals,
+              int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(vals.size() + 1);
+    row.push_back(label);
+    for (double v : vals)
+        row.push_back(num(v, precision));
+    addRow(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    size_t ncols = header.size();
+    for (const auto &row : rows)
+        ncols = std::max(ncols, row.size());
+    if (ncols == 0)
+        return;
+
+    std::vector<size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    widen(header);
+    for (const auto &row : rows)
+        widen(row);
+
+    size_t total = 0;
+    for (size_t c = 0; c < ncols; ++c)
+        total += width[c] + (c ? 2 : 0);
+
+    if (!caption.empty()) {
+        os << caption << '\n';
+        os << std::string(std::min<size_t>(total, 79), '=') << '\n';
+    }
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < ncols; ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            if (c)
+                os << "  ";
+            if (c == 0) {
+                os << cell << std::string(width[c] - cell.size(), ' ');
+            } else {
+                os << std::string(width[c] - cell.size(), ' ') << cell;
+            }
+        }
+        os << '\n';
+    };
+
+    if (!header.empty()) {
+        emit(header);
+        os << std::string(std::min<size_t>(total, 79), '-') << '\n';
+    }
+    for (const auto &row : rows)
+        emit(row);
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            // Quote cells containing separators.
+            if (row[c].find_first_of(",\"\n") != std::string::npos) {
+                os << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << row[c];
+            }
+        }
+        os << '\n';
+    };
+    if (!caption.empty())
+        os << "# " << caption << '\n';
+    if (!header.empty())
+        emit(header);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream oss;
+    printCsv(oss);
+    return oss.str();
+}
+
+} // namespace hetsim

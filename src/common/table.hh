@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ASCII table builder used by the benchmark harness to print
+ * paper-shaped tables and figure series.
+ */
+
+#ifndef HETSIM_COMMON_TABLE_HH
+#define HETSIM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hetsim
+{
+
+/**
+ * A simple column-aligned ASCII table.
+ *
+ * Columns are sized to their widest cell; the first column is
+ * left-aligned and all others right-aligned, which matches how the
+ * paper's tables read (row label + numeric columns).
+ */
+class Table
+{
+  public:
+    /** Construct a table with a caption printed above the header. */
+    explicit Table(std::string caption = "");
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a fully formatted row. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a row of label + doubles formatted to @p precision. */
+    void addRow(const std::string &label, const std::vector<double> &vals,
+                int precision = 2);
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+    /** @return the rendered table as a string. */
+    std::string str() const;
+
+    /** Render as CSV (caption as a comment line, comma-separated). */
+    void printCsv(std::ostream &os) const;
+
+    /** @return the CSV rendering as a string. */
+    std::string csv() const;
+
+    /** Format a double with fixed precision. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::string caption;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_TABLE_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared fundamental types and unit helpers.
+ */
+
+#ifndef HETSIM_COMMON_TYPES_HH
+#define HETSIM_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hetsim
+{
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated address (byte granularity) used by the cache model. */
+using Addr = std::uint64_t;
+
+/** Simulated wall-clock time, in seconds. */
+using SimSeconds = double;
+
+/** Floating-point precision of a workload build. */
+enum class Precision
+{
+    Single,
+    Double,
+};
+
+/** @return "SP" or "DP". */
+inline const char *
+toString(Precision p)
+{
+    return p == Precision::Single ? "SP" : "DP";
+}
+
+/** @return sizeof the element type for the given precision. */
+inline std::size_t
+bytesPerReal(Precision p)
+{
+    return p == Precision::Single ? 4 : 8;
+}
+
+constexpr u64 KiB = 1024;
+constexpr u64 MiB = 1024 * KiB;
+constexpr u64 GiB = 1024 * MiB;
+
+/** 10^9, for GB/s <-> bytes/s conversions (bandwidths are decimal GB). */
+constexpr double GB = 1e9;
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_TYPES_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Experiment harness: drives workloads through the configurations the
+ * paper's evaluation section reports (speedup bars, frequency sweeps,
+ * application characteristics).
+ */
+
+#ifndef HETSIM_CORE_HARNESS_HH
+#define HETSIM_CORE_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/workload.hh"
+#include "sim/device.hh"
+
+namespace hetsim::core
+{
+
+/** One bar of Figures 8/9: a model+precision speedup over OpenMP. */
+struct SpeedupPoint
+{
+    ModelKind model;
+    Precision precision;
+    double seconds = 0.0;          ///< model's simulated time
+    double baselineSeconds = 0.0;  ///< 4-core OpenMP time
+    double speedup = 0.0;
+};
+
+/** One point of a Figure 7 frequency sweep. */
+struct SweepPoint
+{
+    double coreMhz = 0.0;
+    double memMhz = 0.0;
+    double seconds = 0.0;
+    double normalizedPerf = 0.0;
+};
+
+/** A Table I row. */
+struct Characteristics
+{
+    std::string application;
+    double llcMissRatio = 0.0;
+    double ipc = 0.0;
+    int kernels = 0;
+    std::string boundedness;
+};
+
+/** Drives one workload through the paper's experiment grid. */
+class Harness
+{
+  public:
+    /**
+     * @param workload the application under study.
+     * @param scale    problem-scale factor passed to every run.
+     * @param functional execute kernel bodies functionally.
+     */
+    explicit Harness(Workload &workload, double scale = 1.0,
+                     bool functional = false);
+
+    /** @return simulated seconds of the 4-core OpenMP baseline. */
+    double baselineSeconds(Precision prec);
+
+    /**
+     * Figures 8/9: speedups over the OpenMP baseline on @p device for
+     * every supported device model, SP and DP.  For workloads with
+     * kernelOnlyComparison(), kernel time is compared (the paper
+     * excludes readmem's transfers).
+     */
+    std::vector<SpeedupPoint> speedups(const sim::DeviceSpec &device);
+
+    /** One speedup configuration. */
+    SpeedupPoint speedup(const sim::DeviceSpec &device, ModelKind model,
+                         Precision prec);
+
+    /**
+     * Figure 7: performance over a core-frequency sweep for each
+     * memory frequency, normalized so the lowest-clock point reads
+     * 0.5 (the paper plots' convention).
+     *
+     * @return one row per memory frequency, each a vector over the
+     *         core frequencies.
+     */
+    std::vector<std::vector<SweepPoint>>
+    freqSweep(const sim::DeviceSpec &device, ModelKind model,
+              Precision prec, const std::vector<double> &core_mhz,
+              const std::vector<double> &mem_mhz);
+
+    /** Table I: application characteristics under OpenCL on @p device. */
+    Characteristics characteristics(const sim::DeviceSpec &device,
+                                    Precision prec);
+
+    /** Raw run at a given frequency. */
+    RunResult runAt(const sim::DeviceSpec &device, ModelKind model,
+                    Precision prec, const sim::FreqDomain &freq);
+
+    Workload &workload() { return app; }
+
+  private:
+    double comparableSeconds(const RunResult &result) const;
+
+    Workload &app;
+    double scale;
+    bool functional;
+    double baselineCache[2] = {-1.0, -1.0};
+};
+
+/**
+ * Classify boundedness from frequency sensitivities the way the paper
+ * discusses Figure 7: compare how much performance moves with the core
+ * clock vs the memory clock.
+ */
+std::string classifyBoundedness(double core_sensitivity,
+                                double mem_sensitivity);
+
+} // namespace hetsim::core
+
+#endif // HETSIM_CORE_HARNESS_HH

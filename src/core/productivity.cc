@@ -1,0 +1,35 @@
+#include "productivity.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::core
+{
+
+double
+productivity(double omp_seconds, double model_seconds, double model_lines,
+             double omp_lines)
+{
+    if (model_seconds <= 0.0 || omp_seconds <= 0.0)
+        fatal("productivity: non-positive execution time");
+    if (model_lines <= 0.0 || omp_lines <= 0.0)
+        fatal("productivity: non-positive line count");
+    double speedup = omp_seconds / model_seconds;
+    double effort = model_lines / omp_lines;
+    return speedup / effort;
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        fatal("harmonic mean of an empty set");
+    double denom = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("harmonic mean requires positive values");
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+} // namespace hetsim::core

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The paper's productivity metric (Equation 1):
+ *
+ *   productivity = (t_OMP / t_model) / (lines_model / lines_OMP)
+ *
+ * i.e. speedup per relative code-change effort ("bang for buck").
+ */
+
+#ifndef HETSIM_CORE_PRODUCTIVITY_HH
+#define HETSIM_CORE_PRODUCTIVITY_HH
+
+#include <vector>
+
+namespace hetsim::core
+{
+
+/**
+ * Equation 1.
+ *
+ * @param omp_seconds   OpenMP baseline execution time.
+ * @param model_seconds the programming model's execution time.
+ * @param model_lines   SLOC changed for the model's implementation.
+ * @param omp_lines     SLOC changed for the OpenMP implementation.
+ */
+double productivity(double omp_seconds, double model_seconds,
+                    double model_lines, double omp_lines);
+
+/** Harmonic mean (the paper's "Har. Mean" column in Figure 10). */
+double harmonicMean(const std::vector<double> &values);
+
+} // namespace hetsim::core
+
+#endif // HETSIM_CORE_PRODUCTIVITY_HH

@@ -1,0 +1,85 @@
+#include "workload.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace hetsim::core
+{
+
+RunResult
+summarize(const rt::RuntimeContext &rt)
+{
+    RunResult result;
+    const Stats &stats = rt.stats();
+    result.seconds = rt.elapsedSeconds();
+    result.kernelSeconds = stats.get("kernel.seconds");
+    result.transferSeconds =
+        stats.get("xfer.h2d.seconds") + stats.get("xfer.d2h.seconds");
+    result.hostSeconds = stats.get("host.seconds");
+    result.llcMissRatio = rt.aggregateLlcMissRatio();
+    result.ipc = rt.aggregateIpc();
+    result.kernelLaunches =
+        static_cast<u64>(stats.get("kernel.launches"));
+
+    std::set<std::string> names;
+    for (const auto &record : rt.records())
+        names.insert(record.name);
+    result.uniqueKernels = static_cast<int>(names.size());
+
+    result.stats = stats;
+    result.records = rt.records();
+    return result;
+}
+
+std::vector<KernelBreakdown>
+kernelBreakdown(const RunResult &result)
+{
+    struct Acc
+    {
+        u64 launches = 0;
+        double seconds = 0.0;
+        double ipcCycles = 0.0; ///< sum of per-launch ipc * cycles
+        double cycles = 0.0;
+        double accesses = 0.0;
+        double line_misses = 0.0;
+    };
+    std::map<std::string, Acc> by_name;
+    for (const auto &record : result.records) {
+        Acc &acc = by_name[record.name];
+        double items = static_cast<double>(record.items);
+        ++acc.launches;
+        acc.seconds += record.timing.seconds;
+        acc.ipcCycles += record.timing.ipc * record.timing.cycles;
+        acc.cycles += record.timing.cycles;
+        acc.accesses += record.profile.memInstrsPerItem * items;
+        acc.line_misses += record.profile.dramBytesPerItem * items /
+                           64.0;
+    }
+
+    double total = 0.0;
+    for (const auto &[name, acc] : by_name)
+        total += acc.seconds;
+
+    std::vector<KernelBreakdown> rows;
+    rows.reserve(by_name.size());
+    for (const auto &[name, acc] : by_name) {
+        KernelBreakdown row;
+        row.name = name;
+        row.launches = acc.launches;
+        row.seconds = acc.seconds;
+        row.share = total > 0.0 ? acc.seconds / total : 0.0;
+        row.ipc =
+            acc.cycles > 0.0 ? acc.ipcCycles / acc.cycles : 0.0;
+        row.llcMissRatio =
+            acc.accesses > 0.0 ? acc.line_misses / acc.accesses : 0.0;
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const KernelBreakdown &a, const KernelBreakdown &b) {
+                  return a.seconds > b.seconds;
+              });
+    return rows;
+}
+
+} // namespace hetsim::core

@@ -1,0 +1,151 @@
+#include "threadpool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hetsim::cpu
+{
+
+namespace
+{
+
+/** Set inside worker threads to serialize nested parallelFor calls. */
+thread_local bool inPoolWorker = false;
+
+/** Serializes concurrent parallelFor callers. */
+std::mutex callerMtx;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    numWorkers = workers ? workers : std::thread::hardware_concurrency();
+    if (numWorkers == 0)
+        numWorkers = 1;
+    threads.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (auto &thread : threads)
+        thread.join();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    inPoolWorker = true;
+    while (true) {
+        u64 begin, end;
+        const RangeFn *body;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            workCv.wait(lock, [this] {
+                return stopping || (jobActive && job.next < job.end);
+            });
+            if (stopping)
+                return;
+            begin = job.next;
+            end = std::min(job.end, begin + job.grain);
+            job.next = end;
+            ++job.pending;
+            body = job.body;
+        }
+        try {
+            (*body)(begin, end);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --job.pending;
+            if (job.next >= job.end && job.pending == 0)
+                doneCv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(u64 n, const RangeFn &body, u64 grain)
+{
+    if (n == 0)
+        return;
+    if (grain == 0)
+        grain = std::max<u64>(1, n / (u64(numWorkers) * 8));
+
+    // Nested calls from inside a chunk run inline: the pool's workers
+    // are already busy with the outer job.
+    if (inPoolWorker || numWorkers <= 1 || n <= grain) {
+        body(0, n);
+        return;
+    }
+
+    std::lock_guard<std::mutex> caller(callerMtx);
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        job = Job{};
+        job.body = &body;
+        job.next = 0;
+        job.end = n;
+        job.grain = grain;
+        jobActive = true;
+    }
+    workCv.notify_all();
+
+    // The caller participates instead of idling.
+    while (true) {
+        u64 begin, end;
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (job.next >= job.end)
+                break;
+            begin = job.next;
+            end = std::min(job.end, begin + job.grain);
+            job.next = end;
+            ++job.pending;
+        }
+        try {
+            body(begin, end);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --job.pending;
+        }
+    }
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        doneCv.wait(lock,
+                    [this] { return job.next >= job.end &&
+                                    job.pending == 0; });
+        jobActive = false;
+        error = job.error;
+        job = Job{};
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace hetsim::cpu

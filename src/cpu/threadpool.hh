@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A small persistent worker-thread pool.
+ *
+ * Functional kernel bodies are executed through this pool so large
+ * proxy applications (LULESH -s 100, CoMD 60^3) run at host speed.
+ * The pool is a *substrate*: simulated time never depends on host
+ * wall-clock; it comes exclusively from the timing model.
+ */
+
+#ifndef HETSIM_CPU_THREADPOOL_HH
+#define HETSIM_CPU_THREADPOOL_HH
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hetsim::cpu
+{
+
+/** Range body: processes work items in [begin, end). */
+using RangeFn = std::function<void(u64 begin, u64 end)>;
+
+/** Fixed-size pool of worker threads with a blocking parallel-for. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers number of worker threads; 0 selects
+     *                std::thread::hardware_concurrency().
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Execute @p body over [0, n), split into chunks, blocking until
+     * every chunk completes.  The first exception thrown by any chunk
+     * is rethrown on the caller.
+     *
+     * @param n     number of work items.
+     * @param body  range body; must be safe to run concurrently on
+     *              disjoint ranges.
+     * @param grain minimum chunk size (0 = auto).
+     */
+    void parallelFor(u64 n, const RangeFn &body, u64 grain = 0);
+
+    /** @return number of worker threads. */
+    unsigned workers() const { return numWorkers; }
+
+    /** @return the process-wide pool. */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    struct Job
+    {
+        const RangeFn *body = nullptr;
+        u64 next = 0;
+        u64 end = 0;
+        u64 grain = 1;
+        u64 pending = 0; // chunks still running or unclaimed
+        std::exception_ptr error;
+    };
+
+    unsigned numWorkers;
+    std::vector<std::thread> threads;
+    std::mutex mtx;
+    std::condition_variable workCv;
+    std::condition_variable doneCv;
+    Job job;
+    bool jobActive = false;
+    bool stopping = false;
+};
+
+} // namespace hetsim::cpu
+
+#endif // HETSIM_CPU_THREADPOOL_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * hetsim::hc - the Heterogeneous Compute model of the paper's
+ * Section VII ("best of both worlds").
+ *
+ * HC provides:
+ *  - single-source C++ kernels over raw pointers (no cl_mem /
+ *    array_view wrapping),
+ *  - programmer-managed, *asynchronous* data transfers that can
+ *    overlap kernel execution (completion futures + explicit
+ *    dependencies),
+ *  - OpenCL-class code generation and hand-tuning flexibility
+ *    (LDS, unrolling, work-group control),
+ *  - platform atomics for global synchronization on HSA devices.
+ */
+
+#ifndef HETSIM_HC_HC_HH
+#define HETSIM_HC_HC_HH
+
+#include <map>
+#include <string>
+
+#include "kernelir/codegen.hh"
+#include "kernelir/kernel.hh"
+#include "runtime/context.hh"
+#include "sim/device.hh"
+
+namespace hetsim::hc
+{
+
+/** A completion future for an asynchronous HC operation. */
+struct CompletionFuture
+{
+    sim::TaskId task = sim::NoTask;
+
+    bool valid() const { return task != sim::NoTask; }
+};
+
+/** Transfer direction. */
+enum class CopyDir
+{
+    HostToDevice,
+    DeviceToHost,
+};
+
+/** An HC accelerator view: asynchronous queue over one device. */
+class AcceleratorView
+{
+  public:
+    AcceleratorView(sim::DeviceType type, Precision precision);
+    AcceleratorView(const sim::DeviceSpec &spec, Precision precision);
+
+    /**
+     * Register a raw host allocation with the device runtime
+     * (am_alloc analogue); kernels may then use the pointer directly.
+     */
+    void registerPointer(const void *ptr, u64 bytes, std::string name);
+
+    /**
+     * Asynchronously copy a registered allocation.  The copy starts
+     * once @p dep completes and occupies only the DMA engine, so it
+     * overlaps with kernel execution.
+     */
+    CompletionFuture copyAsync(const void *ptr, CopyDir dir,
+                               CompletionFuture dep = {});
+
+    /**
+     * Asynchronously launch a kernel once all @p deps complete.
+     *
+     * @param desc  kernel descriptor.
+     * @param items work items.
+     * @param hints hand-tuning (full OpenCL-class flexibility).
+     * @param body  functional body.
+     * @param deps  explicit dependencies (empty = queue order).
+     */
+    CompletionFuture
+    launchAsync(const ir::KernelDescriptor &desc, u64 items,
+                const ir::OptHints &hints, const rt::KernelBody &body,
+                std::initializer_list<CompletionFuture> deps = {});
+
+    /**
+     * Account a global synchronization through platform atomics
+     * (cheap on HSA devices; a queue flush elsewhere).
+     */
+    CompletionFuture platformAtomicFence(CompletionFuture dep = {});
+
+    /** @return simulated completion time of @p future. */
+    double completionSeconds(CompletionFuture future) const;
+
+    /** @return simulated seconds after all work completes. */
+    double wait() const { return rt.elapsedSeconds(); }
+
+    rt::RuntimeContext &runtime() { return rt; }
+    const rt::RuntimeContext &runtime() const { return rt; }
+
+  private:
+    rt::BufferId bufferFor(const void *ptr) const;
+
+    rt::RuntimeContext rt;
+    std::map<const void *, rt::BufferId> registry;
+    sim::TaskId lastCompute = sim::NoTask;
+};
+
+} // namespace hetsim::hc
+
+#endif // HETSIM_HC_HC_HH

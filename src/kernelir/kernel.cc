@@ -1,0 +1,17 @@
+#include "kernel.hh"
+
+namespace hetsim::ir
+{
+
+double
+KernelDescriptor::bytesPerItem(Precision prec) const
+{
+    double scale = prec == Precision::Double ? 2.0 : 1.0;
+    double total = 0.0;
+    for (const auto &stream : streams)
+        total += stream.bytesPerItemSp *
+                 (stream.scalesWithPrecision ? scale : 1.0);
+    return total;
+}
+
+} // namespace hetsim::ir

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Profile resolution: KernelDescriptor -> sim::KernelProfile.
+ *
+ * The resolver runs each memory stream's sampled address trace through
+ * a cache model with the target device's L2 geometry to obtain a
+ * per-access line-miss ratio, then converts the descriptor's logical
+ * traffic into DRAM line traffic (misses x line size, which naturally
+ * includes over-fetch for sparse patterns) and L2 traffic.  Streams
+ * without a trace generator fall back to a documented working-set
+ * heuristic.  Results are memoized per (kernel, stream, device-L2,
+ * precision) because frequency sweeps do not change cache behaviour.
+ */
+
+#ifndef HETSIM_KERNELIR_TRACE_HH
+#define HETSIM_KERNELIR_TRACE_HH
+
+#include <map>
+#include <string>
+
+#include "kernelir/kernel.hh"
+#include "sim/device.hh"
+#include "sim/timing.hh"
+
+namespace hetsim::ir
+{
+
+/** Resolves kernel descriptors into timing-model profiles. */
+class ProfileResolver
+{
+  public:
+    /** Bind a resolver to one device description. */
+    explicit ProfileResolver(const sim::DeviceSpec &spec);
+
+    /**
+     * Resolve a launch into a KernelProfile.
+     *
+     * @param desc    the kernel descriptor.
+     * @param items   number of work-items launched.
+     * @param prec    element precision.
+     * @param use_lds whether the compiled code stages through LDS.
+     * @param wg_size work-group size (0 = descriptor preference).
+     */
+    sim::KernelProfile resolve(const KernelDescriptor &desc, u64 items,
+                               Precision prec, bool use_lds,
+                               u32 wg_size = 0);
+
+    /**
+     * Line-miss ratio of one stream on this device's LLC
+     * (cached; trace-driven when the stream has a generator).
+     */
+    double streamMissRatio(const KernelDescriptor &desc,
+                           const MemStream &stream, Precision prec);
+
+  private:
+    double analyticMissRatio(const MemStream &stream,
+                             Precision prec) const;
+
+    sim::DeviceSpec spec;
+};
+
+} // namespace hetsim::ir
+
+#endif // HETSIM_KERNELIR_TRACE_HH

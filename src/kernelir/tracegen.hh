@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reusable address-trace generators for MemStream::trace.
+ *
+ * Generators emit a *contiguous sample* of the stream's accesses
+ * (first-N-work-items style) so the cache model sees genuine spatial
+ * and temporal locality.  Probe counts are capped so profile
+ * resolution stays cheap; caps are chosen to cover several multiples
+ * of any L2 the simulator models.
+ */
+
+#ifndef HETSIM_KERNELIR_TRACEGEN_HH
+#define HETSIM_KERNELIR_TRACEGEN_HH
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "kernelir/kernel.hh"
+
+namespace hetsim::ir
+{
+
+/** Default probe budget per stream trace. */
+constexpr u64 defaultTraceProbes = 1u << 21; // 2M probes
+
+/**
+ * Unit-stride streaming over @p bytes (element size @p elem_bytes).
+ */
+inline TraceFn
+sequentialTrace(u64 bytes, u32 elem_bytes,
+                u64 max_probes = defaultTraceProbes)
+{
+    return [bytes, elem_bytes, max_probes](sim::SetAssocCache &cache,
+                                           Rng &) {
+        u64 probes = std::min(bytes / elem_bytes, max_probes);
+        Addr addr = 0;
+        for (u64 i = 0; i < probes; ++i, addr += elem_bytes)
+            cache.access(addr);
+    };
+}
+
+/**
+ * Indexed gather: probe element index_of(k) for k = 0..count-1 (or
+ * the probe cap), each of @p elem_bytes, within a base-0 array.
+ */
+inline TraceFn
+gatherTrace(std::function<u64(u64)> index_of, u64 count, u32 elem_bytes,
+            u64 max_probes = defaultTraceProbes)
+{
+    return [index_of = std::move(index_of), count, elem_bytes,
+            max_probes](sim::SetAssocCache &cache, Rng &) {
+        u64 probes = std::min(count, max_probes);
+        for (u64 k = 0; k < probes; ++k)
+            cache.access(index_of(k) * elem_bytes);
+    };
+}
+
+/**
+ * Uniform random probes into a region of @p region_bytes.
+ */
+inline TraceFn
+randomTrace(u64 region_bytes, u32 elem_bytes,
+            u64 max_probes = defaultTraceProbes / 4)
+{
+    return [region_bytes, elem_bytes, max_probes](
+               sim::SetAssocCache &cache, Rng &rng) {
+        u64 elements = std::max<u64>(region_bytes / elem_bytes, 1);
+        for (u64 k = 0; k < max_probes; ++k)
+            cache.access(rng.below(elements) * elem_bytes);
+    };
+}
+
+} // namespace hetsim::ir
+
+#endif // HETSIM_KERNELIR_TRACEGEN_HH

@@ -1,0 +1,250 @@
+#include "opencl.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hetsim::ocl
+{
+
+// --- Platform -----------------------------------------------------------
+
+Platform &
+Platform::getDefault()
+{
+    static Platform platform;
+    return platform;
+}
+
+std::vector<Device>
+Platform::getDevices(sim::DeviceType type) const
+{
+    std::vector<Device> devices;
+    switch (type) {
+      case sim::DeviceType::DiscreteGpu:
+        devices.emplace_back(sim::radeonR9_280X());
+        break;
+      case sim::DeviceType::IntegratedGpu:
+        devices.emplace_back(sim::a10_7850kGpu());
+        break;
+      case sim::DeviceType::Cpu:
+        devices.emplace_back(sim::a10_7850kCpu());
+        break;
+    }
+    return devices;
+}
+
+// --- Context ------------------------------------------------------------
+
+Context::Context(const Device &device, Precision precision)
+    : rt(device.deviceSpec(), ir::ModelKind::OpenCl, precision)
+{
+}
+
+// --- Buffer ----------------------------------------------------------------
+
+Buffer::Buffer(Context &context, MemFlags flags, u64 bytes,
+               const std::string &name, Status *err)
+    : ctx(&context), sizeBytes(bytes), memFlags(flags)
+{
+    if (bytes == 0) {
+        if (err)
+            *err = InvalidBufferSize;
+        ctx = nullptr;
+        return;
+    }
+    bufId = context.runtime().createBuffer("cl_mem:" + name, bytes);
+    if (err)
+        *err = Success;
+}
+
+// --- Kernel ----------------------------------------------------------------
+
+Status
+Kernel::setArg(u32 index, const Buffer &buf)
+{
+    if (index >= expectedArgs)
+        return InvalidArgIndex;
+    args[index] = buf;
+    return Success;
+}
+
+Status
+Kernel::setArg(u32 index, double scalar)
+{
+    if (index >= expectedArgs)
+        return InvalidArgIndex;
+    args[index] = scalar;
+    return Success;
+}
+
+Status
+Kernel::setArg(u32 index, i64 scalar)
+{
+    if (index >= expectedArgs)
+        return InvalidArgIndex;
+    args[index] = scalar;
+    return Success;
+}
+
+// --- Program ----------------------------------------------------------------
+
+Program::Program(Context &context, std::string src)
+    : ctx(&context), source(std::move(src))
+{
+}
+
+void
+Program::declareKernel(ir::KernelDescriptor desc, u32 num_args)
+{
+    std::string name = desc.name;
+    kernels.emplace(std::move(name), std::make_pair(std::move(desc),
+                                                    num_args));
+}
+
+Status
+Program::build()
+{
+    log.clear();
+    for (const auto &[name, entry] : kernels) {
+        const auto &desc = entry.first;
+        if (desc.streams.empty() && desc.flopsPerItem <= 0.0) {
+            log += "error: kernel '" + name + "' is empty\n";
+            return BuildProgramFailure;
+        }
+        log += "kernel '" + name + "': ok\n";
+    }
+    built = true;
+    return Success;
+}
+
+Kernel
+Program::createKernel(const std::string &name, Status *err) const
+{
+    auto it = kernels.find(name);
+    if (it == kernels.end() || !built) {
+        if (err)
+            *err = InvalidKernelName;
+        return Kernel{};
+    }
+    Kernel kernel;
+    kernel.desc = it->second.first;
+    kernel.expectedArgs = it->second.second;
+    kernel.args.assign(kernel.expectedArgs, KernelArg{});
+    if (err)
+        *err = Success;
+    return kernel;
+}
+
+// --- CommandQueue ------------------------------------------------------------
+
+CommandQueue::CommandQueue(Context &context, const Device &device)
+    : ctx(&context)
+{
+    (void)device;
+}
+
+Status
+CommandQueue::enqueueWriteBuffer(const Buffer &buf, Event *event)
+{
+    if (!buf.valid())
+        return MemObjectAllocationFailure;
+    ctx->runtime().markHostDirty(buf.id());
+    sim::TaskId task = ctx->runtime().copyToDevice(buf.id(), lastTask);
+    if (task != sim::NoTask)
+        lastTask = task;
+    if (event)
+        *event = Event(task);
+    return Success;
+}
+
+Status
+CommandQueue::enqueueReadBuffer(const Buffer &buf, Event *event)
+{
+    if (!buf.valid())
+        return MemObjectAllocationFailure;
+    sim::TaskId task = ctx->runtime().copyToHost(buf.id(), lastTask);
+    if (task != sim::NoTask)
+        lastTask = task;
+    if (event)
+        *event = Event(task);
+    return Success;
+}
+
+Status
+CommandQueue::enqueueNDRangeKernel(Kernel &kernel, u64 global, u32 local,
+                                   const std::vector<Event> &wait_list,
+                                   Event *event)
+{
+    if (kernel.name().empty())
+        return InvalidKernelName;
+    for (const auto &arg : kernel.args) {
+        if (std::holds_alternative<std::monostate>(arg))
+            return InvalidKernelArgs;
+    }
+    if (local > 1024)
+        return InvalidWorkGroupSize;
+
+    ir::OptHints hints = kernel.optHints;
+    if (local)
+        hints.workgroupSize = local;
+
+    // OpenCL does NOT stage data automatically: running a kernel whose
+    // buffers were never written is a (very classic) application bug.
+    for (const auto &arg : kernel.args) {
+        if (const auto *buf = std::get_if<Buffer>(&arg)) {
+            if (buf->flags() != MemFlags::WriteOnly &&
+                !ctx->runtime().deviceValid(buf->id())) {
+                warn("kernel %s reads cl_mem with no device copy "
+                     "(missing enqueueWriteBuffer?)",
+                     kernel.name().c_str());
+            }
+            if (buf->flags() != MemFlags::ReadOnly)
+                ctx->runtime().markDeviceDirty(buf->id());
+        }
+    }
+
+    std::vector<sim::TaskId> deps;
+    if (lastTask != sim::NoTask)
+        deps.push_back(lastTask);
+    for (const Event &e : wait_list) {
+        if (e.task != sim::NoTask)
+            deps.push_back(e.task);
+    }
+    lastTask = ctx->runtime().launch(
+        kernel.desc, global, hints, kernel.fn,
+        std::span<const sim::TaskId>(deps));
+    if (event)
+        *event = Event(lastTask);
+    return Success;
+}
+
+Status
+CommandQueue::enqueueBarrier()
+{
+    // In-order queue: all prior commands already gate later ones.
+    return Success;
+}
+
+Status
+CommandQueue::enqueueNativeKernel(double seconds)
+{
+    if (seconds < 0.0)
+        return InvalidKernelArgs;
+    lastTask = ctx->runtime().hostWork(seconds, lastTask);
+    return Success;
+}
+
+void
+CommandQueue::finish()
+{
+    // In-order queue: the timeline already serializes; nothing to do.
+}
+
+double
+CommandQueue::elapsedSeconds() const
+{
+    return ctx->runtime().elapsedSeconds();
+}
+
+} // namespace hetsim::ocl

@@ -1,0 +1,252 @@
+#include "context.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "cpu/threadpool.hh"
+
+namespace hetsim::rt
+{
+
+RuntimeContext::RuntimeContext(sim::DeviceSpec spec_, ir::ModelKind model,
+                               Precision prec)
+    : spec(std::move(spec_)),
+      modelKind(model),
+      compilerModel(&ir::compilerFor(model)),
+      prec(prec),
+      clocks(spec.stockFreq()),
+      resolver(spec)
+{
+    dmaH2D = timeline.addResource("dma-h2d");
+    dmaD2H = timeline.addResource("dma-d2h");
+    computeQ = timeline.addResource("compute");
+    hostQ = timeline.addResource("host");
+}
+
+void
+RuntimeContext::setFreq(const sim::FreqDomain &freq)
+{
+    if (freq.coreMhz <= 0.0 || freq.memMhz <= 0.0)
+        fatal("invalid frequency domain (%g, %g)", freq.coreMhz,
+              freq.memMhz);
+    clocks = freq;
+}
+
+BufferId
+RuntimeContext::createBuffer(std::string name, u64 bytes)
+{
+    if (bytes == 0)
+        fatal("buffer %s has zero size", name.c_str());
+    if (!spec.zeroCopy && bytes > spec.memoryBytes) {
+        fatal("buffer %s (%llu bytes) exceeds device memory of %s",
+              name.c_str(), static_cast<unsigned long long>(bytes),
+              spec.name.c_str());
+    }
+    Buffer buf;
+    buf.name = std::move(name);
+    buf.bytes = bytes;
+    buffers.push_back(std::move(buf));
+    counters.add("buffers.created", 1);
+    counters.add("buffers.bytes", static_cast<double>(bytes));
+    return static_cast<BufferId>(buffers.size() - 1);
+}
+
+void
+RuntimeContext::markHostDirty(BufferId buf)
+{
+    if (buf >= buffers.size())
+        panic("bad buffer id %u", buf);
+    buffers[buf].hostOk = true;
+    buffers[buf].deviceOk = spec.zeroCopy;
+}
+
+void
+RuntimeContext::markDeviceDirty(BufferId buf)
+{
+    if (buf >= buffers.size())
+        panic("bad buffer id %u", buf);
+    buffers[buf].deviceOk = true;
+    buffers[buf].hostOk = spec.zeroCopy;
+}
+
+bool
+RuntimeContext::deviceValid(BufferId buf) const
+{
+    if (buf >= buffers.size())
+        panic("bad buffer id %u", buf);
+    return spec.zeroCopy || buffers[buf].deviceOk;
+}
+
+bool
+RuntimeContext::hostValid(BufferId buf) const
+{
+    if (buf >= buffers.size())
+        panic("bad buffer id %u", buf);
+    return spec.zeroCopy || buffers[buf].hostOk;
+}
+
+u64
+RuntimeContext::bufferBytes(BufferId buf) const
+{
+    if (buf >= buffers.size())
+        panic("bad buffer id %u", buf);
+    return buffers[buf].bytes;
+}
+
+sim::TaskId
+RuntimeContext::scheduleTransfer(BufferId buf, bool to_device,
+                                 sim::TaskId dep)
+{
+    Buffer &info = buffers[buf];
+    if (spec.zeroCopy) {
+        info.hostOk = true;
+        info.deviceOk = true;
+        return sim::NoTask;
+    }
+
+    double seconds = pcie.transferSeconds(info.bytes) /
+                     compilerModel->transferEfficiency();
+    sim::ResourceId dma = to_device ? dmaH2D : dmaD2H;
+    sim::TaskId task = timeline.schedule(dma, seconds, dep);
+
+    if (to_device) {
+        info.deviceOk = true;
+        counters.add("xfer.h2d.bytes", static_cast<double>(info.bytes));
+        counters.add("xfer.h2d.count", 1);
+        counters.add("xfer.h2d.seconds", seconds);
+    } else {
+        info.hostOk = true;
+        counters.add("xfer.d2h.bytes", static_cast<double>(info.bytes));
+        counters.add("xfer.d2h.count", 1);
+        counters.add("xfer.d2h.seconds", seconds);
+    }
+    return task;
+}
+
+sim::TaskId
+RuntimeContext::copyToDevice(BufferId buf, sim::TaskId dep)
+{
+    if (buf >= buffers.size())
+        panic("bad buffer id %u", buf);
+    return scheduleTransfer(buf, true, dep);
+}
+
+sim::TaskId
+RuntimeContext::copyToHost(BufferId buf, sim::TaskId dep)
+{
+    if (buf >= buffers.size())
+        panic("bad buffer id %u", buf);
+    return scheduleTransfer(buf, false, dep);
+}
+
+sim::TaskId
+RuntimeContext::ensureOnDevice(BufferId buf, sim::TaskId dep)
+{
+    if (buf >= buffers.size())
+        panic("bad buffer id %u", buf);
+    if (deviceValid(buf))
+        return sim::NoTask;
+    return scheduleTransfer(buf, true, dep);
+}
+
+sim::TaskId
+RuntimeContext::ensureOnHost(BufferId buf, sim::TaskId dep)
+{
+    if (buf >= buffers.size())
+        panic("bad buffer id %u", buf);
+    if (hostValid(buf))
+        return sim::NoTask;
+    return scheduleTransfer(buf, false, dep);
+}
+
+sim::TaskId
+RuntimeContext::launch(const ir::KernelDescriptor &desc, u64 items,
+                       const ir::OptHints &hints, const KernelBody &body,
+                       std::span<const sim::TaskId> deps)
+{
+    if (items == 0)
+        fatal("kernel %s launched with zero items", desc.name.c_str());
+
+    if (desc.loop.needsBarriers &&
+        !compilerModel->features().fineGrainedSync) {
+        fatal("kernel %s requires work-group barriers which %s cannot "
+              "express; restructure the algorithm for this model",
+              desc.name.c_str(), displayName(modelKind));
+    }
+
+    // Functional execution (real results) on the host pool.
+    if (functional && body)
+        cpu::ThreadPool::global().parallelFor(items, body);
+
+    // Temporal modeling.
+    ir::Codegen cg = compilerModel->compile(desc, hints, spec);
+    sim::KernelProfile prof = resolver.resolve(
+        desc, items, prec, cg.usesLds, hints.workgroupSize);
+    prof.chainConcurrencyPerCu *= cg.chainEfficiency;
+    sim::KernelTiming timing = sim::timeKernel(spec, clocks, prec, prof,
+                                               cg);
+
+    sim::TaskId task = timeline.schedule(computeQ, timing.seconds, deps);
+
+    KernelRecord record;
+    record.name = desc.name;
+    record.items = items;
+    record.profile = std::move(prof);
+    record.codegen = std::move(cg);
+    record.timing = timing;
+    launches.push_back(std::move(record));
+
+    counters.add("kernel.launches", 1);
+    counters.add("kernel.seconds", timing.seconds);
+    counters.add("kernel.launch_overhead_seconds", timing.launchSeconds);
+    return task;
+}
+
+sim::TaskId
+RuntimeContext::hostWork(double seconds, sim::TaskId dep)
+{
+    if (seconds < 0.0)
+        panic("negative host work");
+    counters.add("host.seconds", seconds);
+    return timeline.schedule(hostQ, seconds, dep);
+}
+
+double
+RuntimeContext::aggregateLlcMissRatio() const
+{
+    double accesses = 0.0;
+    double misses = 0.0;
+    for (const auto &record : launches) {
+        double items = static_cast<double>(record.items);
+        accesses += record.profile.memInstrsPerItem * items;
+        misses += record.profile.dramBytesPerItem * items /
+                  spec.l2LineBytes;
+    }
+    return accesses > 0.0 ? misses / accesses : 0.0;
+}
+
+double
+RuntimeContext::aggregateIpc() const
+{
+    double instrs = 0.0;
+    double cycles = 0.0;
+    for (const auto &record : launches) {
+        instrs += record.timing.waveInstructions;
+        cycles += record.timing.cycles;
+    }
+    return cycles > 0.0 ? instrs / (cycles * spec.computeUnits) : 0.0;
+}
+
+void
+RuntimeContext::resetTiming()
+{
+    timeline.clearTasks();
+    launches.clear();
+    counters.clear();
+    for (auto &buf : buffers) {
+        buf.hostOk = true;
+        buf.deviceOk = false;
+    }
+}
+
+} // namespace hetsim::rt

@@ -1,0 +1,81 @@
+#include "cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace hetsim::sim
+{
+
+SetAssocCache::SetAssocCache(u64 size_bytes, u32 line_bytes, u32 assoc)
+    : lineSize(line_bytes), assoc(assoc)
+{
+    if (line_bytes == 0 || !std::has_single_bit(line_bytes))
+        fatal("cache line size %u is not a power of two", line_bytes);
+    if (assoc == 0)
+        fatal("cache associativity must be >= 1");
+    if (size_bytes % (u64(line_bytes) * assoc) != 0)
+        fatal("cache size %llu not divisible by line*assoc",
+              static_cast<unsigned long long>(size_bytes));
+
+    lineShift = static_cast<u32>(std::countr_zero(line_bytes));
+    numSets = static_cast<u32>(size_bytes / (u64(line_bytes) * assoc));
+    if (numSets == 0)
+        fatal("cache has zero sets");
+    ways.resize(u64(numSets) * assoc);
+}
+
+bool
+SetAssocCache::access(Addr addr)
+{
+    ++numAccesses;
+    ++useClock;
+
+    u64 line = addr >> lineShift;
+    u32 set = static_cast<u32>(line % numSets);
+    u64 tag = line / numSets;
+
+    Way *base = &ways[u64(set) * assoc];
+    Way *victim = base;
+    for (u32 w = 0; w < assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useClock;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+
+    ++numMisses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    return false;
+}
+
+void
+SetAssocCache::accessRange(Addr addr, u64 bytes)
+{
+    if (bytes == 0)
+        return;
+    Addr first = addr >> lineShift;
+    Addr last = (addr + bytes - 1) >> lineShift;
+    for (Addr line = first; line <= last; ++line)
+        access(line << lineShift);
+}
+
+void
+SetAssocCache::reset()
+{
+    for (auto &way : ways)
+        way = Way{};
+    numAccesses = 0;
+    numMisses = 0;
+    useClock = 0;
+}
+
+} // namespace hetsim::sim

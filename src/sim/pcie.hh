@@ -1,0 +1,47 @@
+/**
+ * @file
+ * PCI Express link model for host <-> discrete-GPU staging transfers.
+ */
+
+#ifndef HETSIM_SIM_PCIE_HH
+#define HETSIM_SIM_PCIE_HH
+
+#include "common/types.hh"
+
+namespace hetsim::sim
+{
+
+/**
+ * A bidirectional PCIe link.  Transfer time is a fixed per-operation
+ * latency (driver + DMA setup) plus bytes over effective bandwidth.
+ */
+struct PcieLink
+{
+    /** Raw link bandwidth, GB/s (Gen3 x16 ~ 15.75). */
+    double rawGBs = 15.75;
+    /** Achievable fraction of raw bandwidth (protocol + driver). */
+    double efficiency = 0.5;
+    /** Per-transfer fixed overhead, microseconds. */
+    double latencyUs = 20.0;
+
+    /** @return effective bandwidth in bytes/s. */
+    double
+    effectiveBytesPerSec() const
+    {
+        return rawGBs * GB * efficiency;
+    }
+
+    /** @return seconds to move @p bytes one way. */
+    double
+    transferSeconds(u64 bytes) const
+    {
+        if (bytes == 0)
+            return 0.0;
+        return latencyUs * 1e-6 +
+               static_cast<double>(bytes) / effectiveBytesPerSec();
+    }
+};
+
+} // namespace hetsim::sim
+
+#endif // HETSIM_SIM_PCIE_HH

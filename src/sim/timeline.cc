@@ -1,0 +1,105 @@
+#include "timeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hetsim::sim
+{
+
+ResourceId
+Timeline::addResource(std::string name)
+{
+    resources.push_back(Resource{std::move(name), 0.0, 0.0});
+    return static_cast<ResourceId>(resources.size() - 1);
+}
+
+TaskId
+Timeline::schedule(ResourceId resource, double seconds,
+                   std::span<const TaskId> deps)
+{
+    if (resource >= resources.size())
+        panic("unknown timeline resource %u", resource);
+    if (seconds < 0.0)
+        panic("negative task duration %g", seconds);
+
+    Resource &res = resources[resource];
+    double start = res.freeAt;
+    for (TaskId dep : deps) {
+        if (dep == NoTask)
+            continue;
+        if (dep >= tasks.size())
+            panic("dependency on unknown task");
+        start = std::max(start, tasks[dep].finish);
+    }
+
+    Task task;
+    task.resource = resource;
+    task.start = start;
+    task.finish = start + seconds;
+    res.freeAt = task.finish;
+    res.busy += seconds;
+    tasks.push_back(task);
+    return tasks.size() - 1;
+}
+
+TaskId
+Timeline::schedule(ResourceId resource, double seconds, TaskId dep)
+{
+    if (dep == NoTask)
+        return schedule(resource, seconds, std::span<const TaskId>{});
+    return schedule(resource, seconds, std::span<const TaskId>(&dep, 1));
+}
+
+double
+Timeline::finishTime(TaskId task) const
+{
+    if (task >= tasks.size())
+        panic("finishTime of unknown task");
+    return tasks[task].finish;
+}
+
+double
+Timeline::startTime(TaskId task) const
+{
+    if (task >= tasks.size())
+        panic("startTime of unknown task");
+    return tasks[task].start;
+}
+
+double
+Timeline::makespan() const
+{
+    double span = 0.0;
+    for (const auto &task : tasks)
+        span = std::max(span, task.finish);
+    return span;
+}
+
+double
+Timeline::resourceFreeTime(ResourceId resource) const
+{
+    if (resource >= resources.size())
+        panic("unknown timeline resource %u", resource);
+    return resources[resource].freeAt;
+}
+
+double
+Timeline::resourceBusyTime(ResourceId resource) const
+{
+    if (resource >= resources.size())
+        panic("unknown timeline resource %u", resource);
+    return resources[resource].busy;
+}
+
+void
+Timeline::clearTasks()
+{
+    tasks.clear();
+    for (auto &res : resources) {
+        res.freeAt = 0.0;
+        res.busy = 0.0;
+    }
+}
+
+} // namespace hetsim::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A minimal discrete-event timeline for modeling command queues.
+ *
+ * The runtime enqueues tasks (kernels, DMA copies, host work) onto named
+ * resources.  A task starts when its resource is free AND all of its
+ * dependencies have finished; it occupies the resource for its duration.
+ * This is sufficient to model in-order command queues, synchronous
+ * host<->device staging, and the asynchronous copy/compute overlap that
+ * Heterogeneous Compute (paper Section VII) exposes.
+ */
+
+#ifndef HETSIM_SIM_TIMELINE_HH
+#define HETSIM_SIM_TIMELINE_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hetsim::sim
+{
+
+/** Identifies an execution resource (compute queue, DMA engine, host). */
+using ResourceId = u32;
+
+/** Identifies a scheduled task. */
+using TaskId = u64;
+
+/** Sentinel meaning "no dependency". */
+constexpr TaskId NoTask = ~0ULL;
+
+/** A discrete-event schedule over a fixed set of serial resources. */
+class Timeline
+{
+  public:
+    /** Create a resource and return its id. */
+    ResourceId addResource(std::string name);
+
+    /**
+     * Schedule a task.
+     *
+     * @param resource resource the task occupies.
+     * @param seconds  task duration in simulated seconds.
+     * @param deps     tasks that must finish before this one starts.
+     * @return the new task's id.
+     */
+    TaskId schedule(ResourceId resource, double seconds,
+                    std::span<const TaskId> deps = {});
+
+    /** Schedule with a single dependency (NoTask for none). */
+    TaskId schedule(ResourceId resource, double seconds, TaskId dep);
+
+    /** @return the finish time of a task. */
+    double finishTime(TaskId task) const;
+
+    /** @return the start time of a task. */
+    double startTime(TaskId task) const;
+
+    /** @return latest finish time across all tasks (0 when empty). */
+    double makespan() const;
+
+    /** @return time at which @p resource last becomes free. */
+    double resourceFreeTime(ResourceId resource) const;
+
+    /** @return number of scheduled tasks. */
+    u64 taskCount() const { return tasks.size(); }
+
+    /** @return busy time accumulated on @p resource. */
+    double resourceBusyTime(ResourceId resource) const;
+
+    /** Remove all tasks but keep the resources. */
+    void clearTasks();
+
+  private:
+    struct Task
+    {
+        ResourceId resource;
+        double start;
+        double finish;
+    };
+
+    struct Resource
+    {
+        std::string name;
+        double freeAt = 0.0;
+        double busy = 0.0;
+    };
+
+    std::vector<Resource> resources;
+    std::vector<Task> tasks;
+};
+
+} // namespace hetsim::sim
+
+#endif // HETSIM_SIM_TIMELINE_HH

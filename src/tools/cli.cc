@@ -1,0 +1,322 @@
+#include "cli.hh"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/table.hh"
+#include "core/harness.hh"
+
+namespace hetsim::cli
+{
+
+namespace
+{
+
+const char *kApps[] = {"readmem", "lulesh", "comd", "xsbench",
+                       "minife"};
+
+} // namespace
+
+std::unique_ptr<core::Workload>
+workloadByName(const std::string &name)
+{
+    if (name == "readmem")
+        return core::makeReadMem();
+    if (name == "lulesh")
+        return core::makeLulesh();
+    if (name == "comd")
+        return core::makeComd();
+    if (name == "xsbench")
+        return core::makeXsbench();
+    if (name == "minife")
+        return core::makeMiniFe();
+    return nullptr;
+}
+
+std::optional<core::ModelKind>
+modelByName(const std::string &name)
+{
+    if (name == "serial")
+        return core::ModelKind::Serial;
+    if (name == "openmp" || name == "omp")
+        return core::ModelKind::OpenMp;
+    if (name == "opencl" || name == "ocl")
+        return core::ModelKind::OpenCl;
+    if (name == "cppamp" || name == "amp")
+        return core::ModelKind::CppAmp;
+    if (name == "openacc" || name == "acc")
+        return core::ModelKind::OpenAcc;
+    if (name == "hc")
+        return core::ModelKind::Hc;
+    return std::nullopt;
+}
+
+std::optional<sim::DeviceSpec>
+deviceByName(const std::string &name)
+{
+    if (name == "dgpu" || name == "r9-280x")
+        return sim::radeonR9_280X();
+    if (name == "hd7950")
+        return sim::radeonHd7950();
+    if (name == "apu" || name == "a10-7850k")
+        return sim::a10_7850kGpu();
+    if (name == "cpu")
+        return sim::a10_7850kCpu();
+    return std::nullopt;
+}
+
+Args
+parse(const std::vector<std::string> &argv)
+{
+    Args args;
+    if (argv.empty()) {
+        args.error = "missing command";
+        return args;
+    }
+    args.command = argv[0];
+    if (args.command != "list" && args.command != "run" &&
+        args.command != "compare" && args.command != "sweep") {
+        args.error = "unknown command '" + args.command + "'";
+        return args;
+    }
+
+    for (size_t i = 1; i < argv.size(); ++i) {
+        const std::string &arg = argv[i];
+        auto value = [&](const char *flag) -> std::optional<std::string> {
+            if (i + 1 >= argv.size()) {
+                args.error = std::string(flag) + " needs a value";
+                return std::nullopt;
+            }
+            return argv[++i];
+        };
+        if (arg == "--app") {
+            if (auto v = value("--app"))
+                args.app = *v;
+        } else if (arg == "--model") {
+            if (auto v = value("--model"))
+                args.model = *v;
+        } else if (arg == "--device") {
+            if (auto v = value("--device"))
+                args.device = *v;
+        } else if (arg == "--scale") {
+            if (auto v = value("--scale"))
+                args.scale = std::atof(v->c_str());
+        } else if (arg == "--freq") {
+            if (auto v = value("--freq")) {
+                size_t colon = v->find(':');
+                if (colon == std::string::npos) {
+                    args.error = "--freq wants core:mem (MHz)";
+                } else {
+                    args.freq.coreMhz =
+                        std::atof(v->substr(0, colon).c_str());
+                    args.freq.memMhz =
+                        std::atof(v->substr(colon + 1).c_str());
+                }
+            }
+        } else if (arg == "--dp") {
+            args.doublePrecision = true;
+        } else if (arg == "--functional") {
+            args.functional = true;
+        } else if (arg == "--stats") {
+            args.stats = true;
+        } else if (arg == "--kernels") {
+            args.kernels = true;
+        } else {
+            args.error = "unknown option '" + arg + "'";
+        }
+        if (!args.error.empty())
+            return args;
+    }
+
+    if (args.scale <= 0.0)
+        args.error = "--scale must be positive";
+    return args;
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "hetsim - programming-model study driver (IISWC'15 "
+          "reproduction)\n\n"
+          "  hetsim list\n"
+          "  hetsim run --app <app> --model <model> --device <dev>\n"
+          "             [--scale f] [--dp] [--functional]\n"
+          "             [--freq core:mem] [--stats] [--kernels]\n"
+          "  hetsim compare --app <app> --device <dev> [--scale f] "
+          "[--dp]\n"
+          "  hetsim sweep --app <app> [--model m] [--device d]\n"
+          "             [--scale f]\n\n"
+          "apps:    readmem lulesh comd xsbench minife\n"
+          "models:  serial openmp opencl cppamp openacc hc\n"
+          "devices: dgpu apu cpu hd7950\n";
+}
+
+namespace
+{
+
+int
+cmdList(std::ostream &os)
+{
+    Table table("Workloads");
+    table.setHeader({"app", "paper command line", "models"});
+    for (const char *name : kApps) {
+        auto wl = workloadByName(name);
+        std::string models;
+        for (core::ModelKind model : wl->supportedModels()) {
+            if (!models.empty())
+                models += ' ';
+            models += ir::toString(model);
+        }
+        table.addRow({name, wl->cmdline(), models});
+    }
+    table.print(os);
+    return 0;
+}
+
+int
+cmdRun(const Args &args, std::ostream &os)
+{
+    auto wl = workloadByName(args.app);
+    auto model = modelByName(args.model);
+    auto device = deviceByName(args.device);
+    if (!wl || !model || !device) {
+        os << "error: unknown app/model/device\n";
+        return 2;
+    }
+    core::WorkloadConfig cfg;
+    cfg.scale = args.scale;
+    cfg.functional = args.functional;
+    cfg.precision = args.doublePrecision ? Precision::Double
+                                         : Precision::Single;
+    cfg.freq = args.freq;
+
+    auto result = wl->run(*model, *device, cfg);
+    Table table(wl->name() + " | " + ir::displayName(*model) + " | " +
+                device->name);
+    table.setHeader({"metric", "value"});
+    table.addRow({"simulated total (s)", Table::num(result.seconds, 6)});
+    table.addRow({"kernel time (s)",
+                  Table::num(result.kernelSeconds, 6)});
+    table.addRow({"staging time (s)",
+                  Table::num(result.transferSeconds, 6)});
+    table.addRow({"host time (s)", Table::num(result.hostSeconds, 6)});
+    table.addRow({"kernel launches",
+                  std::to_string(result.kernelLaunches)});
+    table.addRow({"distinct kernels",
+                  std::to_string(result.uniqueKernels)});
+    table.addRow({"LLC miss ratio",
+                  Table::num(result.llcMissRatio, 4)});
+    table.addRow({"IPC", Table::num(result.ipc, 3)});
+    table.addRow({"checksum", Table::num(result.checksum, 6)});
+    if (args.functional) {
+        table.addRow({"validated",
+                      result.validated ? "yes" : "NO"});
+    }
+    table.print(os);
+    if (args.kernels) {
+        Table breakdown("\ntop kernels by simulated time");
+        breakdown.setHeader({"kernel", "launches", "time (s)",
+                             "share", "IPC", "LLC miss"});
+        int shown = 0;
+        for (const auto &row : core::kernelBreakdown(result)) {
+            if (++shown > 10)
+                break;
+            breakdown.addRow({row.name, std::to_string(row.launches),
+                              Table::num(row.seconds, 6),
+                              Table::num(100.0 * row.share, 1) + "%",
+                              Table::num(row.ipc, 3),
+                              Table::num(row.llcMissRatio, 4)});
+        }
+        breakdown.print(os);
+    }
+    if (args.stats) {
+        os << "\nraw counters:\n";
+        std::ostringstream oss;
+        result.stats.dump(oss);
+        os << oss.str();
+    }
+    return args.functional && !result.validated ? 1 : 0;
+}
+
+int
+cmdCompare(const Args &args, std::ostream &os)
+{
+    auto wl = workloadByName(args.app);
+    auto device = deviceByName(args.device);
+    if (!wl || !device) {
+        os << "error: unknown app/device\n";
+        return 2;
+    }
+    Precision prec = args.doublePrecision ? Precision::Double
+                                          : Precision::Single;
+    core::Harness harness(*wl, args.scale, false);
+    Table table(wl->name() + " on " + device->name + " (" +
+                toString(prec) + ", vs 4-core OpenMP)");
+    table.setHeader({"model", "time (s)", "speedup"});
+    for (core::ModelKind model : wl->supportedModels()) {
+        if (model == core::ModelKind::Serial ||
+            model == core::ModelKind::OpenMp)
+            continue;
+        auto point = harness.speedup(*device, model, prec);
+        table.addRow({ir::displayName(model),
+                      Table::num(point.seconds, 5),
+                      Table::num(point.speedup, 2)});
+    }
+    table.print(os);
+    return 0;
+}
+
+int
+cmdSweep(const Args &args, std::ostream &os)
+{
+    auto wl = workloadByName(args.app);
+    auto device = deviceByName(args.device);
+    auto model = modelByName(args.model);
+    if (!wl || !device || !model) {
+        os << "error: unknown app/model/device\n";
+        return 2;
+    }
+    core::Harness harness(*wl, args.scale, false);
+    std::vector<double> cores{200, 400, 600, 800, 1000};
+    std::vector<double> mems{480, 810, 1250};
+    auto rows = harness.freqSweep(*device, *model, Precision::Single,
+                                  cores, mems);
+    Table table(wl->name() + ": normalized perf vs core clock (" +
+                device->name + ", " + ir::displayName(*model) + ")");
+    std::vector<std::string> header{"Mem\\Core"};
+    for (double core : cores)
+        header.push_back(Table::num(core, 0));
+    table.setHeader(header);
+    for (size_t m = 0; m < rows.size(); ++m) {
+        std::vector<double> vals;
+        for (const auto &point : rows[m])
+            vals.push_back(point.normalizedPerf);
+        table.addRow(Table::num(mems[m], 0), vals, 2);
+    }
+    table.print(os);
+    return 0;
+}
+
+} // namespace
+
+int
+execute(const Args &args, std::ostream &os)
+{
+    if (!args.error.empty()) {
+        os << "error: " << args.error << "\n\n";
+        usage(os);
+        return 2;
+    }
+    if (args.command == "list")
+        return cmdList(os);
+    if (args.command == "run")
+        return cmdRun(args, os);
+    if (args.command == "compare")
+        return cmdCompare(args, os);
+    if (args.command == "sweep")
+        return cmdSweep(args, os);
+    usage(os);
+    return 2;
+}
+
+} // namespace hetsim::cli

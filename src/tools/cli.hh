@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Command-line driver for the hetsim workload suite.
+ *
+ *   hetsim list
+ *   hetsim run --app lulesh --model opencl --device dgpu
+ *              [--scale 1.0] [--dp] [--functional] [--freq 925:1500]
+ *              [--stats]
+ *   hetsim compare --app xsbench --device apu [--scale 1.0] [--dp]
+ *   hetsim sweep --app comd [--scale 0.5]
+ *
+ * The parsing and command logic live here (unit-testable); main.cc is
+ * a thin wrapper.
+ */
+
+#ifndef HETSIM_TOOLS_CLI_HH
+#define HETSIM_TOOLS_CLI_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/workload.hh"
+#include "sim/device.hh"
+
+namespace hetsim::cli
+{
+
+/** Parsed command line. */
+struct Args
+{
+    std::string command; ///< list | run | compare | sweep
+    std::string app = "readmem";
+    std::string model = "opencl";
+    std::string device = "dgpu";
+    double scale = 1.0;
+    bool doublePrecision = false;
+    bool functional = false;
+    bool stats = false;
+    bool kernels = false;
+    sim::FreqDomain freq{0.0, 0.0};
+    std::string error; ///< non-empty on parse failure
+};
+
+/** Parse argv (excluding argv[0]); sets Args::error on failure. */
+Args parse(const std::vector<std::string> &argv);
+
+/** @return the workload named by its CLI alias, or null. */
+std::unique_ptr<core::Workload> workloadByName(const std::string &name);
+
+/** @return the model kind for a CLI alias, if valid. */
+std::optional<core::ModelKind> modelByName(const std::string &name);
+
+/** @return the device spec for a CLI alias (dgpu/apu/cpu), if valid. */
+std::optional<sim::DeviceSpec> deviceByName(const std::string &name);
+
+/** Execute a parsed command; output to @p os. @return exit code. */
+int execute(const Args &args, std::ostream &os);
+
+/** Print usage. */
+void usage(std::ostream &os);
+
+} // namespace hetsim::cli
+
+#endif // HETSIM_TOOLS_CLI_HH

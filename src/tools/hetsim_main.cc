@@ -1,0 +1,22 @@
+/**
+ * @file
+ * hetsim CLI entry point; all logic lives in cli.cc.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "cli.hh"
+#include "common/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    hetsim::setInformEnabled(false);
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        hetsim::cli::usage(std::cout);
+        return 2;
+    }
+    return hetsim::cli::execute(hetsim::cli::parse(args), std::cout);
+}

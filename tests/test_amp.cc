@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the C++ AMP-style frontend (array_view synchronization
+ * semantics, tiles, discard_data).
+ */
+
+#include <gtest/gtest.h>
+
+#include "amp/amp.hh"
+
+namespace hetsim::amp
+{
+namespace
+{
+
+ir::KernelDescriptor
+scaleKernel()
+{
+    ir::KernelDescriptor desc;
+    desc.name = "scale";
+    desc.flopsPerItem = 1;
+    ir::MemStream s;
+    s.buffer = "io";
+    s.bytesPerItemSp = 8;
+    s.workingSetBytesSp = 8 * MiB;
+    desc.streams.push_back(s);
+    return desc;
+}
+
+TEST(Amp, ExtentAndTiles)
+{
+    extent<1> e(1000);
+    EXPECT_EQ(e.size(), 1000u);
+    auto tiled = e.tile<64>();
+    EXPECT_EQ(tiled.size(), 1000u);
+    EXPECT_EQ(tiled.tileSize, 64);
+}
+
+TEST(Amp, FlatLaunchComputes)
+{
+    accelerator_view av(accelerator::get(sim::DeviceType::IntegratedGpu),
+                        Precision::Single);
+    std::vector<float> data(512, 2.0f);
+    array_view<float> view(av, data.data(), data.size(), "data");
+    parallel_for_each(av, extent<1>(512), scaleKernel(), {view},
+                      [&](index<1> idx) { data[idx[0]] *= 3.0f; });
+    view.synchronize();
+    for (float v : data)
+        ASSERT_FLOAT_EQ(v, 6.0f);
+}
+
+TEST(Amp, TiledLaunchProvidesTileIndices)
+{
+    accelerator_view av(accelerator::get(sim::DeviceType::IntegratedGpu),
+                        Precision::Single);
+    std::vector<u64> tiles(256), locals(256);
+    std::vector<float> dummy(256);
+    array_view<float> view(av, dummy.data(), dummy.size(), "d");
+    parallel_for_each(
+        av, extent<1>(256).tile<64>(), scaleKernel(), {view},
+        [&](tiled_index<64> t) {
+            tiles[t.global[0]] = t.tile[0];
+            locals[t.global[0]] = t.local[0];
+        });
+    EXPECT_EQ(tiles[0], 0u);
+    EXPECT_EQ(tiles[255], 3u);
+    EXPECT_EQ(locals[65], 1u);
+}
+
+TEST(Amp, ManagedTransfersOnDiscreteGpu)
+{
+    accelerator_view av(accelerator::get(sim::DeviceType::DiscreteGpu),
+                        Precision::Single);
+    std::vector<float> data(1 << 20, 1.0f);
+    array_view<float> view(av, data.data(), data.size(), "data");
+
+    parallel_for_each(av, extent<1>(data.size()), scaleKernel(), {view},
+                      [](index<1>) {});
+    const Stats &stats = av.runtime().stats();
+    // Mutable view: copied in before the launch.
+    EXPECT_DOUBLE_EQ(stats.get("xfer.h2d.count"), 1.0);
+    // Second launch: already resident, no new copy.
+    parallel_for_each(av, extent<1>(data.size()), scaleKernel(), {view},
+                      [](index<1>) {});
+    EXPECT_DOUBLE_EQ(stats.get("xfer.h2d.count"), 1.0);
+
+    // Kernel wrote it: synchronize pulls it back exactly once.
+    view.synchronize();
+    view.synchronize();
+    EXPECT_DOUBLE_EQ(stats.get("xfer.d2h.count"), 1.0);
+}
+
+TEST(Amp, DiscardDataSkipsCopyIn)
+{
+    accelerator_view av(accelerator::get(sim::DeviceType::DiscreteGpu),
+                        Precision::Single);
+    std::vector<float> out(1 << 20);
+    array_view<float> view(av, out.data(), out.size(), "out");
+    view.discard_data();
+    parallel_for_each(av, extent<1>(out.size()), scaleKernel(), {view},
+                      [](index<1>) {});
+    EXPECT_DOUBLE_EQ(av.runtime().stats().get("xfer.h2d.count"), 0.0);
+}
+
+TEST(Amp, RefreshForcesReupload)
+{
+    accelerator_view av(accelerator::get(sim::DeviceType::DiscreteGpu),
+                        Precision::Single);
+    std::vector<float> data(1 << 18, 0.0f);
+    array_view<float> view(av, data.data(), data.size(), "d");
+    parallel_for_each(av, extent<1>(data.size()), scaleKernel(), {view},
+                      [](index<1>) {});
+    view.refresh(); // host mutated the backing store
+    parallel_for_each(av, extent<1>(data.size()), scaleKernel(), {view},
+                      [](index<1>) {});
+    EXPECT_DOUBLE_EQ(av.runtime().stats().get("xfer.h2d.count"), 2.0);
+}
+
+TEST(Amp, ConstViewsAreCopyInOnly)
+{
+    accelerator_view av(accelerator::get(sim::DeviceType::DiscreteGpu),
+                        Precision::Single);
+    std::vector<float> in(1 << 18, 1.0f);
+    array_view<const float> view(av, in.data(), in.size(), "in");
+    parallel_for_each(av, extent<1>(in.size()), scaleKernel(), {view},
+                      [](index<1>) {});
+    view.synchronize(); // host copy never went stale
+    EXPECT_DOUBLE_EQ(av.runtime().stats().get("xfer.d2h.count"), 0.0);
+}
+
+TEST(Amp, ZeroCopyApuNeverTransfers)
+{
+    accelerator_view av(accelerator::get(sim::DeviceType::IntegratedGpu),
+                        Precision::Single);
+    std::vector<float> data(1 << 20, 1.0f);
+    array_view<float> view(av, data.data(), data.size(), "d");
+    parallel_for_each(av, extent<1>(data.size()), scaleKernel(), {view},
+                      [](index<1>) {});
+    view.synchronize();
+    EXPECT_DOUBLE_EQ(av.runtime().stats().get("xfer.h2d.bytes"), 0.0);
+    EXPECT_DOUBLE_EQ(av.runtime().stats().get("xfer.d2h.bytes"), 0.0);
+}
+
+TEST(Amp, TileStaticEnablesLds)
+{
+    accelerator_view av(accelerator::get(sim::DeviceType::DiscreteGpu),
+                        Precision::Single);
+    std::vector<float> data(4096);
+    array_view<float> view(av, data.data(), data.size(), "d");
+    ir::KernelDescriptor desc = scaleKernel();
+    desc.ldsBytesPerItemIfUsed = 16;
+    parallel_for_each(
+        av, extent<1>(4096).tile<64>(), desc, {view},
+        [](tiled_index<64>) {}, /*use_tile_static=*/true);
+    ASSERT_EQ(av.runtime().records().size(), 1u);
+    EXPECT_TRUE(av.runtime().records()[0].codegen.usesLds);
+    EXPECT_GT(av.runtime().records()[0].profile.ldsBytesPerItem, 0.0);
+}
+
+TEST(Amp, AcceleratorDescriptions)
+{
+    auto dgpu = accelerator::get(sim::DeviceType::DiscreteGpu);
+    EXPECT_EQ(dgpu.description(), "AMD Radeon R9 280X");
+    auto apu = accelerator::get(sim::DeviceType::IntegratedGpu);
+    EXPECT_TRUE(apu.spec().zeroCopy);
+}
+
+} // namespace
+} // namespace hetsim::amp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the shared application-variant helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/appsupport.hh"
+#include "kernelir/kernel.hh"
+
+namespace hetsim::apps
+{
+namespace
+{
+
+TEST(AppSupport, AlmostEqualSpans)
+{
+    std::vector<float> a{1.0f, 2.0f, 3.0f};
+    std::vector<float> b{1.0f, 2.0f, 3.0f};
+    EXPECT_TRUE(almostEqual<float>(a, b));
+    b[1] = 2.00001f;
+    EXPECT_TRUE(almostEqual<float>(a, b)); // within rel tol
+    b[1] = 2.1f;
+    EXPECT_FALSE(almostEqual<float>(a, b));
+    std::vector<float> shorter{1.0f};
+    EXPECT_FALSE(almostEqual<float>(a, shorter));
+}
+
+TEST(AppSupport, AlmostEqualAbsoluteFloor)
+{
+    std::vector<double> a{0.0}, b{1e-9};
+    EXPECT_TRUE(almostEqual<double>(a, b)); // below abs floor
+    std::vector<double> c{1e-3};
+    EXPECT_FALSE(almostEqual<double>(a, c));
+}
+
+TEST(AppSupport, AlmostEqualScalar)
+{
+    EXPECT_TRUE(almostEqualScalar(100.0, 100.005));
+    EXPECT_FALSE(almostEqualScalar(100.0, 101.0));
+    EXPECT_TRUE(almostEqualScalar(0.0, 0.0));
+}
+
+TEST(AppSupport, SerialCpuIsOneCore)
+{
+    sim::DeviceSpec serial = serialCpu();
+    sim::DeviceSpec omp = ompCpu();
+    EXPECT_EQ(serial.computeUnits, 1);
+    EXPECT_EQ(omp.computeUnits, 4);
+    EXPECT_LT(serial.memEfficiency, omp.memEfficiency);
+}
+
+TEST(AppSupport, PrecisionOf)
+{
+    EXPECT_EQ(precisionOf<float>(), Precision::Single);
+    EXPECT_EQ(precisionOf<double>(), Precision::Double);
+}
+
+TEST(AppSupport, HostFallbackSlowerThanParallelDevice)
+{
+    // A fallback kernel runs on one core: it must cost (much) more
+    // than the same kernel's all-core OpenMP estimate.
+    ir::KernelDescriptor desc;
+    desc.name = "fallback_probe";
+    desc.flopsPerItem = 200;
+    ir::MemStream s;
+    s.buffer = "x";
+    s.bytesPerItemSp = 8;
+    s.workingSetBytesSp = 8 * MiB;
+    desc.streams.push_back(s);
+
+    double one_core =
+        hostFallbackSeconds(desc, 1 << 20, Precision::Single);
+    EXPECT_GT(one_core, 0.0);
+    // Four cores at the same clock: roughly 4x the issue rate.
+    double dp = hostFallbackSeconds(desc, 1 << 20, Precision::Double);
+    EXPECT_GT(dp, one_core); // DP never faster
+}
+
+} // namespace
+} // namespace hetsim::apps

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+namespace hetsim::sim
+{
+namespace
+{
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssocCache cache(1024, 64, 2);
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_TRUE(cache.access(63)); // same line
+    EXPECT_FALSE(cache.access(64)); // next line
+    EXPECT_EQ(cache.accesses(), 4u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2 ways, 1 set: capacity 2 lines.
+    SetAssocCache cache(128, 64, 2);
+    cache.access(0);     // A miss
+    cache.access(64);    // B miss
+    cache.access(0);     // A hit (B is now LRU)
+    cache.access(128);   // C miss, evicts B
+    EXPECT_TRUE(cache.access(0));    // A survived
+    EXPECT_FALSE(cache.access(64));  // B was evicted
+}
+
+TEST(Cache, StreamingMissesEveryLine)
+{
+    SetAssocCache cache(64 * KiB, 64, 8);
+    for (Addr addr = 0; addr < 1 * MiB; addr += 64)
+        cache.access(addr);
+    // Working set >> capacity: all compulsory misses.
+    EXPECT_EQ(cache.misses(), cache.accesses());
+}
+
+TEST(Cache, ResidentSetHitsAfterWarmup)
+{
+    SetAssocCache cache(64 * KiB, 64, 8);
+    auto sweep = [&] {
+        for (Addr addr = 0; addr < 32 * KiB; addr += 64)
+            cache.access(addr);
+    };
+    sweep(); // warm
+    u64 misses_before = cache.misses();
+    sweep();
+    EXPECT_EQ(cache.misses(), misses_before); // all hits
+}
+
+TEST(Cache, AccessRangeTouchesEveryLine)
+{
+    SetAssocCache cache(4 * KiB, 64, 4);
+    cache.accessRange(10, 200); // spans lines 0..3
+    EXPECT_EQ(cache.accesses(), 4u);
+    cache.accessRange(0, 0);
+    EXPECT_EQ(cache.accesses(), 4u);
+}
+
+TEST(Cache, ResetClearsState)
+{
+    SetAssocCache cache(4 * KiB, 64, 4);
+    cache.access(0);
+    cache.reset();
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 1.0); // no accesses
+    EXPECT_FALSE(cache.access(0)); // cold again
+}
+
+TEST(CacheDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(SetAssocCache(1024, 48, 2),
+                testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(SetAssocCache(1000, 64, 2),
+                testing::ExitedWithCode(1), "not divisible");
+    EXPECT_EXIT(SetAssocCache(1024, 64, 0),
+                testing::ExitedWithCode(1), "associativity");
+}
+
+/** Property: for any geometry, a loop over a set fitting in the ways
+ *  hits after warmup, and one exceeding the ways thrashes. */
+class CacheGeometry
+    : public testing::TestWithParam<std::tuple<u64, u32, u32>>
+{
+};
+
+TEST_P(CacheGeometry, AssociativityBoundsConflicts)
+{
+    auto [size, line, assoc] = GetParam();
+    SetAssocCache cache(size, line, assoc);
+    const u64 set_stride = static_cast<u64>(cache.sets()) * line;
+
+    // assoc distinct lines mapping to set 0: all fit.
+    for (int pass = 0; pass < 3; ++pass)
+        for (u32 w = 0; w < assoc; ++w)
+            cache.access(w * set_stride);
+    EXPECT_EQ(cache.misses(), assoc); // only compulsory
+
+    cache.reset();
+    // assoc+1 lines in LRU order: every access misses (classic thrash).
+    for (int pass = 0; pass < 3; ++pass)
+        for (u32 w = 0; w < assoc + 1; ++w)
+            cache.access(w * set_stride);
+    EXPECT_EQ(cache.misses(), cache.accesses());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    testing::Values(std::make_tuple(u64(4) * KiB, 64u, 2u),
+                    std::make_tuple(u64(64) * KiB, 64u, 4u),
+                    std::make_tuple(u64(512) * KiB, 64u, 16u),
+                    std::make_tuple(u64(768) * KiB, 64u, 16u),
+                    std::make_tuple(u64(16) * KiB, 128u, 8u)));
+
+} // namespace
+} // namespace hetsim::sim

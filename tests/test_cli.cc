@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the hetsim CLI driver (parsing + command execution).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tools/cli.hh"
+
+namespace hetsim::cli
+{
+namespace
+{
+
+TEST(CliParse, RunWithAllOptions)
+{
+    Args args = parse({"run", "--app", "comd", "--model", "amp",
+                       "--device", "apu", "--scale", "0.5", "--dp",
+                       "--functional", "--freq", "600:810",
+                       "--stats"});
+    EXPECT_TRUE(args.error.empty()) << args.error;
+    EXPECT_EQ(args.command, "run");
+    EXPECT_EQ(args.app, "comd");
+    EXPECT_EQ(args.model, "amp");
+    EXPECT_EQ(args.device, "apu");
+    EXPECT_DOUBLE_EQ(args.scale, 0.5);
+    EXPECT_TRUE(args.doublePrecision);
+    EXPECT_TRUE(args.functional);
+    EXPECT_TRUE(args.stats);
+    EXPECT_DOUBLE_EQ(args.freq.coreMhz, 600);
+    EXPECT_DOUBLE_EQ(args.freq.memMhz, 810);
+}
+
+TEST(CliParse, Errors)
+{
+    EXPECT_FALSE(parse({}).error.empty());
+    EXPECT_FALSE(parse({"frobnicate"}).error.empty());
+    EXPECT_FALSE(parse({"run", "--scale"}).error.empty());
+    EXPECT_FALSE(parse({"run", "--scale", "-1"}).error.empty());
+    EXPECT_FALSE(parse({"run", "--freq", "925"}).error.empty());
+    EXPECT_FALSE(parse({"run", "--wat"}).error.empty());
+}
+
+TEST(CliLookups, Aliases)
+{
+    EXPECT_NE(workloadByName("lulesh"), nullptr);
+    EXPECT_EQ(workloadByName("nope"), nullptr);
+    EXPECT_EQ(modelByName("amp"), core::ModelKind::CppAmp);
+    EXPECT_EQ(modelByName("ocl"), core::ModelKind::OpenCl);
+    EXPECT_FALSE(modelByName("cuda").has_value());
+    ASSERT_TRUE(deviceByName("apu").has_value());
+    EXPECT_TRUE(deviceByName("apu")->zeroCopy);
+    EXPECT_FALSE(deviceByName("fpga").has_value());
+}
+
+TEST(CliExecute, ListPrintsEveryApp)
+{
+    std::ostringstream os;
+    EXPECT_EQ(execute(parse({"list"}), os), 0);
+    for (const char *app :
+         {"readmem", "lulesh", "comd", "xsbench", "minife"})
+        EXPECT_NE(os.str().find(app), std::string::npos) << app;
+}
+
+TEST(CliExecute, RunFunctionalValidates)
+{
+    std::ostringstream os;
+    Args args = parse({"run", "--app", "readmem", "--model", "hc",
+                       "--device", "dgpu", "--scale", "0.05",
+                       "--functional", "--stats"});
+    EXPECT_EQ(execute(args, os), 0);
+    EXPECT_NE(os.str().find("validated"), std::string::npos);
+    EXPECT_NE(os.str().find("yes"), std::string::npos);
+    EXPECT_NE(os.str().find("kernel.launches"), std::string::npos);
+}
+
+TEST(CliExecute, CompareListsDeviceModels)
+{
+    std::ostringstream os;
+    Args args = parse({"compare", "--app", "minife", "--device",
+                       "apu", "--scale", "0.1"});
+    EXPECT_EQ(execute(args, os), 0);
+    EXPECT_NE(os.str().find("OpenCL"), std::string::npos);
+    EXPECT_NE(os.str().find("C++ AMP"), std::string::npos);
+    EXPECT_NE(os.str().find("HC"), std::string::npos);
+}
+
+TEST(CliExecute, SweepPrintsGrid)
+{
+    std::ostringstream os;
+    Args args = parse({"sweep", "--app", "readmem", "--scale", "0.1"});
+    EXPECT_EQ(execute(args, os), 0);
+    EXPECT_NE(os.str().find("1000"), std::string::npos);
+    EXPECT_NE(os.str().find("0.50"), std::string::npos); // slowest pt
+}
+
+TEST(CliExecute, BadNamesReturnError)
+{
+    std::ostringstream os;
+    EXPECT_EQ(execute(parse({"run", "--app", "doom"}), os), 2);
+    EXPECT_EQ(execute(parse({"compare", "--device", "fpga"}), os), 2);
+}
+
+} // namespace
+} // namespace hetsim::cli

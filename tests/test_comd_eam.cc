@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the EAM potential extension of CoMD (the five-kernel
+ * variant behind Table I's "3 (LJ)" annotation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/comd/comd_eam.hh"
+
+namespace hetsim::apps::comd
+{
+namespace
+{
+
+TEST(EamTables, ShapesAndMonotonicity)
+{
+    EamTables tables(2.5);
+    // Pair potential and density decay with distance and vanish at
+    // the cutoff.
+    EXPECT_GT(tables.radial(tables.phi, 0.8),
+              tables.radial(tables.phi, 1.5));
+    EXPECT_NEAR(tables.radial(tables.phi, 2.49), 0.0, 1e-3);
+    EXPECT_NEAR(tables.radial(tables.rho, 2.49), 0.0, 1e-3);
+    // Embedding F(rho) = -sqrt(rho): negative, decreasing.
+    EXPECT_LT(tables.embedding(tables.fEmbed, 1.0), 0.0);
+    EXPECT_LT(tables.embedding(tables.fEmbed, 2.0),
+              tables.embedding(tables.fEmbed, 1.0));
+    EXPECT_NEAR(tables.embedding(tables.fEmbed, 1.0), -1.0, 0.01);
+    EXPECT_NEAR(tables.embedding(tables.dfEmbed, 1.0), -0.5, 0.01);
+}
+
+TEST(EamState, LatticeForcesCancelAndEnergyIsCohesive)
+{
+    Problem<double> prob(6, 2, /*compute_initial_forces=*/false);
+    EamState<double> eam(prob);
+    eam.densityKernel(prob, 0, prob.numAtoms);
+    eam.embedKernel(prob, 0, prob.numAtoms);
+    eam.forceKernel(prob, 0, prob.numAtoms);
+
+    double max_f = 0.0;
+    for (u64 i = 0; i < prob.numAtoms; ++i)
+        max_f = std::max(max_f, std::fabs(prob.fx[i]));
+    // Perfect fcc lattice: net forces cancel by symmetry.
+    EXPECT_LT(max_f, 1e-6);
+    // Cohesion: embedding makes the total energy negative.
+    EXPECT_LT(eam.potentialEnergy(prob), 0.0);
+    // Every atom sees a positive host density.
+    for (u64 i = 0; i < prob.numAtoms; ++i)
+        ASSERT_GT(eam.rhoBar[i], 0.0);
+}
+
+TEST(EamState, EnergyApproximatelyConservedOverSteps)
+{
+    Problem<double> prob(5, 20, false);
+    EamState<double> eam(prob);
+    eam.densityKernel(prob, 0, prob.numAtoms);
+    eam.embedKernel(prob, 0, prob.numAtoms);
+    eam.forceKernel(prob, 0, prob.numAtoms);
+    double e0 = prob.kineticEnergy() + eam.potentialEnergy(prob);
+    runReferenceEam(prob, eam);
+    double e1 = prob.kineticEnergy() + eam.potentialEnergy(prob);
+    EXPECT_TRUE(prob.finite());
+    EXPECT_NEAR(e1, e0, std::fabs(e0) * 0.02 + 1e-6);
+}
+
+TEST(EamState, FiveKernelStructure)
+{
+    // LJ offloads 3 kernels; EAM replaces the force kernel with
+    // three (density, embed, force), for five distinct kernels.
+    Problem<float> prob(6, 2, false);
+    EamState<float> eam(prob);
+    std::set<std::string> names{
+        prob.advanceVelocityDescriptor().name,
+        prob.advancePositionDescriptor().name,
+        eam.densityDescriptor(prob).name,
+        eam.embedDescriptor(prob).name,
+        eam.forceDescriptor(prob).name,
+    };
+    EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(EamState, DescriptorsCostMoreThanLj)
+{
+    Problem<float> prob(6, 2, false);
+    EamState<float> eam(prob);
+    auto lj = prob.forceDescriptor();
+    auto density = eam.densityDescriptor(prob);
+    EXPECT_GT(density.flopsPerItem, lj.flopsPerItem);
+    EXPECT_GT(density.streams.size(), lj.streams.size());
+    // The embedding pass is a cheap streaming kernel.
+    EXPECT_LT(eam.embedDescriptor(prob).flopsPerItem, 20.0);
+}
+
+} // namespace
+} // namespace hetsim::apps::comd

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Determinism tests: every simulated experiment must be bit-identical
+ * across repeated runs (the repository's reproducibility contract -
+ * nothing depends on wall clock, thread scheduling, or global state).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/harness.hh"
+#include "core/workload.hh"
+
+namespace hetsim
+{
+namespace
+{
+
+using core::ModelKind;
+
+class DeterministicRuns : public testing::TestWithParam<ModelKind>
+{
+};
+
+TEST_P(DeterministicRuns, TimingAndChecksumRepeat)
+{
+    ModelKind model = GetParam();
+    auto run_once = [&] {
+        auto wl = core::makeComd();
+        core::WorkloadConfig cfg;
+        cfg.scale = 0.1;
+        cfg.functional = true;
+        return wl->run(model, sim::radeonR9_280X(), cfg);
+    };
+    auto first = run_once();
+    auto second = run_once();
+    EXPECT_DOUBLE_EQ(first.seconds, second.seconds);
+    EXPECT_DOUBLE_EQ(first.kernelSeconds, second.kernelSeconds);
+    EXPECT_DOUBLE_EQ(first.checksum, second.checksum);
+    EXPECT_DOUBLE_EQ(first.llcMissRatio, second.llcMissRatio);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, DeterministicRuns,
+                         testing::Values(ModelKind::OpenCl,
+                                         ModelKind::CppAmp,
+                                         ModelKind::OpenAcc,
+                                         ModelKind::Hc));
+
+TEST(Determinism, FunctionalModeDoesNotChangeTiming)
+{
+    // Simulated time comes from the timing model only: whether the
+    // kernel bodies actually execute must not matter.
+    auto wl = core::makeMiniFe();
+    core::WorkloadConfig cfg;
+    cfg.scale = 0.1;
+    cfg.functional = true;
+    auto functional = wl->run(ModelKind::OpenCl,
+                              sim::radeonR9_280X(), cfg);
+    cfg.functional = false;
+    auto timing_only = wl->run(ModelKind::OpenCl,
+                               sim::radeonR9_280X(), cfg);
+    EXPECT_DOUBLE_EQ(functional.seconds, timing_only.seconds);
+    EXPECT_EQ(functional.kernelLaunches, timing_only.kernelLaunches);
+}
+
+TEST(Determinism, PrecisionOnlyChangesWhatItShould)
+{
+    // SP and DP runs of a memory-bound app: DP moves twice the bytes,
+    // so it is slower - but the kernel structure is identical.
+    auto wl = core::makeReadMem();
+    core::WorkloadConfig cfg;
+    cfg.scale = 0.5; // large enough that dispatch overhead is noise
+    cfg.functional = false;
+    auto sp = wl->run(ModelKind::OpenCl, sim::radeonR9_280X(), cfg);
+    cfg.precision = Precision::Double;
+    auto dp = wl->run(ModelKind::OpenCl, sim::radeonR9_280X(), cfg);
+    EXPECT_EQ(sp.kernelLaunches, dp.kernelLaunches);
+    EXPECT_NEAR(dp.kernelSeconds / sp.kernelSeconds, 2.0, 0.2);
+}
+
+TEST(Determinism, HarnessBaselineIsCached)
+{
+    auto wl = core::makeReadMem();
+    core::Harness harness(*wl, 0.1, false);
+    double first = harness.baselineSeconds(Precision::Single);
+    double second = harness.baselineSeconds(Precision::Single);
+    EXPECT_DOUBLE_EQ(first, second);
+    // DP baseline is distinct.
+    EXPECT_NE(first, harness.baselineSeconds(Precision::Double));
+}
+
+} // namespace
+} // namespace hetsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the device presets (paper Table II) and derived rates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/device.hh"
+
+namespace hetsim::sim
+{
+namespace
+{
+
+TEST(Device, R9280XMatchesTableII)
+{
+    DeviceSpec spec = radeonR9_280X();
+    EXPECT_EQ(spec.computeUnits * spec.lanesPerCu, 2048); // SPs
+    EXPECT_DOUBLE_EQ(spec.coreClockMhz, 925.0);
+    // 3800 GFLOPS single precision (Table II).
+    EXPECT_NEAR(spec.peakFlops(spec.coreClockMhz, Precision::Single),
+                3.8e12, 0.05e12);
+    EXPECT_DOUBLE_EQ(spec.peakBwGBs, 258.0);
+    EXPECT_DOUBLE_EQ(spec.dpThroughputRatio, 0.25);
+    EXPECT_EQ(spec.ldsBytesPerCu, 64 * KiB);
+    EXPECT_FALSE(spec.zeroCopy);
+    EXPECT_EQ(spec.memoryBytes, 3 * GiB);
+    EXPECT_EQ(spec.memType, "GDDR5");
+}
+
+TEST(Device, ApuGpuMatchesTableII)
+{
+    DeviceSpec spec = a10_7850kGpu();
+    EXPECT_EQ(spec.computeUnits, 8); // 8 GPU CUs of the 12
+    EXPECT_EQ(spec.computeUnits * spec.lanesPerCu, 512);
+    // 738 GFLOPS single precision (Table II).
+    EXPECT_NEAR(spec.peakFlops(spec.coreClockMhz, Precision::Single),
+                738e9, 5e9);
+    EXPECT_DOUBLE_EQ(spec.peakBwGBs, 33.0);
+    EXPECT_NEAR(spec.dpThroughputRatio, 1.0 / 16.0, 1e-12);
+    EXPECT_TRUE(spec.zeroCopy);
+    EXPECT_EQ(spec.memType, "DDR3");
+}
+
+TEST(Device, CpuIsTheOpenMpBaseline)
+{
+    DeviceSpec spec = a10_7850kCpu();
+    EXPECT_EQ(spec.type, DeviceType::Cpu);
+    EXPECT_EQ(spec.computeUnits, 4);
+    EXPECT_DOUBLE_EQ(spec.coreClockMhz, 3700.0);
+    EXPECT_TRUE(spec.zeroCopy);
+    EXPECT_EQ(spec.chainsPerCuCap, 1u);
+}
+
+TEST(Device, BandwidthScalesLinearlyWithMemClock)
+{
+    DeviceSpec spec = radeonR9_280X();
+    double full = spec.peakBwBytes(spec.memClockMhz);
+    double half = spec.peakBwBytes(spec.memClockMhz / 2);
+    EXPECT_NEAR(half * 2, full, 1);
+    EXPECT_NEAR(full, 258e9, 1e9);
+}
+
+TEST(Device, DpHalvesOrWorse)
+{
+    for (const DeviceSpec &spec :
+         {radeonR9_280X(), a10_7850kGpu(), a10_7850kCpu()}) {
+        double sp = spec.peakFlops(spec.coreClockMhz,
+                                   Precision::Single);
+        double dp = spec.peakFlops(spec.coreClockMhz,
+                                   Precision::Double);
+        EXPECT_LE(dp, sp / 2 + 1) << spec.name;
+    }
+}
+
+TEST(Device, IssueLimitScalesWithCoreClock)
+{
+    DeviceSpec spec = radeonR9_280X();
+    EXPECT_NEAR(spec.issueLimitBytes(200) * 2,
+                spec.issueLimitBytes(400), 1);
+    // At stock clocks the issue limit must clear peak bandwidth,
+    // otherwise the device could never reach its spec sheet rate.
+    EXPECT_GT(spec.issueLimitBytes(spec.coreClockMhz),
+              spec.peakBwBytes(spec.memClockMhz) * spec.memEfficiency);
+}
+
+TEST(Device, MissLatencyFallsWithBothClocks)
+{
+    DeviceSpec spec = radeonR9_280X();
+    FreqDomain slow{300, 480};
+    FreqDomain fast{925, 1500};
+    EXPECT_GT(spec.missLatencySeconds(slow),
+              spec.missLatencySeconds(fast));
+    // Core-only change still reduces latency (on-chip portion).
+    EXPECT_GT(spec.missLatencySeconds({300, 1500}),
+              spec.missLatencySeconds(fast));
+}
+
+} // namespace
+} // namespace hetsim::sim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the deeper frontend features: amp::array (device-resident
+ * container), OpenCL events/wait lists, and the OpenACC async clause.
+ */
+
+#include <gtest/gtest.h>
+
+#include "acc/acc.hh"
+#include "amp/amp.hh"
+#include "opencl/opencl.hh"
+
+namespace hetsim
+{
+namespace
+{
+
+ir::KernelDescriptor
+streamKernel(const char *name = "fx_kernel")
+{
+    ir::KernelDescriptor desc;
+    desc.name = name;
+    desc.flopsPerItem = 4;
+    ir::MemStream s;
+    s.buffer = "io";
+    s.bytesPerItemSp = 8;
+    s.workingSetBytesSp = 8 * MiB;
+    desc.streams.push_back(s);
+    return desc;
+}
+
+// --- amp::array ----------------------------------------------------------
+
+TEST(AmpArray, ExplicitCopiesOnly)
+{
+    amp::accelerator_view av(
+        amp::accelerator::get(sim::DeviceType::DiscreteGpu),
+        Precision::Single);
+    std::vector<float> host(1 << 18, 1.0f);
+    amp::array<float> dev(av, host.size(), "dev");
+
+    // Freshly allocated arrays live on the device: launching on them
+    // moves nothing.
+    amp::parallel_for_each(av, amp::extent<1>(dev.size()),
+                           streamKernel(), {dev},
+                           [](amp::index<1>) {});
+    EXPECT_DOUBLE_EQ(av.runtime().stats().get("xfer.h2d.count"), 0.0);
+
+    // Explicit copies stage each direction exactly once.
+    amp::copy(host.data(), dev);
+    EXPECT_DOUBLE_EQ(av.runtime().stats().get("xfer.h2d.count"), 1.0);
+    // A kernel mutates the array on the device...
+    amp::parallel_for_each(av, amp::extent<1>(dev.size()),
+                           streamKernel(), {dev},
+                           [](amp::index<1>) {});
+    // ...so copying it out costs one transfer (and only one).
+    amp::copy(dev, host.data());
+    amp::copy(dev, host.data());
+    EXPECT_DOUBLE_EQ(av.runtime().stats().get("xfer.d2h.count"), 1.0);
+}
+
+TEST(AmpArray, MixesWithViewsInCaptureLists)
+{
+    amp::accelerator_view av(
+        amp::accelerator::get(sim::DeviceType::IntegratedGpu),
+        Precision::Single);
+    std::vector<float> data(4096, 2.0f);
+    amp::array_view<const float> in(av, data.data(), data.size(),
+                                    "in");
+    amp::array<float> out(av, data.size(), "out");
+    std::vector<float> result(data.size(), 0.0f);
+    amp::parallel_for_each(av, amp::extent<1>(data.size()),
+                           streamKernel(), {in, out},
+                           [&](amp::index<1> i) {
+                               result[i[0]] = data[i[0]] * 2.0f;
+                           });
+    EXPECT_FLOAT_EQ(result[100], 4.0f);
+}
+
+// --- ocl::Event -----------------------------------------------------------
+
+TEST(OclEvents, WaitListDelaysKernel)
+{
+    ocl::Device device(sim::radeonR9_280X());
+    ocl::Context context(device, Precision::Single);
+    ocl::CommandQueue queue(context, device);
+    ocl::Program program(context, "src");
+    program.declareKernel(streamKernel(), 1);
+    ASSERT_EQ(program.build(), ocl::Success);
+
+    ocl::Buffer big(context, ocl::MemFlags::ReadOnly, 256 * MiB,
+                    "big");
+    ocl::Event copied;
+    queue.enqueueWriteBuffer(big, &copied);
+    EXPECT_TRUE(copied.valid());
+    double copy_done = context.runtime().elapsedSeconds();
+
+    ocl::Kernel kernel = program.createKernel("fx_kernel");
+    kernel.setArg(0, big);
+    ocl::Event done;
+    ASSERT_EQ(queue.enqueueNDRangeKernel(kernel, 1 << 20, 64, {copied},
+                                         &done),
+              ocl::Success);
+    EXPECT_TRUE(done.valid());
+    EXPECT_GT(context.runtime().elapsedSeconds(), copy_done);
+    EXPECT_EQ(queue.enqueueBarrier(), ocl::Success);
+}
+
+TEST(OclEvents, DefaultEventIsInvalid)
+{
+    ocl::Event event;
+    EXPECT_FALSE(event.valid());
+}
+
+// --- acc async -------------------------------------------------------------
+
+TEST(AccAsync, DefersAndCoalescesCopyouts)
+{
+    acc::Runtime rt(sim::DeviceType::DiscreteGpu, Precision::Single);
+    std::vector<float> field(1 << 18, 0.0f);
+    rt.declare(field.data(), field.size() * 4, "field");
+
+    acc::LoopClauses clauses;
+    clauses.independent = true;
+    clauses.async = true;
+    for (int i = 0; i < 4; ++i) {
+        acc::kernelsLoop(rt, streamKernel("acc_async"), field.size(),
+                         clauses, {}, {field.data()}, [](u64) {});
+    }
+    // No copy-outs yet...
+    EXPECT_DOUBLE_EQ(rt.runtime().stats().get("xfer.d2h.count"), 0.0);
+    acc::wait(rt);
+    // ...then exactly one coalesced transfer, not four.
+    EXPECT_DOUBLE_EQ(rt.runtime().stats().get("xfer.d2h.count"), 1.0);
+
+    // Synchronous regions by contrast pay per region.
+    clauses.async = false;
+    for (int i = 0; i < 2; ++i) {
+        acc::kernelsLoop(rt, streamKernel("acc_sync"), field.size(),
+                         clauses, {}, {field.data()}, [](u64) {});
+    }
+    EXPECT_DOUBLE_EQ(rt.runtime().stats().get("xfer.d2h.count"), 3.0);
+}
+
+TEST(AccAsync, WaitRespectsDataRegions)
+{
+    acc::Runtime rt(sim::DeviceType::DiscreteGpu, Precision::Single);
+    std::vector<float> field(1 << 18, 0.0f);
+    rt.declare(field.data(), field.size() * 4, "field");
+    acc::LoopClauses clauses;
+    clauses.independent = true;
+    clauses.async = true;
+    {
+        acc::DataRegion region(rt, acc::CopyIn{field.data()},
+                               acc::CopyOut{field.data()});
+        acc::kernelsLoop(rt, streamKernel("acc_in_region"),
+                         field.size(), clauses, {}, {field.data()},
+                         [](u64) {});
+        acc::wait(rt);
+        // Present inside the region: wait() must not copy.
+        EXPECT_DOUBLE_EQ(rt.runtime().stats().get("xfer.d2h.count"),
+                         0.0);
+    }
+    // Region exit performs the single copy-out.
+    EXPECT_DOUBLE_EQ(rt.runtime().stats().get("xfer.d2h.count"), 1.0);
+}
+
+} // namespace
+} // namespace hetsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Unit tests for common/logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace hetsim
+{
+namespace
+{
+
+TEST(Logging, CsprintfFormats)
+{
+    EXPECT_EQ(csprintf("x=%d", 42), "x=42");
+    EXPECT_EQ(csprintf("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(csprintf("%.2f", 1.5), "1.50");
+}
+
+TEST(Logging, CsprintfLongString)
+{
+    std::string big(5000, 'x');
+    EXPECT_EQ(csprintf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Logging, InformToggle)
+{
+    EXPECT_TRUE(informEnabled());
+    setInformEnabled(false);
+    EXPECT_FALSE(informEnabled());
+    setInformEnabled(true);
+    EXPECT_TRUE(informEnabled());
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 1), "panic: boom 1");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+} // namespace
+} // namespace hetsim

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Kernel-level unit tests for the LULESH physics: each of the 28
+ * device kernels has a direct semantic check against its definition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/lulesh/lulesh_core.hh"
+
+namespace hetsim::apps::lulesh
+{
+namespace
+{
+
+struct SmallMesh : testing::Test
+{
+    SmallMesh() : prob(4, 2) {}
+    Problem<double> prob;
+};
+
+TEST_F(SmallMesh, K01StressIsNegativePressurePlusQ)
+{
+    prob.p[5] = 2.0;
+    prob.q[5] = 0.5;
+    prob.k01InitStress(0, prob.numElem);
+    EXPECT_DOUBLE_EQ(prob.sigxx[5], -2.5);
+    EXPECT_DOUBLE_EQ(prob.sigyy[5], -2.5);
+    EXPECT_DOUBLE_EQ(prob.sigzz[5], -2.5);
+}
+
+TEST_F(SmallMesh, K02ZeroStressMeansZeroForce)
+{
+    prob.k01InitStress(0, prob.numElem); // p = q = 0 everywhere
+    prob.k02IntegrateStress(0, prob.numElem);
+    for (u64 c = 0; c < 8 * prob.numElem; ++c) {
+        ASSERT_DOUBLE_EQ(prob.fxElem[c], 0.0);
+        ASSERT_DOUBLE_EQ(prob.fyElem[c], 0.0);
+    }
+    // And the determinant is the element volume.
+    double h = 1.125 / 4;
+    EXPECT_NEAR(prob.determ[0], h * h * h, 1e-12);
+}
+
+TEST_F(SmallMesh, K02PressurePushesCornersOutward)
+{
+    prob.p[0] = 1.0; // pressurize the origin element
+    prob.k01InitStress(0, prob.numElem);
+    prob.k02IntegrateStress(0, prob.numElem);
+    // Corner 0 of element 0 is the origin node: the force on it must
+    // point towards -x,-y,-z (outward from the element).
+    EXPECT_LT(prob.fxElem[0], 0.0);
+    EXPECT_LT(prob.fyElem[0], 0.0);
+    EXPECT_LT(prob.fzElem[0], 0.0);
+    // Corner 6 (opposite) must point towards +x,+y,+z.
+    EXPECT_GT(prob.fxElem[6], 0.0);
+    EXPECT_GT(prob.fyElem[6], 0.0);
+    EXPECT_GT(prob.fzElem[6], 0.0);
+    // Forces over an element sum to ~zero (momentum conservation).
+    double sx = 0.0;
+    for (int c = 0; c < 8; ++c)
+        sx += prob.fxElem[c];
+    EXPECT_NEAR(sx, 0.0, 1e-12);
+}
+
+TEST_F(SmallMesh, K03GathersCornerForces)
+{
+    for (u64 c = 0; c < 8 * prob.numElem; ++c)
+        prob.fxElem[c] = 1.0;
+    prob.k03SumStressForces(0, prob.numNode);
+    // An interior node touches 8 elements, a box corner exactly 1.
+    u64 np = 5;
+    u64 interior = 2 + np * (2 + np * 2);
+    EXPECT_DOUBLE_EQ(prob.fx[interior], 8.0);
+    EXPECT_DOUBLE_EQ(prob.fx[0], 1.0);
+}
+
+TEST_F(SmallMesh, K05HourglassDampsDeviationFromMeanVelocity)
+{
+    prob.hgCoefs.assign(prob.numElem, 1.0);
+    // Uniform velocity: no hourglass force at all.
+    prob.xd.assign(prob.numNode, 3.0);
+    prob.k05CalcHourglassForce(0, prob.numElem);
+    for (int c = 0; c < 8; ++c)
+        ASSERT_NEAR(prob.fxElem[c], 0.0, 1e-12);
+    // One fast corner: force opposes its deviation.
+    prob.xd[prob.corners(0)[2]] = 11.0;
+    prob.k05CalcHourglassForce(0, 1);
+    EXPECT_LT(prob.fxElem[2], 0.0);
+}
+
+TEST_F(SmallMesh, K07AccelerationIsForceOverMass)
+{
+    prob.fx[7] = 2.0;
+    double mass = prob.nodalMass[7];
+    prob.k07CalcAcceleration(0, prob.numNode);
+    EXPECT_DOUBLE_EQ(prob.xdd[7], 2.0 / mass);
+}
+
+TEST_F(SmallMesh, K08ToK10ZeroBoundaryAcceleration)
+{
+    prob.xdd.assign(prob.numNode, 1.0);
+    prob.ydd.assign(prob.numNode, 1.0);
+    prob.zdd.assign(prob.numNode, 1.0);
+    u64 face = prob.itemsFor(8);
+    prob.k08ApplyAccelBcX(0, face);
+    prob.k09ApplyAccelBcY(0, face);
+    prob.k10ApplyAccelBcZ(0, face);
+    EXPECT_DOUBLE_EQ(prob.xdd[0], 0.0); // origin is on all 3 planes
+    EXPECT_DOUBLE_EQ(prob.ydd[0], 0.0);
+    EXPECT_DOUBLE_EQ(prob.zdd[0], 0.0);
+    // A node off the symmetry planes is untouched.
+    u64 np = 5;
+    u64 interior = 2 + np * (2 + np * 2);
+    EXPECT_DOUBLE_EQ(prob.xdd[interior], 1.0);
+}
+
+TEST_F(SmallMesh, K11VelocityCutoffSnapsToZero)
+{
+    prob.dt = 1.0;
+    prob.xdd[3] = 1e-9; // below uCut after the kick
+    prob.xd[3] = 0.0;
+    prob.xdd[4] = 1.0;
+    prob.k11CalcVelocity(0, prob.numNode);
+    EXPECT_DOUBLE_EQ(prob.xd[3], 0.0);
+    EXPECT_DOUBLE_EQ(prob.xd[4], 1.0);
+}
+
+TEST_F(SmallMesh, K12PositionIntegratesVelocity)
+{
+    prob.dt = 0.25;
+    prob.xd[6] = 4.0;
+    double x0 = prob.x[6];
+    prob.k12CalcPosition(0, prob.numNode);
+    EXPECT_DOUBLE_EQ(prob.x[6], x0 + 1.0);
+}
+
+TEST_F(SmallMesh, K13KinematicsTracksVolumeChange)
+{
+    prob.dt = 1e-3;
+    prob.k13CalcKinematics(0, prob.numElem);
+    // Undeformed mesh: relative volume 1, no strain.
+    EXPECT_NEAR(prob.vnew[0], 1.0, 1e-12);
+    EXPECT_NEAR(prob.vdov[0], 0.0, 1e-9);
+    // Stretch one element's +x face outward by moving its corners.
+    for (int c : {1, 2, 5, 6})
+        prob.x[prob.corners(0)[c]] += 0.1 * 1.125 / 4;
+    prob.k13CalcKinematics(0, 1);
+    EXPECT_GT(prob.vnew[0], 1.0);
+    EXPECT_GT(prob.vdov[0], 0.0); // expanding
+}
+
+TEST_F(SmallMesh, K17ClampsVolume)
+{
+    prob.vnew[2] = 0.01;
+    prob.vnew[3] = 100.0;
+    prob.k17ApplyMaterialProps(0, prob.numElem);
+    EXPECT_DOUBLE_EQ(prob.vnew[2], 0.1);
+    EXPECT_DOUBLE_EQ(prob.vnew[3], 10.0);
+}
+
+TEST_F(SmallMesh, K18CompressionDefinition)
+{
+    prob.vnew[1] = 0.5;
+    prob.k18EosCompress(0, prob.numElem);
+    EXPECT_DOUBLE_EQ(prob.compression[1], 1.0); // 1/v - 1
+}
+
+TEST_F(SmallMesh, EosPipelineRaisesEnergyUnderCompression)
+{
+    // A compressed element with prior pressure gains internal energy.
+    prob.vnew.assign(prob.numElem, 0.9);
+    prob.v.assign(prob.numElem, 1.0);
+    prob.delv.assign(prob.numElem, -0.1);
+    prob.e.assign(prob.numElem, 1.0);
+    prob.p.assign(prob.numElem, 0.5);
+    prob.k19EosInitWork(0, prob.numElem);
+    prob.k20CalcPressureHalf(0, prob.numElem);
+    prob.k21CalcEnergyHalf(0, prob.numElem);
+    prob.k22CalcPressureNew(0, prob.numElem);
+    prob.k23CalcEnergyNew(0, prob.numElem);
+    prob.k24CalcQNew(0, prob.numElem);
+    EXPECT_GT(prob.e[0], 1.0);
+    EXPECT_GT(prob.p[0], 0.0);
+    prob.k25CalcSoundSpeed(0, prob.numElem);
+    EXPECT_GT(prob.ss[0], 0.0);
+}
+
+TEST_F(SmallMesh, K26SnapsVolumeToOne)
+{
+    prob.vnew[0] = 1.0 + 1e-12; // inside vCut
+    prob.vnew[1] = 1.2;
+    prob.k26UpdateVolumes(0, prob.numElem);
+    EXPECT_DOUBLE_EQ(prob.v[0], 1.0);
+    EXPECT_DOUBLE_EQ(prob.v[1], 1.2);
+}
+
+TEST_F(SmallMesh, K27K28TimeConstraints)
+{
+    prob.vdov.assign(prob.numElem, 0.0);
+    prob.k27CalcCourantConstraint(0, prob.numElem);
+    prob.k28CalcHydroConstraint(0, prob.numElem);
+    EXPECT_DOUBLE_EQ(prob.dtCourantElem[0], 1e20); // static element
+    EXPECT_DOUBLE_EQ(prob.dtHydroElem[0], 1e20);
+
+    prob.vdov[0] = -0.5;
+    prob.ss[0] = 2.0;
+    prob.arealg[0] = 0.1;
+    prob.k27CalcCourantConstraint(0, 1);
+    prob.k28CalcHydroConstraint(0, 1);
+    EXPECT_GT(prob.dtCourantElem[0], 0.0);
+    EXPECT_LT(prob.dtCourantElem[0], 0.1);
+    EXPECT_DOUBLE_EQ(prob.dtHydroElem[0],
+                     prob.cs.dvovMax / (0.5 + 1e-30));
+}
+
+TEST_F(SmallMesh, UpdateDtRespectsGrowthAndCfl)
+{
+    prob.dt = 1e-4;
+    prob.dtCourantElem.assign(prob.numElem, 1e20);
+    prob.dtHydroElem.assign(prob.numElem, 1e20);
+    prob.updateDtHost();
+    EXPECT_NEAR(prob.dt, 1e-4 * prob.cs.dtMaxGrowth, 1e-12);
+
+    prob.dtCourantElem[3] = 1e-5; // tight constraint appears
+    prob.updateDtHost();
+    EXPECT_NEAR(prob.dt, prob.cs.cfl * 1e-5, 1e-15);
+}
+
+} // namespace
+} // namespace hetsim::apps::lulesh

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the OpenCL-style frontend (API semantics, error codes,
+ * explicit staging).
+ */
+
+#include <gtest/gtest.h>
+
+#include "opencl/opencl.hh"
+
+namespace hetsim::ocl
+{
+namespace
+{
+
+ir::KernelDescriptor
+addKernel()
+{
+    ir::KernelDescriptor desc;
+    desc.name = "vadd";
+    desc.flopsPerItem = 1;
+    ir::MemStream s;
+    s.buffer = "io";
+    s.bytesPerItemSp = 12;
+    s.workingSetBytesSp = 12 * MiB;
+    desc.streams.push_back(s);
+    return desc;
+}
+
+struct ClFixture : testing::Test
+{
+    ClFixture()
+        : device(sim::radeonR9_280X()),
+          context(device, Precision::Single),
+          queue(context, device),
+          program(context, "__kernel void vadd(...) {}")
+    {
+        program.declareKernel(addKernel(), 3);
+        EXPECT_EQ(program.build(), Success);
+    }
+
+    Device device;
+    Context context;
+    CommandQueue queue;
+    Program program;
+};
+
+TEST_F(ClFixture, PlatformEnumeratesDevices)
+{
+    auto &platform = Platform::getDefault();
+    EXPECT_EQ(platform.getDevices(sim::DeviceType::DiscreteGpu).size(),
+              1u);
+    EXPECT_EQ(platform
+                  .getDevices(sim::DeviceType::DiscreteGpu)[0]
+                  .name(),
+              "AMD Radeon R9 280X");
+    EXPECT_EQ(platform.getDevices(sim::DeviceType::Cpu).size(), 1u);
+}
+
+TEST_F(ClFixture, CreateKernelUnknownNameFails)
+{
+    Status status = Success;
+    Kernel k = program.createKernel("nope", &status);
+    EXPECT_EQ(status, InvalidKernelName);
+    EXPECT_TRUE(k.name().empty());
+}
+
+TEST_F(ClFixture, ZeroSizeBufferRejected)
+{
+    Status status = Success;
+    Buffer buf(context, MemFlags::ReadOnly, 0, "empty", &status);
+    EXPECT_EQ(status, InvalidBufferSize);
+    EXPECT_FALSE(buf.valid());
+}
+
+TEST_F(ClFixture, SetArgOutOfRange)
+{
+    Kernel k = program.createKernel("vadd");
+    EXPECT_EQ(k.setArg(3, i64(1)), InvalidArgIndex);
+    EXPECT_EQ(k.setArg(0, i64(1)), Success);
+}
+
+TEST_F(ClFixture, LaunchWithUnsetArgsFails)
+{
+    Kernel k = program.createKernel("vadd");
+    k.setArg(0, i64(1));
+    // args 1 and 2 unset.
+    EXPECT_EQ(queue.enqueueNDRangeKernel(k, 100), InvalidKernelArgs);
+}
+
+TEST_F(ClFixture, FullPipelineRunsFunctionally)
+{
+    std::vector<float> a(1000, 1.0f), b(1000, 2.0f), c(1000, 0.0f);
+    Buffer ab(context, MemFlags::ReadOnly, a.size() * 4, "a");
+    Buffer bb(context, MemFlags::ReadOnly, b.size() * 4, "b");
+    Buffer cb(context, MemFlags::WriteOnly, c.size() * 4, "c");
+    queue.enqueueWriteBuffer(ab);
+    queue.enqueueWriteBuffer(bb);
+
+    Kernel k = program.createKernel("vadd");
+    k.setArg(0, ab);
+    k.setArg(1, bb);
+    k.setArg(2, cb);
+    k.bindBody([&](u64 begin, u64 end) {
+        for (u64 i = begin; i < end; ++i)
+            c[i] = a[i] + b[i];
+    });
+    EXPECT_EQ(queue.enqueueNDRangeKernel(k, 1000, 64), Success);
+    queue.enqueueReadBuffer(cb);
+    queue.finish();
+
+    for (float v : c)
+        ASSERT_FLOAT_EQ(v, 3.0f);
+    EXPECT_GT(queue.elapsedSeconds(), 0.0);
+    // Two writes + one read were staged over PCIe.
+    EXPECT_DOUBLE_EQ(context.runtime().stats().get("xfer.h2d.count"),
+                     2.0);
+    EXPECT_DOUBLE_EQ(context.runtime().stats().get("xfer.d2h.count"),
+                     1.0);
+}
+
+TEST_F(ClFixture, ExcessiveWorkgroupRejected)
+{
+    Kernel k = program.createKernel("vadd");
+    k.setArg(0, i64(0));
+    k.setArg(1, i64(0));
+    k.setArg(2, i64(0));
+    EXPECT_EQ(queue.enqueueNDRangeKernel(k, 100, 2048),
+              InvalidWorkGroupSize);
+}
+
+TEST_F(ClFixture, NativeKernelAddsHostTime)
+{
+    double before = context.runtime().elapsedSeconds();
+    EXPECT_EQ(queue.enqueueNativeKernel(0.5), Success);
+    EXPECT_NEAR(context.runtime().elapsedSeconds(), before + 0.5,
+                1e-9);
+    EXPECT_EQ(queue.enqueueNativeKernel(-1.0), InvalidKernelArgs);
+}
+
+TEST(ClProgram, BuildFailsOnEmptyKernel)
+{
+    Device device(sim::radeonR9_280X());
+    Context context(device, Precision::Single);
+    Program program(context, "bad");
+    ir::KernelDescriptor empty;
+    empty.name = "empty";
+    program.declareKernel(empty, 0);
+    EXPECT_EQ(program.build(), BuildProgramFailure);
+    EXPECT_NE(program.buildLog().find("empty"), std::string::npos);
+}
+
+TEST(ClProgram, KernelBeforeBuildFails)
+{
+    Device device(sim::radeonR9_280X());
+    Context context(device, Precision::Single);
+    Program program(context, "src");
+    program.declareKernel(addKernel(), 3);
+    Status status = Success;
+    program.createKernel("vadd", &status);
+    EXPECT_EQ(status, InvalidKernelName); // not built yet
+}
+
+} // namespace
+} // namespace hetsim::ocl

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the PCIe link model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pcie.hh"
+
+namespace hetsim::sim
+{
+namespace
+{
+
+TEST(Pcie, ZeroBytesIsFree)
+{
+    PcieLink link;
+    EXPECT_DOUBLE_EQ(link.transferSeconds(0), 0.0);
+}
+
+TEST(Pcie, LatencyDominatesSmallTransfers)
+{
+    PcieLink link;
+    double t = link.transferSeconds(64);
+    EXPECT_NEAR(t, link.latencyUs * 1e-6, t * 0.01);
+}
+
+TEST(Pcie, BandwidthDominatesLargeTransfers)
+{
+    PcieLink link;
+    u64 bytes = 1 * GiB;
+    double t = link.transferSeconds(bytes);
+    double bw_time = static_cast<double>(bytes) /
+                     link.effectiveBytesPerSec();
+    EXPECT_NEAR(t, bw_time, bw_time * 0.01);
+    // Gen3 x16 at 50%: about 7.9 GB/s.
+    EXPECT_NEAR(link.effectiveBytesPerSec(), 7.875e9, 1e7);
+}
+
+TEST(Pcie, TimeLinearInBytes)
+{
+    PcieLink link;
+    double t1 = link.transferSeconds(256 * MiB);
+    double t2 = link.transferSeconds(512 * MiB);
+    EXPECT_NEAR((t2 - link.latencyUs * 1e-6) /
+                    (t1 - link.latencyUs * 1e-6),
+                2.0, 0.01);
+}
+
+TEST(Pcie, EfficiencyScalesBandwidth)
+{
+    PcieLink fast;
+    PcieLink slow;
+    slow.efficiency = fast.efficiency / 2;
+    EXPECT_NEAR(slow.transferSeconds(1 * GiB) -
+                    slow.latencyUs * 1e-6,
+                2 * (fast.transferSeconds(1 * GiB) -
+                     fast.latencyUs * 1e-6),
+                1e-4);
+}
+
+} // namespace
+} // namespace hetsim::sim

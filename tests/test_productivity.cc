@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the productivity metric (paper Equation 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/productivity.hh"
+
+namespace hetsim::core
+{
+namespace
+{
+
+TEST(Productivity, Equation1)
+{
+    // speedup 4x at 2x the lines => productivity 2.
+    EXPECT_DOUBLE_EQ(productivity(8.0, 2.0, 20.0, 10.0), 2.0);
+    // Same speed, same lines => 1.
+    EXPECT_DOUBLE_EQ(productivity(1.0, 1.0, 3.0, 3.0), 1.0);
+    // Slower AND more lines => < 1.
+    EXPECT_LT(productivity(1.0, 2.0, 30.0, 10.0), 0.2);
+}
+
+TEST(Productivity, MoreLinesLowerProductivity)
+{
+    double few = productivity(10.0, 5.0, 40.0, 10.0);
+    double many = productivity(10.0, 5.0, 400.0, 10.0);
+    EXPECT_GT(few, many);
+    EXPECT_NEAR(few / many, 10.0, 1e-9);
+}
+
+TEST(ProductivityDeath, RejectsBadInputs)
+{
+    EXPECT_EXIT(productivity(0.0, 1.0, 1.0, 1.0),
+                testing::ExitedWithCode(1), "non-positive execution");
+    EXPECT_EXIT(productivity(1.0, 1.0, 0.0, 1.0),
+                testing::ExitedWithCode(1), "non-positive line");
+}
+
+TEST(HarmonicMean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0, 2.0}), 2.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    // Dominated by the smallest value (why the paper uses it).
+    EXPECT_LT(harmonicMean({0.1, 10.0, 10.0}), 0.3);
+}
+
+TEST(HarmonicMeanDeath, RejectsEmptyAndNonPositive)
+{
+    EXPECT_EXIT(harmonicMean({}), testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(harmonicMean({1.0, -1.0}), testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace hetsim::core

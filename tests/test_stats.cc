@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the stats registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace hetsim
+{
+namespace
+{
+
+TEST(Stats, AddAccumulates)
+{
+    Stats stats;
+    stats.add("x", 1.5);
+    stats.add("x", 2.5);
+    EXPECT_DOUBLE_EQ(stats.get("x"), 4.0);
+}
+
+TEST(Stats, GetMissingIsZero)
+{
+    Stats stats;
+    EXPECT_DOUBLE_EQ(stats.get("nope"), 0.0);
+    EXPECT_FALSE(stats.has("nope"));
+}
+
+TEST(Stats, SetOverwrites)
+{
+    Stats stats;
+    stats.add("x", 10);
+    stats.set("x", 3);
+    EXPECT_DOUBLE_EQ(stats.get("x"), 3.0);
+}
+
+TEST(Stats, MergeSums)
+{
+    Stats a, b;
+    a.add("x", 1);
+    a.add("y", 2);
+    b.add("x", 10);
+    b.add("z", 5);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 11.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 2.0);
+    EXPECT_DOUBLE_EQ(a.get("z"), 5.0);
+}
+
+TEST(Stats, DumpContainsEntries)
+{
+    Stats stats;
+    stats.add("kernel.launches", 3);
+    std::ostringstream oss;
+    stats.dump(oss);
+    EXPECT_NE(oss.str().find("kernel.launches"), std::string::npos);
+    EXPECT_NE(oss.str().find("3"), std::string::npos);
+}
+
+TEST(Stats, ClearRemovesAll)
+{
+    Stats stats;
+    stats.add("x", 1);
+    stats.clear();
+    EXPECT_TRUE(stats.all().empty());
+}
+
+} // namespace
+} // namespace hetsim

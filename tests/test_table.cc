@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the ASCII table builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace hetsim
+{
+namespace
+{
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table table("Caption");
+    table.setHeader({"App", "A", "B"});
+    table.addRow({"readmem", "1.00", "2.00"});
+    std::string out = table.str();
+    EXPECT_NE(out.find("Caption"), std::string::npos);
+    EXPECT_NE(out.find("readmem"), std::string::npos);
+    EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatsPrecision)
+{
+    Table table;
+    table.setHeader({"k", "v1", "v2"});
+    table.addRow("row", {1.23456, 2.0}, 3);
+    std::string out = table.str();
+    EXPECT_NE(out.find("1.235"), std::string::npos);
+    EXPECT_NE(out.find("2.000"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table table;
+    table.setHeader({"name", "x"});
+    table.addRow({"a", "1"});
+    table.addRow({"longer-name", "22"});
+    std::string out = table.str();
+    // Every rendered line has the same width for the first column, so
+    // the second column starts at one fixed offset.
+    size_t pos22 = out.find("22");
+    size_t line_start = out.rfind('\n', pos22) + 1;
+    size_t pos1 = out.find(" 1\n");
+    ASSERT_NE(pos22, std::string::npos);
+    ASSERT_NE(pos1, std::string::npos);
+    EXPECT_EQ(pos22 - line_start, 13u); // "longer-name" + 2 spaces
+}
+
+TEST(Table, NumHelper)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(-1.0, 0), "-1");
+}
+
+TEST(TableDeath, MismatchedRowPanics)
+{
+    Table table;
+    table.setHeader({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "table row");
+}
+
+TEST(Table, CsvEscapesAndComments)
+{
+    Table table("A, caption");
+    table.setHeader({"k", "v"});
+    table.addRow({"plain", "1"});
+    table.addRow({"with,comma", "with\"quote"});
+    std::string csv = table.csv();
+    EXPECT_NE(csv.find("# A, caption"), std::string::npos);
+    EXPECT_NE(csv.find("k,v"), std::string::npos);
+    EXPECT_NE(csv.find("plain,1"), std::string::npos);
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, EmptyTablePrintsNothing)
+{
+    Table table;
+    EXPECT_TRUE(table.str().empty());
+}
+
+} // namespace
+} // namespace hetsim

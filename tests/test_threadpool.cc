@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the worker thread pool (functional-execution substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "cpu/threadpool.hh"
+
+namespace hetsim::cpu
+{
+namespace
+{
+
+TEST(ThreadPool, CoversEveryItemExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(10000);
+    pool.parallelFor(10000, [&](u64 b, u64 e) {
+        for (u64 i = b; i < e; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(0, [&](u64, u64) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, DeterministicResultRegardlessOfWorkers)
+{
+    auto run = [](unsigned workers) {
+        ThreadPool pool(workers);
+        std::vector<double> out(5000);
+        pool.parallelFor(5000, [&](u64 b, u64 e) {
+            for (u64 i = b; i < e; ++i)
+                out[i] = static_cast<double>(i) * 0.5;
+        });
+        return std::accumulate(out.begin(), out.end(), 0.0);
+    };
+    EXPECT_DOUBLE_EQ(run(1), run(4));
+}
+
+TEST(ThreadPool, PropagatesException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(1000,
+                                  [](u64 b, u64) {
+                                      if (b == 0)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    // Pool remains usable afterwards.
+    std::atomic<u64> count{0};
+    pool.parallelFor(100, [&](u64 b, u64 e) { count += e - b; });
+    EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, NestedCallsRunInline)
+{
+    ThreadPool pool(4);
+    std::atomic<u64> total{0};
+    pool.parallelFor(16, [&](u64 b, u64 e) {
+        for (u64 i = b; i < e; ++i) {
+            ThreadPool::global().parallelFor(
+                10, [&](u64 bb, u64 ee) { total += ee - bb; });
+        }
+    });
+    EXPECT_EQ(total.load(), 160u);
+}
+
+TEST(ThreadPool, RespectsGrain)
+{
+    ThreadPool pool(4);
+    std::atomic<int> chunks{0};
+    pool.parallelFor(
+        1000,
+        [&](u64, u64) { chunks.fetch_add(1); },
+        250);
+    EXPECT_LE(chunks.load(), 4);
+    EXPECT_GE(chunks.load(), 1);
+}
+
+TEST(ThreadPool, GlobalSingleton)
+{
+    EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+    EXPECT_GE(ThreadPool::global().workers(), 1u);
+}
+
+TEST(ThreadPool, ManySequentialJobs)
+{
+    ThreadPool pool(3);
+    for (int j = 0; j < 200; ++j) {
+        std::atomic<u64> count{0};
+        pool.parallelFor(97, [&](u64 b, u64 e) { count += e - b; });
+        ASSERT_EQ(count.load(), 97u);
+    }
+}
+
+} // namespace
+} // namespace hetsim::cpu

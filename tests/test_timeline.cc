@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the discrete-event timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/timeline.hh"
+
+namespace hetsim::sim
+{
+namespace
+{
+
+TEST(Timeline, SerializesWithinResource)
+{
+    Timeline tl;
+    ResourceId q = tl.addResource("q");
+    TaskId a = tl.schedule(q, 1.0);
+    TaskId b = tl.schedule(q, 2.0);
+    EXPECT_DOUBLE_EQ(tl.finishTime(a), 1.0);
+    EXPECT_DOUBLE_EQ(tl.startTime(b), 1.0);
+    EXPECT_DOUBLE_EQ(tl.finishTime(b), 3.0);
+    EXPECT_DOUBLE_EQ(tl.makespan(), 3.0);
+}
+
+TEST(Timeline, IndependentResourcesOverlap)
+{
+    Timeline tl;
+    ResourceId dma = tl.addResource("dma");
+    ResourceId compute = tl.addResource("compute");
+    tl.schedule(dma, 5.0);
+    tl.schedule(compute, 4.0);
+    EXPECT_DOUBLE_EQ(tl.makespan(), 5.0); // not 9
+}
+
+TEST(Timeline, DependencyDelaysStart)
+{
+    Timeline tl;
+    ResourceId dma = tl.addResource("dma");
+    ResourceId compute = tl.addResource("compute");
+    TaskId copy = tl.schedule(dma, 2.0);
+    TaskId kernel = tl.schedule(compute, 1.0, copy);
+    EXPECT_DOUBLE_EQ(tl.startTime(kernel), 2.0);
+    EXPECT_DOUBLE_EQ(tl.finishTime(kernel), 3.0);
+}
+
+TEST(Timeline, NoTaskDependencyIgnored)
+{
+    Timeline tl;
+    ResourceId q = tl.addResource("q");
+    TaskId t = tl.schedule(q, 1.0, NoTask);
+    EXPECT_DOUBLE_EQ(tl.startTime(t), 0.0);
+}
+
+TEST(Timeline, MultipleDependenciesUseLatest)
+{
+    Timeline tl;
+    ResourceId a = tl.addResource("a");
+    ResourceId b = tl.addResource("b");
+    ResourceId c = tl.addResource("c");
+    TaskId t1 = tl.schedule(a, 1.0);
+    TaskId t2 = tl.schedule(b, 4.0);
+    TaskId deps[] = {t1, t2};
+    TaskId t3 = tl.schedule(c, 1.0, std::span<const TaskId>(deps, 2));
+    EXPECT_DOUBLE_EQ(tl.startTime(t3), 4.0);
+}
+
+TEST(Timeline, PipelineOverlapsCopiesAndCompute)
+{
+    // Double-buffered pipeline: copy(i) overlaps kernel(i-1).
+    Timeline tl;
+    ResourceId dma = tl.addResource("dma");
+    ResourceId compute = tl.addResource("compute");
+    TaskId prev_copy = NoTask;
+    TaskId prev_kernel = NoTask;
+    for (int i = 0; i < 4; ++i) {
+        TaskId copy = tl.schedule(dma, 1.0, prev_copy);
+        TaskId deps[] = {copy, prev_kernel};
+        TaskId kernel =
+            tl.schedule(compute, 1.0,
+                        std::span<const TaskId>(deps, 2));
+        prev_copy = copy;
+        prev_kernel = kernel;
+    }
+    // Perfect overlap: 1 (fill) + 4 kernels = 5, not 8.
+    EXPECT_DOUBLE_EQ(tl.makespan(), 5.0);
+}
+
+TEST(Timeline, BusyTimeAccumulates)
+{
+    Timeline tl;
+    ResourceId q = tl.addResource("q");
+    tl.schedule(q, 1.5);
+    tl.schedule(q, 2.5);
+    EXPECT_DOUBLE_EQ(tl.resourceBusyTime(q), 4.0);
+    EXPECT_DOUBLE_EQ(tl.resourceFreeTime(q), 4.0);
+}
+
+TEST(Timeline, ClearTasksKeepsResources)
+{
+    Timeline tl;
+    ResourceId q = tl.addResource("q");
+    tl.schedule(q, 1.0);
+    tl.clearTasks();
+    EXPECT_DOUBLE_EQ(tl.makespan(), 0.0);
+    EXPECT_EQ(tl.taskCount(), 0u);
+    TaskId t = tl.schedule(q, 1.0);
+    EXPECT_DOUBLE_EQ(tl.startTime(t), 0.0);
+}
+
+TEST(TimelineDeath, RejectsBadArguments)
+{
+    Timeline tl;
+    ResourceId q = tl.addResource("q");
+    EXPECT_DEATH(tl.schedule(q + 1, 1.0), "unknown timeline resource");
+    EXPECT_DEATH(tl.schedule(q, -1.0), "negative task duration");
+    EXPECT_DEATH(tl.finishTime(99), "unknown task");
+}
+
+} // namespace
+} // namespace hetsim::sim

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Property tests for the roofline kernel timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/device.hh"
+#include "sim/timing.hh"
+
+namespace hetsim::sim
+{
+namespace
+{
+
+KernelProfile
+computeBound()
+{
+    KernelProfile prof;
+    prof.name = "compute";
+    prof.items = 1 << 20;
+    prof.flopsPerItem = 2000;
+    prof.intOpsPerItem = 50;
+    prof.memInstrsPerItem = 4;
+    prof.dramBytesPerItem = 8;
+    prof.l2BytesPerItem = 16;
+    return prof;
+}
+
+KernelProfile
+memoryBound()
+{
+    KernelProfile prof;
+    prof.name = "stream";
+    prof.items = 1 << 20;
+    prof.flopsPerItem = 8;
+    prof.intOpsPerItem = 4;
+    prof.memInstrsPerItem = 64;
+    prof.dramBytesPerItem = 256;
+    prof.l2BytesPerItem = 256;
+    return prof;
+}
+
+KernelProfile
+latencyBound()
+{
+    KernelProfile prof;
+    prof.name = "chase";
+    prof.items = 1 << 20;
+    prof.flopsPerItem = 10;
+    prof.intOpsPerItem = 40;
+    prof.memInstrsPerItem = 20;
+    prof.dramBytesPerItem = 100;
+    prof.l2BytesPerItem = 80;
+    prof.pattern = AccessPattern::RandomGather;
+    prof.patternEff = 0.45;
+    prof.dependentMissesPerItem = 10;
+    prof.dependentHitsPerItem = 10;
+    prof.chainConcurrencyPerCu = 4;
+    return prof;
+}
+
+TEST(Timing, ComputeBoundScalesWithCoreClock)
+{
+    DeviceSpec spec = radeonR9_280X();
+    CodegenResult cg;
+    auto t1 = timeKernel(spec, {925, 1500}, Precision::Single,
+                         computeBound(), cg);
+    auto t2 = timeKernel(spec, {462.5, 1500}, Precision::Single,
+                         computeBound(), cg);
+    EXPECT_GT(t1.issueSeconds, t1.memSeconds);
+    EXPECT_NEAR(t2.issueSeconds / t1.issueSeconds, 2.0, 0.01);
+}
+
+TEST(Timing, MemoryBoundScalesWithMemClock)
+{
+    DeviceSpec spec = radeonR9_280X();
+    CodegenResult cg;
+    auto t1 = timeKernel(spec, {925, 1500}, Precision::Single,
+                         memoryBound(), cg);
+    auto t2 = timeKernel(spec, {925, 750}, Precision::Single,
+                         memoryBound(), cg);
+    EXPECT_GT(t1.memSeconds, t1.issueSeconds);
+    EXPECT_NEAR(t2.memSeconds / t1.memSeconds, 2.0, 0.01);
+}
+
+TEST(Timing, MemoryBoundIssueLimitedAtLowCoreClock)
+{
+    // The Figure 7 interaction: at low core clocks even a streaming
+    // kernel speeds up with the core frequency.
+    DeviceSpec spec = radeonR9_280X();
+    CodegenResult cg;
+    auto slow = timeKernel(spec, {200, 1500}, Precision::Single,
+                           memoryBound(), cg);
+    auto fast = timeKernel(spec, {925, 1500}, Precision::Single,
+                           memoryBound(), cg);
+    EXPECT_GT(slow.memSeconds, fast.memSeconds * 1.5);
+}
+
+TEST(Timing, DoublePrecisionSlowerOnFpBoundKernels)
+{
+    DeviceSpec spec = a10_7850kGpu(); // 1/16 DP
+    CodegenResult cg;
+    auto sp = timeKernel(spec, spec.stockFreq(), Precision::Single,
+                         computeBound(), cg);
+    auto dp = timeKernel(spec, spec.stockFreq(), Precision::Double,
+                         computeBound(), cg);
+    EXPECT_GT(dp.issueSeconds, sp.issueSeconds * 8);
+}
+
+TEST(Timing, SimdEfficiencyScalesIssueTime)
+{
+    DeviceSpec spec = radeonR9_280X();
+    CodegenResult good, bad;
+    good.simdEfficiency = 0.9;
+    bad.simdEfficiency = 0.3;
+    auto tg = timeKernel(spec, spec.stockFreq(), Precision::Single,
+                         computeBound(), good);
+    auto tb = timeKernel(spec, spec.stockFreq(), Precision::Single,
+                         computeBound(), bad);
+    EXPECT_NEAR(tb.issueSeconds / tg.issueSeconds, 3.0, 0.01);
+}
+
+TEST(Timing, LatencyTermScalesWithBothClocks)
+{
+    DeviceSpec spec = radeonR9_280X();
+    CodegenResult cg;
+    auto base = timeKernel(spec, {925, 1500}, Precision::Single,
+                           latencyBound(), cg);
+    EXPECT_GT(base.latencySeconds, base.memSeconds);
+    auto slow_core = timeKernel(spec, {300, 1500}, Precision::Single,
+                                latencyBound(), cg);
+    EXPECT_GT(slow_core.latencySeconds, base.latencySeconds * 1.5);
+    auto slow_mem = timeKernel(spec, {925, 480}, Precision::Single,
+                               latencyBound(), cg);
+    EXPECT_GT(slow_mem.latencySeconds, base.latencySeconds);
+}
+
+TEST(Timing, ChainConcurrencyCappedByDevice)
+{
+    DeviceSpec cpu = a10_7850kCpu(); // cap 1
+    CodegenResult cg;
+    KernelProfile prof = latencyBound();
+    prof.chainConcurrencyPerCu = 64;
+    auto t64 = timeKernel(cpu, cpu.stockFreq(), Precision::Single,
+                          prof, cg);
+    prof.chainConcurrencyPerCu = 1;
+    auto t1 = timeKernel(cpu, cpu.stockFreq(), Precision::Single,
+                         prof, cg);
+    EXPECT_DOUBLE_EQ(t64.latencySeconds, t1.latencySeconds);
+}
+
+TEST(Timing, LdsTermOnlyWhenUsed)
+{
+    DeviceSpec spec = radeonR9_280X();
+    CodegenResult cg;
+    KernelProfile prof = computeBound();
+    auto without = timeKernel(spec, spec.stockFreq(),
+                              Precision::Single, prof, cg);
+    EXPECT_DOUBLE_EQ(without.ldsSeconds, 0.0);
+    prof.ldsBytesPerItem = 64;
+    auto with = timeKernel(spec, spec.stockFreq(), Precision::Single,
+                           prof, cg);
+    EXPECT_GT(with.ldsSeconds, 0.0);
+}
+
+TEST(Timing, LaunchOverheadAdds)
+{
+    DeviceSpec spec = radeonR9_280X();
+    CodegenResult cg;
+    cg.launchOverheadUs = 10.0;
+    KernelProfile prof = computeBound();
+    prof.items = 64; // tiny kernel: overhead dominates
+    auto t = timeKernel(spec, spec.stockFreq(), Precision::Single,
+                        prof, cg);
+    EXPECT_NEAR(t.launchSeconds, (spec.launchOverheadUs + 10) * 1e-6,
+                1e-9);
+    EXPECT_GT(t.seconds, t.launchSeconds * 0.99);
+}
+
+TEST(Timing, IpcBoundedBySimdEfficiency)
+{
+    DeviceSpec spec = radeonR9_280X();
+    CodegenResult cg;
+    cg.simdEfficiency = 0.8;
+    auto t = timeKernel(spec, spec.stockFreq(), Precision::Single,
+                        computeBound(), cg);
+    // Compute bound: IPC == simd efficiency.
+    EXPECT_NEAR(t.ipc, 0.8, 0.01);
+    auto m = timeKernel(spec, spec.stockFreq(), Precision::Single,
+                        memoryBound(), cg);
+    EXPECT_LT(m.ipc, 0.8);
+}
+
+TEST(Timing, ZeroItemsIsFree)
+{
+    DeviceSpec spec = radeonR9_280X();
+    KernelProfile prof;
+    prof.items = 0;
+    auto t = timeKernel(spec, spec.stockFreq(), Precision::Single,
+                        prof, CodegenResult{});
+    EXPECT_DOUBLE_EQ(t.seconds, 0.0);
+}
+
+TEST(TimingDeath, RejectsBadInputs)
+{
+    DeviceSpec spec = radeonR9_280X();
+    CodegenResult cg;
+    EXPECT_DEATH(timeKernel(spec, {0, 1500}, Precision::Single,
+                            computeBound(), cg),
+                 "non-positive frequency");
+    cg.simdEfficiency = 0.0;
+    EXPECT_DEATH(timeKernel(spec, spec.stockFreq(), Precision::Single,
+                            computeBound(), cg),
+                 "implausible SIMD efficiency");
+}
+
+/** Property sweep: time decreases monotonically with the core clock
+ *  for every profile shape. */
+class TimingMonotone : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(TimingMonotone, FasterClocksNeverHurt)
+{
+    DeviceSpec spec = radeonR9_280X();
+    CodegenResult cg;
+    KernelProfile prof;
+    switch (GetParam()) {
+      case 0: prof = computeBound(); break;
+      case 1: prof = memoryBound(); break;
+      default: prof = latencyBound(); break;
+    }
+    double prev = 1e30;
+    for (double core : {200, 300, 400, 500, 600, 700, 800, 900, 1000}) {
+        double t = timeKernel(spec, {core, 1030}, Precision::Single,
+                              prof, cg).seconds;
+        EXPECT_LE(t, prev * 1.0001) << "core " << core;
+        prev = t;
+    }
+    prev = 1e30;
+    for (double mem : {480, 590, 700, 810, 920, 1030, 1140, 1250}) {
+        double t = timeKernel(spec, {925, mem}, Precision::Single,
+                              prof, cg).seconds;
+        EXPECT_LE(t, prev * 1.0001) << "mem " << mem;
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, TimingMonotone,
+                         testing::Values(0, 1, 2));
+
+} // namespace
+} // namespace hetsim::sim

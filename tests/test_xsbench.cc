@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the XSBench proxy application.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/xsbench/xsbench_core.hh"
+#include "core/workload.hh"
+
+namespace hetsim
+{
+namespace
+{
+
+using core::ModelKind;
+
+TEST(XsbenchCore, UnionGridSortedAndIndexed)
+{
+    apps::xsbench::Problem<double> prob(512, 10000);
+    EXPECT_TRUE(std::is_sorted(prob.unionEnergy.begin(),
+                               prob.unionEnergy.end()));
+    EXPECT_EQ(prob.unionIndex.size(),
+              prob.unionSize * apps::xsbench::numNuclides);
+    // Index invariant: nuclide gridpoint energy <= union energy.
+    for (u64 u = 100; u < prob.unionSize; u += 9973) {
+        for (int n = 0; n < apps::xsbench::numNuclides; n += 7) {
+            u32 g = prob.unionIndex[u * apps::xsbench::numNuclides + n];
+            // g == 0 also encodes "below this nuclide's first point".
+            if (g > 0) {
+                ASSERT_LE(prob.nuclideEnergy[u64(n) * 512 + g],
+                          prob.unionEnergy[u] + 1e-12);
+            }
+        }
+    }
+}
+
+TEST(XsbenchCore, PaperTableIsAboutRightSize)
+{
+    // -s small: ~240 MB (paper Sec. VI-A) in double precision.
+    apps::xsbench::Problem<double> prob(apps::xsbench::baseGridpoints,
+                                        1);
+    double mb = static_cast<double>(prob.tableBytes()) / (1024 * 1024);
+    EXPECT_GT(mb, 180.0);
+    EXPECT_LT(mb, 320.0);
+}
+
+TEST(XsbenchCore, LookupsDeterministicPerIndex)
+{
+    apps::xsbench::Problem<float> prob(512, 1000);
+    double e1, e2;
+    u32 m1, m2;
+    prob.samplePair(42, e1, m1);
+    prob.samplePair(42, e2, m2);
+    EXPECT_DOUBLE_EQ(e1, e2);
+    EXPECT_EQ(m1, m2);
+    EXPECT_LT(m1, u32(apps::xsbench::numMaterials));
+}
+
+TEST(XsbenchCore, ResultsPositiveAndBounded)
+{
+    apps::xsbench::Problem<float> prob(512, 5000);
+    prob.macroXsLookup(0, prob.lookups);
+    EXPECT_TRUE(prob.finite());
+    for (float r : prob.results) {
+        ASSERT_GE(r, 0.0f);
+        // <= nuclides * channels * max_xs(=1).
+        ASSERT_LE(r, 34.0f * 5.0f);
+    }
+    EXPECT_GT(prob.checksum(), 0.0);
+}
+
+TEST(XsbenchCore, DescriptorDeclaresDependentChain)
+{
+    apps::xsbench::Problem<float> prob(512, 1000);
+    auto desc = prob.descriptor();
+    double dep = 0.0;
+    for (const auto &s : desc.streams)
+        dep += s.dependentAccessesPerItem;
+    EXPECT_GT(dep, 10.0); // the binary search
+    EXPECT_LT(desc.chainConcurrencyPerCu, 64.0); // register pressure
+}
+
+class XsbenchModels
+    : public testing::TestWithParam<std::tuple<ModelKind, Precision>>
+{
+};
+
+TEST_P(XsbenchModels, ValidatesAgainstSerial)
+{
+    auto [model, prec] = GetParam();
+    auto wl = core::makeXsbench();
+    core::WorkloadConfig cfg;
+    cfg.scale = 0.02;
+    cfg.precision = prec;
+    cfg.functional = true;
+    auto result = wl->run(model, sim::radeonR9_280X(), cfg);
+    EXPECT_TRUE(result.validated) << ir::displayName(model);
+    EXPECT_EQ(result.uniqueKernels, 1); // Table I
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, XsbenchModels,
+    testing::Combine(testing::Values(ModelKind::Serial,
+                                     ModelKind::OpenMp,
+                                     ModelKind::OpenCl,
+                                     ModelKind::CppAmp,
+                                     ModelKind::OpenAcc,
+                                     ModelKind::Hc),
+                     testing::Values(Precision::Single,
+                                     Precision::Double)));
+
+TEST(Xsbench, TableStagingDominatesStartupOnDiscreteGpu)
+{
+    auto wl = core::makeXsbench();
+    core::WorkloadConfig cfg;
+    cfg.scale = 0.2;
+    cfg.functional = false;
+    auto result = wl->run(ModelKind::OpenCl, sim::radeonR9_280X(), cfg);
+    // "Moving this lookup-table to the GPU memory accounts for a
+    // significant amount of total execution time."
+    EXPECT_GT(result.transferSeconds, 0.002);
+}
+
+} // namespace
+} // namespace hetsim
