@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_productivity.dir/bench_fig10_productivity.cc.o"
+  "CMakeFiles/bench_fig10_productivity.dir/bench_fig10_productivity.cc.o.d"
+  "bench_fig10_productivity"
+  "bench_fig10_productivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_productivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

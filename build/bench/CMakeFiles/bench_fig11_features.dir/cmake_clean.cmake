@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_features.dir/bench_fig11_features.cc.o"
+  "CMakeFiles/bench_fig11_features.dir/bench_fig11_features.cc.o.d"
+  "bench_fig11_features"
+  "bench_fig11_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_apu.dir/bench_fig8_apu.cc.o"
+  "CMakeFiles/bench_fig8_apu.dir/bench_fig8_apu.cc.o.d"
+  "bench_fig8_apu"
+  "bench_fig8_apu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_apu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

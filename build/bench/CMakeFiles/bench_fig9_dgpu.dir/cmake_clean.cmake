@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dgpu.dir/bench_fig9_dgpu.cc.o"
+  "CMakeFiles/bench_fig9_dgpu.dir/bench_fig9_dgpu.cc.o.d"
+  "bench_fig9_dgpu"
+  "bench_fig9_dgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

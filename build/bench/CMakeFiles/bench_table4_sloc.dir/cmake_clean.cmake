@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sloc.dir/bench_table4_sloc.cc.o"
+  "CMakeFiles/bench_table4_sloc.dir/bench_table4_sloc.cc.o.d"
+  "bench_table4_sloc"
+  "bench_table4_sloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

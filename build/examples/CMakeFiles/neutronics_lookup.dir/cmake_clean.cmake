@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neutronics_lookup.dir/neutronics_lookup.cpp.o"
+  "CMakeFiles/neutronics_lookup.dir/neutronics_lookup.cpp.o.d"
+  "neutronics_lookup"
+  "neutronics_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neutronics_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porting_guide.dir/porting_guide.cpp.o"
+  "CMakeFiles/porting_guide.dir/porting_guide.cpp.o.d"
+  "porting_guide"
+  "porting_guide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porting_guide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/hetsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opencl/CMakeFiles/hetsim_opencl.dir/DependInfo.cmake"
+  "/root/repo/build/src/amp/CMakeFiles/hetsim_amp.dir/DependInfo.cmake"
+  "/root/repo/build/src/acc/CMakeFiles/hetsim_acc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hc/CMakeFiles/hetsim_hc.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hetsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelir/CMakeFiles/hetsim_kernelir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hetsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hetsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_acc.dir/acc.cc.o"
+  "CMakeFiles/hetsim_acc.dir/acc.cc.o.d"
+  "libhetsim_acc.a"
+  "libhetsim_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

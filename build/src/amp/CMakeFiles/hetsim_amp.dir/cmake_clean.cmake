@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_amp.dir/amp.cc.o"
+  "CMakeFiles/hetsim_amp.dir/amp.cc.o.d"
+  "libhetsim_amp.a"
+  "libhetsim_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

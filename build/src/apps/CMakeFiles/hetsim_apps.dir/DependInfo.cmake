@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/appsupport.cc" "src/apps/CMakeFiles/hetsim_apps.dir/appsupport.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/appsupport.cc.o.d"
+  "/root/repo/src/apps/comd/comd.cc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd.cc.o.d"
+  "/root/repo/src/apps/comd/comd_acc.cc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_acc.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_acc.cc.o.d"
+  "/root/repo/src/apps/comd/comd_amp.cc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_amp.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_amp.cc.o.d"
+  "/root/repo/src/apps/comd/comd_core.cc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_core.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_core.cc.o.d"
+  "/root/repo/src/apps/comd/comd_eam.cc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_eam.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_eam.cc.o.d"
+  "/root/repo/src/apps/comd/comd_hc.cc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_hc.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_hc.cc.o.d"
+  "/root/repo/src/apps/comd/comd_omp.cc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_omp.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_omp.cc.o.d"
+  "/root/repo/src/apps/comd/comd_opencl.cc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_opencl.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_opencl.cc.o.d"
+  "/root/repo/src/apps/comd/comd_serial.cc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_serial.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/comd/comd_serial.cc.o.d"
+  "/root/repo/src/apps/lulesh/lulesh.cc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh.cc.o.d"
+  "/root/repo/src/apps/lulesh/lulesh_acc.cc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_acc.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_acc.cc.o.d"
+  "/root/repo/src/apps/lulesh/lulesh_amp.cc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_amp.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_amp.cc.o.d"
+  "/root/repo/src/apps/lulesh/lulesh_core.cc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_core.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_core.cc.o.d"
+  "/root/repo/src/apps/lulesh/lulesh_hc.cc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_hc.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_hc.cc.o.d"
+  "/root/repo/src/apps/lulesh/lulesh_meta.cc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_meta.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_meta.cc.o.d"
+  "/root/repo/src/apps/lulesh/lulesh_omp.cc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_omp.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_omp.cc.o.d"
+  "/root/repo/src/apps/lulesh/lulesh_opencl.cc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_opencl.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_opencl.cc.o.d"
+  "/root/repo/src/apps/lulesh/lulesh_serial.cc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_serial.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/lulesh/lulesh_serial.cc.o.d"
+  "/root/repo/src/apps/minife/minife.cc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife.cc.o.d"
+  "/root/repo/src/apps/minife/minife_acc.cc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_acc.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_acc.cc.o.d"
+  "/root/repo/src/apps/minife/minife_amp.cc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_amp.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_amp.cc.o.d"
+  "/root/repo/src/apps/minife/minife_core.cc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_core.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_core.cc.o.d"
+  "/root/repo/src/apps/minife/minife_hc.cc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_hc.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_hc.cc.o.d"
+  "/root/repo/src/apps/minife/minife_omp.cc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_omp.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_omp.cc.o.d"
+  "/root/repo/src/apps/minife/minife_opencl.cc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_opencl.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_opencl.cc.o.d"
+  "/root/repo/src/apps/minife/minife_serial.cc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_serial.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/minife/minife_serial.cc.o.d"
+  "/root/repo/src/apps/readmem/readmem.cc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem.cc.o.d"
+  "/root/repo/src/apps/readmem/readmem_acc.cc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_acc.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_acc.cc.o.d"
+  "/root/repo/src/apps/readmem/readmem_amp.cc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_amp.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_amp.cc.o.d"
+  "/root/repo/src/apps/readmem/readmem_hc.cc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_hc.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_hc.cc.o.d"
+  "/root/repo/src/apps/readmem/readmem_omp.cc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_omp.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_omp.cc.o.d"
+  "/root/repo/src/apps/readmem/readmem_opencl.cc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_opencl.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_opencl.cc.o.d"
+  "/root/repo/src/apps/readmem/readmem_serial.cc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_serial.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/readmem/readmem_serial.cc.o.d"
+  "/root/repo/src/apps/workloads.cc" "src/apps/CMakeFiles/hetsim_apps.dir/workloads.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/workloads.cc.o.d"
+  "/root/repo/src/apps/xsbench/xsbench.cc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench.cc.o.d"
+  "/root/repo/src/apps/xsbench/xsbench_acc.cc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_acc.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_acc.cc.o.d"
+  "/root/repo/src/apps/xsbench/xsbench_amp.cc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_amp.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_amp.cc.o.d"
+  "/root/repo/src/apps/xsbench/xsbench_core.cc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_core.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_core.cc.o.d"
+  "/root/repo/src/apps/xsbench/xsbench_hc.cc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_hc.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_hc.cc.o.d"
+  "/root/repo/src/apps/xsbench/xsbench_omp.cc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_omp.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_omp.cc.o.d"
+  "/root/repo/src/apps/xsbench/xsbench_opencl.cc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_opencl.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_opencl.cc.o.d"
+  "/root/repo/src/apps/xsbench/xsbench_serial.cc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_serial.cc.o" "gcc" "src/apps/CMakeFiles/hetsim_apps.dir/xsbench/xsbench_serial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hetsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opencl/CMakeFiles/hetsim_opencl.dir/DependInfo.cmake"
+  "/root/repo/build/src/amp/CMakeFiles/hetsim_amp.dir/DependInfo.cmake"
+  "/root/repo/build/src/acc/CMakeFiles/hetsim_acc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hc/CMakeFiles/hetsim_hc.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hetsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelir/CMakeFiles/hetsim_kernelir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hetsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hetsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

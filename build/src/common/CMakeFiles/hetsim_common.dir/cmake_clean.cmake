@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_common.dir/logging.cc.o"
+  "CMakeFiles/hetsim_common.dir/logging.cc.o.d"
+  "CMakeFiles/hetsim_common.dir/stats.cc.o"
+  "CMakeFiles/hetsim_common.dir/stats.cc.o.d"
+  "CMakeFiles/hetsim_common.dir/table.cc.o"
+  "CMakeFiles/hetsim_common.dir/table.cc.o.d"
+  "libhetsim_common.a"
+  "libhetsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_core.dir/harness.cc.o"
+  "CMakeFiles/hetsim_core.dir/harness.cc.o.d"
+  "CMakeFiles/hetsim_core.dir/productivity.cc.o"
+  "CMakeFiles/hetsim_core.dir/productivity.cc.o.d"
+  "CMakeFiles/hetsim_core.dir/sloc.cc.o"
+  "CMakeFiles/hetsim_core.dir/sloc.cc.o.d"
+  "CMakeFiles/hetsim_core.dir/workload.cc.o"
+  "CMakeFiles/hetsim_core.dir/workload.cc.o.d"
+  "libhetsim_core.a"
+  "libhetsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_cpu.dir/threadpool.cc.o"
+  "CMakeFiles/hetsim_cpu.dir/threadpool.cc.o.d"
+  "libhetsim_cpu.a"
+  "libhetsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

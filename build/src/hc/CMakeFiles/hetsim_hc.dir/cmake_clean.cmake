@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_hc.dir/hc.cc.o"
+  "CMakeFiles/hetsim_hc.dir/hc.cc.o.d"
+  "libhetsim_hc.a"
+  "libhetsim_hc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_hc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

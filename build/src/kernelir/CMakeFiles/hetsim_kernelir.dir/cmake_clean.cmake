@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_kernelir.dir/codegen.cc.o"
+  "CMakeFiles/hetsim_kernelir.dir/codegen.cc.o.d"
+  "CMakeFiles/hetsim_kernelir.dir/kernel.cc.o"
+  "CMakeFiles/hetsim_kernelir.dir/kernel.cc.o.d"
+  "CMakeFiles/hetsim_kernelir.dir/trace.cc.o"
+  "CMakeFiles/hetsim_kernelir.dir/trace.cc.o.d"
+  "libhetsim_kernelir.a"
+  "libhetsim_kernelir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_kernelir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

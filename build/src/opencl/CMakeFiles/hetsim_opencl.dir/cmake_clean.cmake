@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_opencl.dir/opencl.cc.o"
+  "CMakeFiles/hetsim_opencl.dir/opencl.cc.o.d"
+  "libhetsim_opencl.a"
+  "libhetsim_opencl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_opencl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

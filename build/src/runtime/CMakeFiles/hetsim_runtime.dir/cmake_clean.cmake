@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_runtime.dir/context.cc.o"
+  "CMakeFiles/hetsim_runtime.dir/context.cc.o.d"
+  "libhetsim_runtime.a"
+  "libhetsim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

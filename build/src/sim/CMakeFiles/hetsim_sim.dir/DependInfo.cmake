@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/hetsim_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/hetsim_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/hetsim_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/hetsim_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/sim/CMakeFiles/hetsim_sim.dir/timeline.cc.o" "gcc" "src/sim/CMakeFiles/hetsim_sim.dir/timeline.cc.o.d"
+  "/root/repo/src/sim/timing.cc" "src/sim/CMakeFiles/hetsim_sim.dir/timing.cc.o" "gcc" "src/sim/CMakeFiles/hetsim_sim.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

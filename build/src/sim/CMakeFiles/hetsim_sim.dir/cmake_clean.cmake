@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_sim.dir/cache.cc.o"
+  "CMakeFiles/hetsim_sim.dir/cache.cc.o.d"
+  "CMakeFiles/hetsim_sim.dir/device.cc.o"
+  "CMakeFiles/hetsim_sim.dir/device.cc.o.d"
+  "CMakeFiles/hetsim_sim.dir/timeline.cc.o"
+  "CMakeFiles/hetsim_sim.dir/timeline.cc.o.d"
+  "CMakeFiles/hetsim_sim.dir/timing.cc.o"
+  "CMakeFiles/hetsim_sim.dir/timing.cc.o.d"
+  "libhetsim_sim.a"
+  "libhetsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_cli_lib.dir/cli.cc.o"
+  "CMakeFiles/hetsim_cli_lib.dir/cli.cc.o.d"
+  "libhetsim_cli_lib.a"
+  "libhetsim_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acc.cc" "tests/CMakeFiles/hetsim_tests.dir/test_acc.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_acc.cc.o.d"
+  "/root/repo/tests/test_amp.cc" "tests/CMakeFiles/hetsim_tests.dir/test_amp.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_amp.cc.o.d"
+  "/root/repo/tests/test_app_traces.cc" "tests/CMakeFiles/hetsim_tests.dir/test_app_traces.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_app_traces.cc.o.d"
+  "/root/repo/tests/test_appsupport.cc" "tests/CMakeFiles/hetsim_tests.dir/test_appsupport.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_appsupport.cc.o.d"
+  "/root/repo/tests/test_breakdown.cc" "tests/CMakeFiles/hetsim_tests.dir/test_breakdown.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_breakdown.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/hetsim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cli.cc" "tests/CMakeFiles/hetsim_tests.dir/test_cli.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_cli.cc.o.d"
+  "/root/repo/tests/test_codegen.cc" "tests/CMakeFiles/hetsim_tests.dir/test_codegen.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_codegen.cc.o.d"
+  "/root/repo/tests/test_comd.cc" "tests/CMakeFiles/hetsim_tests.dir/test_comd.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_comd.cc.o.d"
+  "/root/repo/tests/test_comd_eam.cc" "tests/CMakeFiles/hetsim_tests.dir/test_comd_eam.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_comd_eam.cc.o.d"
+  "/root/repo/tests/test_descriptors.cc" "tests/CMakeFiles/hetsim_tests.dir/test_descriptors.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_descriptors.cc.o.d"
+  "/root/repo/tests/test_determinism.cc" "tests/CMakeFiles/hetsim_tests.dir/test_determinism.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_determinism.cc.o.d"
+  "/root/repo/tests/test_device.cc" "tests/CMakeFiles/hetsim_tests.dir/test_device.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_device.cc.o.d"
+  "/root/repo/tests/test_frontend_extras.cc" "tests/CMakeFiles/hetsim_tests.dir/test_frontend_extras.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_frontend_extras.cc.o.d"
+  "/root/repo/tests/test_generations.cc" "tests/CMakeFiles/hetsim_tests.dir/test_generations.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_generations.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/hetsim_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_hc.cc" "tests/CMakeFiles/hetsim_tests.dir/test_hc.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_hc.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/hetsim_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/hetsim_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_lulesh.cc" "tests/CMakeFiles/hetsim_tests.dir/test_lulesh.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_lulesh.cc.o.d"
+  "/root/repo/tests/test_lulesh_kernels.cc" "tests/CMakeFiles/hetsim_tests.dir/test_lulesh_kernels.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_lulesh_kernels.cc.o.d"
+  "/root/repo/tests/test_minife.cc" "tests/CMakeFiles/hetsim_tests.dir/test_minife.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_minife.cc.o.d"
+  "/root/repo/tests/test_opencl.cc" "tests/CMakeFiles/hetsim_tests.dir/test_opencl.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_opencl.cc.o.d"
+  "/root/repo/tests/test_pcie.cc" "tests/CMakeFiles/hetsim_tests.dir/test_pcie.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_pcie.cc.o.d"
+  "/root/repo/tests/test_productivity.cc" "tests/CMakeFiles/hetsim_tests.dir/test_productivity.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_productivity.cc.o.d"
+  "/root/repo/tests/test_readmem.cc" "tests/CMakeFiles/hetsim_tests.dir/test_readmem.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_readmem.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/hetsim_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/hetsim_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_sloc.cc" "tests/CMakeFiles/hetsim_tests.dir/test_sloc.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_sloc.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/hetsim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/hetsim_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_threadpool.cc" "tests/CMakeFiles/hetsim_tests.dir/test_threadpool.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_threadpool.cc.o.d"
+  "/root/repo/tests/test_timeline.cc" "tests/CMakeFiles/hetsim_tests.dir/test_timeline.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_timeline.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/hetsim_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/hetsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_xsbench.cc" "tests/CMakeFiles/hetsim_tests.dir/test_xsbench.cc.o" "gcc" "tests/CMakeFiles/hetsim_tests.dir/test_xsbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/hetsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/hetsim_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opencl/CMakeFiles/hetsim_opencl.dir/DependInfo.cmake"
+  "/root/repo/build/src/amp/CMakeFiles/hetsim_amp.dir/DependInfo.cmake"
+  "/root/repo/build/src/acc/CMakeFiles/hetsim_acc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hc/CMakeFiles/hetsim_hc.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hetsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelir/CMakeFiles/hetsim_kernelir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hetsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hetsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
