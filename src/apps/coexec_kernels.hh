@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Co-execution adapters for the proxy applications.
+ *
+ * Each factory wraps one app kernel as a coexec::CoKernel: the
+ * descriptor the compilers see, a functional body over a global
+ * work-item range (partitions write disjoint slices of one shared
+ * problem), the per-item / fixed staging footprint a discrete device
+ * must move, and a validator that compares the co-executed results
+ * bit-for-bit against the app's serial core.
+ */
+
+#ifndef HETSIM_APPS_COEXEC_KERNELS_HH
+#define HETSIM_APPS_COEXEC_KERNELS_HH
+
+#include <optional>
+#include <string>
+
+#include "coexec/coexec.hh"
+
+namespace hetsim::apps::coex
+{
+
+/** read-memory block sum (memory-bound streaming). */
+coexec::CoKernel makeReadmemCoKernel(double scale, Precision prec);
+
+/** XSBench macroscopic-XS lookup (latency-bound, shared table). */
+coexec::CoKernel makeXsbenchCoKernel(double scale, Precision prec);
+
+/** miniFE CSR-Adaptive SpMV (memory-bound, gathered x vector). */
+coexec::CoKernel makeMinifeSpmvCoKernel(double scale, Precision prec);
+
+/**
+ * @return the co-kernel for a CLI app name (readmem, xsbench,
+ * minife), or nullopt for apps without a co-execution adapter.
+ */
+std::optional<coexec::CoKernel>
+coKernelByName(const std::string &app, double scale, Precision prec);
+
+} // namespace hetsim::apps::coex
+
+#endif // HETSIM_APPS_COEXEC_KERNELS_HH

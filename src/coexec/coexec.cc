@@ -1,0 +1,334 @@
+#include "coexec.hh"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "cpu/threadpool.hh"
+#include "coexec/scheduler.hh"
+
+namespace hetsim::coexec
+{
+
+const char *
+toString(Policy policy)
+{
+    switch (policy) {
+      case Policy::StaticRatio:
+        return "static";
+      case Policy::DynamicChunk:
+        return "dynamic";
+      case Policy::Adaptive:
+        return "adaptive";
+    }
+    return "?";
+}
+
+std::optional<Policy>
+policyByName(const std::string &name)
+{
+    if (name == "static" || name == "static-ratio")
+        return Policy::StaticRatio;
+    if (name == "dynamic" || name == "chunked")
+        return Policy::DynamicChunk;
+    if (name == "adaptive")
+        return Policy::Adaptive;
+    return std::nullopt;
+}
+
+DevicePool::DevicePool(std::vector<sim::DeviceSpec> specs_)
+    : specs(std::move(specs_))
+{
+    if (specs.empty())
+        panic("empty co-execution device pool");
+    for (size_t d = 0; d < specs.size(); ++d) {
+        if (d > 0)
+            poolName += '+';
+        poolName += specs[d].name;
+    }
+}
+
+std::optional<DevicePool>
+DevicePool::parse(const std::string &names)
+{
+    std::vector<sim::DeviceSpec> specs;
+    std::string alias_list;
+    std::stringstream ss(names);
+    std::string alias;
+    while (std::getline(ss, alias, '+')) {
+        std::transform(alias.begin(), alias.end(), alias.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        std::string canonical = alias;
+        if (alias == "cpu") {
+            specs.push_back(sim::a10_7850kCpu());
+        } else if (alias == "apu" || alias == "igpu") {
+            specs.push_back(sim::a10_7850kGpu());
+            canonical = "apu";
+        } else if (alias == "dgpu" || alias == "280x" ||
+                   alias == "r9-280x") {
+            specs.push_back(sim::radeonR9_280X());
+            canonical = "dgpu";
+        } else if (alias == "hd7950") {
+            specs.push_back(sim::radeonHd7950());
+        } else {
+            return std::nullopt;
+        }
+        if (!alias_list.empty())
+            alias_list += '+';
+        alias_list += canonical;
+    }
+    if (specs.empty())
+        return std::nullopt;
+    DevicePool pool(std::move(specs));
+    pool.poolName = alias_list;
+    return pool;
+}
+
+ir::ModelKind
+DevicePool::model(size_t d) const
+{
+    return specs[d].type == sim::DeviceType::Cpu ? ir::ModelKind::OpenMp
+                                                 : ir::ModelKind::Hc;
+}
+
+namespace
+{
+
+/** @return the compiler a co-execution slot of this type uses. */
+const ir::CompilerModel &
+compilerForSpec(const sim::DeviceSpec &spec)
+{
+    return ir::compilerFor(spec.type == sim::DeviceType::Cpu
+                               ? ir::ModelKind::OpenMp
+                               : ir::ModelKind::Hc);
+}
+
+} // namespace
+
+double
+predictKernelSeconds(const sim::DeviceSpec &spec, Precision prec,
+                     const ir::KernelDescriptor &desc,
+                     const ir::OptHints &hints, u64 items)
+{
+    if (items == 0)
+        return 0.0;
+    const ir::CompilerModel &compiler = compilerForSpec(spec);
+    ir::Codegen cg = compiler.compile(desc, hints, spec);
+    ir::ProfileResolver resolver(spec);
+    sim::KernelProfile prof = resolver.resolve(
+        desc, items, prec, cg.usesLds, hints.workgroupSize);
+    prof.chainConcurrencyPerCu *= cg.chainEfficiency;
+    return sim::timeKernel(spec, spec.stockFreq(), prec, prof, cg)
+        .seconds;
+}
+
+CoExecutor::CoExecutor(DevicePool pool, Precision prec_)
+    : devices(std::move(pool)), prec(prec_)
+{}
+
+CoExecResult
+CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
+{
+    if (kernel.items == 0) {
+        fatal("kernel %s co-executed with zero items",
+              kernel.name.c_str());
+    }
+
+    // One slot of executor state per device in the pool.
+    struct Slot
+    {
+        const sim::DeviceSpec *spec = nullptr;
+        const ir::CompilerModel *compiler = nullptr;
+        ir::Codegen cg;
+        std::unique_ptr<ir::ProfileResolver> resolver;
+        sim::ResourceId computeQ = 0;
+        sim::ResourceId dmaH2D = 0;
+        sim::ResourceId dmaD2H = 0;
+        /** Fixed (share-independent) staging already scheduled. */
+        bool staged = false;
+        sim::TaskId fixedTask = sim::NoTask;
+        /** Simulated instant at which this device pulls again. */
+        double nextPull = 0.0;
+        bool done = false;
+        double lastFinish = 0.0;
+        DeviceReport report;
+    };
+
+    sim::Timeline timeline;
+    std::vector<Slot> slots(devices.size());
+    std::vector<DeviceState> states(devices.size());
+    for (size_t d = 0; d < devices.size(); ++d) {
+        Slot &slot = slots[d];
+        slot.spec = &devices.spec(d);
+        slot.compiler = &compilerForSpec(*slot.spec);
+        if (kernel.desc.loop.needsBarriers &&
+            !slot.compiler->features().fineGrainedSync) {
+            fatal("kernel %s requires work-group barriers which the "
+                  "co-execution slot for %s cannot express",
+                  kernel.desc.name.c_str(), slot.spec->name.c_str());
+        }
+        slot.cg = slot.compiler->compile(kernel.desc, kernel.hints,
+                                         *slot.spec);
+        slot.resolver =
+            std::make_unique<ir::ProfileResolver>(*slot.spec);
+        slot.computeQ =
+            timeline.addResource(slot.spec->name + "/compute");
+        slot.dmaH2D =
+            timeline.addResource(slot.spec->name + "/dma-h2d");
+        slot.dmaD2H =
+            timeline.addResource(slot.spec->name + "/dma-d2h");
+        slot.report.device = slot.spec->name;
+
+        states[d].spec = slot.spec;
+        const double predicted = predictKernelSeconds(
+            *slot.spec, prec, kernel.desc, kernel.hints, kernel.items);
+        states[d].predictedItemsPerSec =
+            predicted > 0.0
+                ? static_cast<double>(kernel.items) / predicted
+                : 0.0;
+    }
+
+    auto scheduler = makeScheduler(opts.policy, opts.chunkItems,
+                                   opts.minChunkItems);
+    scheduler->reset(kernel.items, states);
+
+    CoExecResult result;
+    result.policy = toString(opts.policy);
+    result.items = kernel.items;
+    result.functional = opts.functional && kernel.body != nullptr;
+
+    // Pull loop: whichever device reaches its pull instant first
+    // grabs the next chunk of the shared iteration space.  A device's
+    // next pull is the *start* of its current compute task, so the
+    // next chunk's staging overlaps the current chunk's compute
+    // (depth-1 prefetch on the DMA engine).
+    u64 next_item = 0;
+    while (next_item < kernel.items) {
+        size_t d = devices.size();
+        for (size_t i = 0; i < devices.size(); ++i) {
+            if (slots[i].done)
+                continue;
+            if (d == devices.size() ||
+                slots[i].nextPull < slots[d].nextPull) {
+                d = i;
+            }
+        }
+        if (d == devices.size()) {
+            panic("co-exec schedulers left %llu of %llu items "
+                  "unassigned",
+                  static_cast<unsigned long long>(kernel.items -
+                                                  next_item),
+                  static_cast<unsigned long long>(kernel.items));
+        }
+
+        Slot &slot = slots[d];
+        const u64 remaining = kernel.items - next_item;
+        u64 take = scheduler->grab(d, states[d], remaining);
+        if (take == 0) {
+            slot.done = true;
+            slot.nextPull = std::numeric_limits<double>::infinity();
+            continue;
+        }
+        take = std::min(take, remaining);
+        const u64 begin = next_item;
+        next_item += take;
+
+        const bool discrete = !slot.spec->zeroCopy;
+        const double xfer_eff = slot.compiler->transferEfficiency();
+        std::vector<sim::TaskId> deps;
+
+        if (discrete && !slot.staged) {
+            slot.staged = true;
+            if (kernel.h2dBytesFixed > 0.0) {
+                const double secs =
+                    opts.pcie.transferSeconds(static_cast<u64>(
+                        kernel.h2dBytesFixed)) /
+                    xfer_eff;
+                slot.fixedTask =
+                    timeline.schedule(slot.dmaH2D, secs);
+                slot.report.transferSeconds += secs;
+            }
+        }
+        if (discrete && kernel.h2dBytesPerItem > 0.0) {
+            const double secs =
+                opts.pcie.transferSeconds(static_cast<u64>(
+                    static_cast<double>(take) *
+                    kernel.h2dBytesPerItem)) /
+                xfer_eff;
+            deps.push_back(
+                timeline.schedule(slot.dmaH2D, secs, slot.fixedTask));
+            slot.report.transferSeconds += secs;
+        } else if (slot.fixedTask != sim::NoTask) {
+            deps.push_back(slot.fixedTask);
+        }
+
+        sim::KernelProfile prof = slot.resolver->resolve(
+            kernel.desc, take, prec, slot.cg.usesLds,
+            kernel.hints.workgroupSize);
+        prof.chainConcurrencyPerCu *= slot.cg.chainEfficiency;
+        const double kernel_secs =
+            sim::timeKernel(*slot.spec, slot.spec->stockFreq(), prec,
+                            prof, slot.cg)
+                .seconds;
+        const sim::TaskId compute = timeline.schedule(
+            slot.computeQ, kernel_secs,
+            std::span<const sim::TaskId>(deps));
+        slot.report.kernelSeconds += kernel_secs;
+
+        double finish = timeline.finishTime(compute);
+        if (discrete && kernel.d2hBytesPerItem > 0.0) {
+            const double secs =
+                opts.pcie.transferSeconds(static_cast<u64>(
+                    static_cast<double>(take) *
+                    kernel.d2hBytesPerItem)) /
+                xfer_eff;
+            const sim::TaskId d2h =
+                timeline.schedule(slot.dmaD2H, secs, compute);
+            slot.report.transferSeconds += secs;
+            finish = timeline.finishTime(d2h);
+        }
+        slot.lastFinish = std::max(slot.lastFinish, finish);
+        slot.nextPull = timeline.startTime(compute);
+
+        slot.report.items += take;
+        slot.report.chunks += 1;
+        states[d].itemsDone += take;
+        states[d].chunksDone += 1;
+        // End-to-end elapsed time on the device, staging included:
+        // the adaptive policy's observed throughput must see PCIe
+        // serialization, not just kernel time.
+        states[d].busySeconds = slot.lastFinish;
+
+        result.partitions.push_back({d, begin, begin + take});
+
+        // Functional execution of the grabbed range (real results).
+        if (result.functional) {
+            cpu::ThreadPool::global().parallelFor(
+                take, [&](u64 lo, u64 hi) {
+                    kernel.body(begin + lo, begin + hi);
+                });
+        }
+    }
+
+    result.seconds = timeline.makespan();
+    for (size_t d = 0; d < devices.size(); ++d) {
+        Slot &slot = slots[d];
+        slot.report.share =
+            static_cast<double>(slot.report.items) /
+            static_cast<double>(kernel.items);
+        slot.report.finishSeconds = slot.lastFinish;
+        result.transferSeconds += slot.report.transferSeconds;
+        result.devices.push_back(slot.report);
+    }
+    if (result.functional) {
+        if (kernel.validate)
+            result.validated = kernel.validate();
+        if (kernel.checksum)
+            result.checksum = kernel.checksum();
+    }
+    return result;
+}
+
+} // namespace hetsim::coexec

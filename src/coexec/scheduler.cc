@@ -1,0 +1,156 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "coexec/coexec.hh"
+
+namespace hetsim::coexec
+{
+
+namespace
+{
+
+/**
+ * Static-ratio: one chunk per device, sized so that
+ * items_d / total == throughput_d / sum(throughput), i.e. every
+ * device is predicted to finish its kernel work at the same instant.
+ * Remainder items go to the fastest device.
+ */
+class StaticRatioScheduler : public Scheduler
+{
+  public:
+    void
+    reset(u64 total_items,
+          const std::vector<DeviceState> &devices) override
+    {
+        assignments.assign(devices.size(), 0);
+        double sum = 0.0;
+        for (const auto &d : devices)
+            sum += d.predictedItemsPerSec;
+        if (sum <= 0.0)
+            panic("static-ratio split with zero predicted throughput");
+
+        u64 given = 0;
+        size_t fastest = 0;
+        for (size_t d = 0; d < devices.size(); ++d) {
+            const double share =
+                devices[d].predictedItemsPerSec / sum;
+            assignments[d] = static_cast<u64>(
+                static_cast<double>(total_items) * share);
+            given += assignments[d];
+            if (devices[d].predictedItemsPerSec >
+                devices[fastest].predictedItemsPerSec) {
+                fastest = d;
+            }
+        }
+        assignments[fastest] += total_items - given;
+    }
+
+    u64
+    grab(size_t dev, const DeviceState &state, u64 remaining) override
+    {
+        if (state.chunksDone > 0)
+            return 0;
+        return std::min(assignments[dev], remaining);
+    }
+
+  private:
+    std::vector<u64> assignments;
+};
+
+/**
+ * Dynamic chunked self-scheduling: every pull returns the same fixed
+ * chunk, so faster devices simply pull more often.
+ */
+class DynamicChunkScheduler : public Scheduler
+{
+  public:
+    explicit DynamicChunkScheduler(u64 chunk_items)
+        : chunkItems(chunk_items)
+    {}
+
+    void
+    reset(u64 total_items, const std::vector<DeviceState> &) override
+    {
+        chunk = chunkItems;
+        if (chunk == 0)
+            chunk = std::max<u64>(64, total_items / 256);
+    }
+
+    u64
+    grab(size_t, const DeviceState &, u64 remaining) override
+    {
+        return std::min(chunk, remaining);
+    }
+
+  private:
+    u64 chunkItems;
+    u64 chunk = 0;
+};
+
+/**
+ * Adaptive (EngineCL-style): each pull takes a fraction of the
+ * remaining work proportional to this device's observed share of the
+ * pool's throughput, so chunks shrink toward the tail and slow
+ * devices are never handed more than they can finish in time.
+ */
+class AdaptiveScheduler : public Scheduler
+{
+  public:
+    explicit AdaptiveScheduler(u64 min_chunk_items)
+        : minChunkItems(min_chunk_items)
+    {}
+
+    void
+    reset(u64 total_items,
+          const std::vector<DeviceState> &devices) override
+    {
+        pool = &devices;
+        minChunk = minChunkItems;
+        if (minChunk == 0)
+            minChunk = std::max<u64>(32, total_items / 1024);
+    }
+
+    u64
+    grab(size_t, const DeviceState &state, u64 remaining) override
+    {
+        double sum = 0.0;
+        for (const auto &d : *pool)
+            sum += d.throughput();
+        double frac = sum > 0.0 ? state.throughput() / sum
+                                : 1.0 / static_cast<double>(
+                                            pool->size());
+        u64 want = static_cast<u64>(
+            tailFraction * static_cast<double>(remaining) * frac);
+        want = std::max(want, minChunk);
+        return std::min(want, remaining);
+    }
+
+  private:
+    /** Fraction of the remaining work one pull may claim. */
+    static constexpr double tailFraction = 0.25;
+
+    u64 minChunkItems;
+    u64 minChunk = 0;
+    const std::vector<DeviceState> *pool = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Scheduler>
+makeScheduler(Policy policy, u64 chunk_items, u64 min_chunk_items)
+{
+    switch (policy) {
+      case Policy::StaticRatio:
+        return std::make_unique<StaticRatioScheduler>();
+      case Policy::DynamicChunk:
+        return std::make_unique<DynamicChunkScheduler>(chunk_items);
+      case Policy::Adaptive:
+        return std::make_unique<AdaptiveScheduler>(min_chunk_items);
+    }
+    panic("unknown co-execution policy");
+}
+
+} // namespace hetsim::coexec

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Partitioning policies for the co-execution scheduler.
+ *
+ * A Scheduler decides how many work-items a device grabs each time it
+ * becomes free on the simulated timeline.  The executor (coexec.cc)
+ * owns the shared work queue head; schedulers only size the chunks.
+ */
+
+#ifndef HETSIM_COEXEC_SCHEDULER_HH
+#define HETSIM_COEXEC_SCHEDULER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/device.hh"
+
+namespace hetsim::coexec
+{
+
+enum class Policy;
+
+/** What a scheduler may observe about one device mid-run. */
+struct DeviceState
+{
+    const sim::DeviceSpec *spec = nullptr;
+    /** Roofline-predicted kernel throughput, items/second. */
+    double predictedItemsPerSec = 0.0;
+    /** Work-items completed so far. */
+    u64 itemsDone = 0;
+    /** Chunks completed so far. */
+    u64 chunksDone = 0;
+    /** Simulated seconds this device has spent computing. */
+    double busySeconds = 0.0;
+
+    /** @return observed throughput, falling back to the prediction. */
+    double
+    throughput() const
+    {
+        if (chunksDone > 0 && busySeconds > 0.0)
+            return static_cast<double>(itemsDone) / busySeconds;
+        return predictedItemsPerSec;
+    }
+};
+
+/** Sizes the chunk a device pulls from the shared work queue. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Called once before the run with the full pool state. */
+    virtual void reset(u64 total_items,
+                       const std::vector<DeviceState> &devices) = 0;
+
+    /**
+     * @return how many of @p remaining work-items device @p dev grabs
+     * now (0 = this device takes no further work).
+     */
+    virtual u64 grab(size_t dev, const DeviceState &state,
+                     u64 remaining) = 0;
+};
+
+/**
+ * Build the scheduler for @p policy.
+ *
+ * @param chunk_items     dynamic policy's fixed chunk (0 = auto).
+ * @param min_chunk_items adaptive policy's floor (0 = auto).
+ */
+std::unique_ptr<Scheduler> makeScheduler(Policy policy, u64 chunk_items,
+                                         u64 min_chunk_items);
+
+} // namespace hetsim::coexec
+
+#endif // HETSIM_COEXEC_SCHEDULER_HH

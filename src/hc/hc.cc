@@ -112,4 +112,29 @@ AcceleratorView::completionSeconds(CompletionFuture future) const
     return rt.taskFinishSeconds(future.task);
 }
 
+coexec::CoExecResult
+parallel_dispatch(const coexec::DevicePool &pool, Precision prec,
+                  const coexec::CoKernel &kernel,
+                  const coexec::ExecOptions &opts)
+{
+    coexec::CoExecutor executor(pool, prec);
+    return executor.execute(kernel, opts);
+}
+
+coexec::CoExecResult
+parallel_dispatch(const coexec::DevicePool &pool, Precision prec,
+                  const ir::KernelDescriptor &desc, u64 items,
+                  const ir::OptHints &hints,
+                  const coexec::KernelBody &body,
+                  const coexec::ExecOptions &opts)
+{
+    coexec::CoKernel kernel;
+    kernel.name = desc.name;
+    kernel.desc = desc;
+    kernel.hints = hints;
+    kernel.items = items;
+    kernel.body = body;
+    return parallel_dispatch(pool, prec, kernel, opts);
+}
+
 } // namespace hetsim::hc

@@ -20,6 +20,7 @@
 #include <map>
 #include <string>
 
+#include "coexec/coexec.hh"
 #include "kernelir/codegen.hh"
 #include "kernelir/kernel.hh"
 #include "runtime/context.hh"
@@ -100,6 +101,31 @@ class AcceleratorView
     std::map<const void *, rt::BufferId> registry;
     sim::TaskId lastCompute = sim::NoTask;
 };
+
+/**
+ * Dispatch one kernel across a *pool* of accelerators at once
+ * (Section VII's "best of both worlds" taken to multi-device): the
+ * co-execution scheduler partitions the iteration space, stages
+ * discrete devices' shares over PCIe, and merges the per-device
+ * timelines into one completion time.
+ *
+ * @param pool   the devices co-executing the kernel.
+ * @param prec   element precision.
+ * @param kernel descriptor + functional body + staging footprint.
+ * @param opts   policy and chunking knobs.
+ */
+coexec::CoExecResult
+parallel_dispatch(const coexec::DevicePool &pool, Precision prec,
+                  const coexec::CoKernel &kernel,
+                  const coexec::ExecOptions &opts = {});
+
+/** parallel_dispatch for kernels with no device-resident footprint. */
+coexec::CoExecResult
+parallel_dispatch(const coexec::DevicePool &pool, Precision prec,
+                  const ir::KernelDescriptor &desc, u64 items,
+                  const ir::OptHints &hints,
+                  const coexec::KernelBody &body,
+                  const coexec::ExecOptions &opts = {});
 
 } // namespace hetsim::hc
 

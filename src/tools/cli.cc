@@ -1,8 +1,11 @@
 #include "cli.hh"
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 
+#include "apps/coexec_kernels.hh"
+#include "coexec/coexec.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
 
@@ -14,6 +17,19 @@ namespace
 
 const char *kApps[] = {"readmem", "lulesh", "comd", "xsbench",
                        "minife"};
+
+/** Strictly parse a positive number; nullopt on any trailing junk. */
+std::optional<double>
+parsePositive(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || v <= 0.0)
+        return std::nullopt;
+    return v;
+}
 
 } // namespace
 
@@ -75,7 +91,8 @@ parse(const std::vector<std::string> &argv)
     }
     args.command = argv[0];
     if (args.command != "list" && args.command != "run" &&
-        args.command != "compare" && args.command != "sweep") {
+        args.command != "compare" && args.command != "sweep" &&
+        args.command != "coexec") {
         args.error = "unknown command '" + args.command + "'";
         return args;
     }
@@ -101,16 +118,36 @@ parse(const std::vector<std::string> &argv)
         } else if (arg == "--scale") {
             if (auto v = value("--scale"))
                 args.scale = std::atof(v->c_str());
+        } else if (arg == "--devices") {
+            if (auto v = value("--devices"))
+                args.devices = *v;
+        } else if (arg == "--policy") {
+            if (auto v = value("--policy"))
+                args.policy = *v;
+        } else if (arg == "--chunk") {
+            if (auto v = value("--chunk")) {
+                auto n = parsePositive(*v);
+                if (!n || *n != static_cast<u64>(*n)) {
+                    args.error = "--chunk wants a positive item "
+                                 "count, got '" + *v + "'";
+                } else {
+                    args.chunk = static_cast<u64>(*n);
+                }
+            }
         } else if (arg == "--freq") {
             if (auto v = value("--freq")) {
                 size_t colon = v->find(':');
-                if (colon == std::string::npos) {
-                    args.error = "--freq wants core:mem (MHz)";
+                std::optional<double> core, mem;
+                if (colon != std::string::npos) {
+                    core = parsePositive(v->substr(0, colon));
+                    mem = parsePositive(v->substr(colon + 1));
+                }
+                if (!core || !mem) {
+                    args.error = "--freq wants core:mem in positive "
+                                 "MHz, got '" + *v + "'";
                 } else {
-                    args.freq.coreMhz =
-                        std::atof(v->substr(0, colon).c_str());
-                    args.freq.memMhz =
-                        std::atof(v->substr(colon + 1).c_str());
+                    args.freq.coreMhz = *core;
+                    args.freq.memMhz = *mem;
                 }
             }
         } else if (arg == "--dp") {
@@ -145,8 +182,13 @@ usage(std::ostream &os)
           "  hetsim compare --app <app> --device <dev> [--scale f] "
           "[--dp]\n"
           "  hetsim sweep --app <app> [--model m] [--device d]\n"
-          "             [--scale f]\n\n"
+          "             [--scale f]\n"
+          "  hetsim coexec --app <app> --devices <d1+d2[+..]>\n"
+          "             [--policy static|dynamic|adaptive]\n"
+          "             [--chunk n] [--scale f] [--dp] "
+          "[--functional]\n\n"
           "apps:    readmem lulesh comd xsbench minife\n"
+          "         (coexec: readmem xsbench minife)\n"
           "models:  serial openmp opencl cppamp openacc hc\n"
           "devices: dgpu apu cpu hd7950\n";
 }
@@ -297,6 +339,89 @@ cmdSweep(const Args &args, std::ostream &os)
     return 0;
 }
 
+int
+cmdCoexec(const Args &args, std::ostream &os)
+{
+    auto pool = coexec::DevicePool::parse(args.devices);
+    if (!pool) {
+        os << "error: unknown device pool '" << args.devices
+           << "' (want e.g. cpu+dgpu or cpu+apu)\n";
+        return 2;
+    }
+    auto policy = coexec::policyByName(args.policy);
+    if (!policy) {
+        os << "error: unknown policy '" << args.policy
+           << "' (static, dynamic, adaptive)\n";
+        return 2;
+    }
+    Precision prec = args.doublePrecision ? Precision::Double
+                                          : Precision::Single;
+    auto kernel = apps::coex::coKernelByName(args.app, args.scale,
+                                             prec);
+    if (!kernel) {
+        os << "error: app '" << args.app
+           << "' has no co-execution kernel (readmem, xsbench, "
+              "minife)\n";
+        return 2;
+    }
+
+    coexec::ExecOptions opts;
+    opts.policy = *policy;
+    opts.chunkItems = args.chunk;
+    opts.functional = args.functional;
+    coexec::CoExecutor executor(*pool, prec);
+    auto result = executor.execute(*kernel, opts);
+
+    // Best single device of the pool, for the speedup headline.
+    double best_single = 0.0;
+    std::string best_name;
+    for (size_t d = 0; d < pool->size(); ++d) {
+        coexec::CoExecutor solo(
+            coexec::DevicePool({pool->spec(d)}), prec);
+        coexec::ExecOptions solo_opts;
+        solo_opts.policy = coexec::Policy::StaticRatio;
+        solo_opts.functional = false;
+        double secs = solo.execute(*kernel, solo_opts).seconds;
+        if (best_name.empty() || secs < best_single) {
+            best_single = secs;
+            best_name = pool->spec(d).name;
+        }
+    }
+
+    Table table(kernel->name + " co-executed on " + pool->name() +
+                " (" + result.policy + ", " + toString(prec) + ")");
+    table.setHeader({"device", "share", "items", "chunks",
+                     "kernel (s)", "pcie (s)", "finish (s)"});
+    for (const auto &dev : result.devices) {
+        table.addRow({dev.device,
+                      Table::num(100.0 * dev.share, 1) + "%",
+                      std::to_string(dev.items),
+                      std::to_string(dev.chunks),
+                      Table::num(dev.kernelSeconds, 6),
+                      Table::num(dev.transferSeconds, 6),
+                      Table::num(dev.finishSeconds, 6)});
+    }
+    table.print(os);
+
+    Table summary("\nsummary");
+    summary.setHeader({"metric", "value"});
+    summary.addRow({"work-items", std::to_string(result.items)});
+    summary.addRow({"co-exec time (s)", Table::num(result.seconds, 6)});
+    summary.addRow({"pcie staging (s)",
+                    Table::num(result.transferSeconds, 6)});
+    summary.addRow({"best single device", best_name});
+    summary.addRow({"best single time (s)",
+                    Table::num(best_single, 6)});
+    summary.addRow({"co-exec speedup",
+                    Table::num(best_single / result.seconds, 2)});
+    if (args.functional) {
+        summary.addRow({"checksum", Table::num(result.checksum, 6)});
+        summary.addRow({"validated", result.validated ? "yes" : "NO"});
+    }
+    summary.print(os);
+    return args.functional && !result.validated ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -315,6 +440,8 @@ execute(const Args &args, std::ostream &os)
         return cmdCompare(args, os);
     if (args.command == "sweep")
         return cmdSweep(args, os);
+    if (args.command == "coexec")
+        return cmdCoexec(args, os);
     usage(os);
     return 2;
 }

@@ -8,6 +8,9 @@
  *              [--stats]
  *   hetsim compare --app xsbench --device apu [--scale 1.0] [--dp]
  *   hetsim sweep --app comd [--scale 0.5]
+ *   hetsim coexec --app readmem --devices cpu+dgpu
+ *                 [--policy adaptive] [--chunk N] [--scale 1.0]
+ *                 [--dp] [--functional]
  *
  * The parsing and command logic live here (unit-testable); main.cc is
  * a thin wrapper.
@@ -30,10 +33,13 @@ namespace hetsim::cli
 /** Parsed command line. */
 struct Args
 {
-    std::string command; ///< list | run | compare | sweep
+    std::string command; ///< list | run | compare | sweep | coexec
     std::string app = "readmem";
     std::string model = "opencl";
     std::string device = "dgpu";
+    std::string devices = "cpu+dgpu"; ///< coexec pool, '+'-separated
+    std::string policy = "adaptive";  ///< coexec scheduling policy
+    u64 chunk = 0;                    ///< coexec chunk size (0 = auto)
     double scale = 1.0;
     bool doublePrecision = false;
     bool functional = false;

@@ -43,6 +43,39 @@ TEST(CliParse, Errors)
     EXPECT_FALSE(parse({"run", "--wat"}).error.empty());
 }
 
+TEST(CliParse, MalformedFreqIsRejectedNotDefaulted)
+{
+    // Every one of these used to silently atof() to 0:0 (stock
+    // clocks); they must produce a clear error instead.
+    for (const char *bad : {"a:b", "925:", ":1500", "925:junk",
+                            "9x25:810", "-925:810", "925:-810",
+                            "0:810", "925:0"}) {
+        Args args = parse({"run", "--freq", bad});
+        EXPECT_FALSE(args.error.empty()) << bad;
+        EXPECT_NE(args.error.find("--freq"), std::string::npos) << bad;
+    }
+    // Well-formed values still parse.
+    Args ok = parse({"run", "--freq", "925:1500"});
+    EXPECT_TRUE(ok.error.empty()) << ok.error;
+    EXPECT_DOUBLE_EQ(ok.freq.coreMhz, 925);
+    EXPECT_DOUBLE_EQ(ok.freq.memMhz, 1500);
+}
+
+TEST(CliParse, CoexecOptions)
+{
+    Args args = parse({"coexec", "--app", "readmem", "--devices",
+                       "cpu+dgpu", "--policy", "adaptive", "--chunk",
+                       "256", "--scale", "0.1", "--functional"});
+    EXPECT_TRUE(args.error.empty()) << args.error;
+    EXPECT_EQ(args.command, "coexec");
+    EXPECT_EQ(args.devices, "cpu+dgpu");
+    EXPECT_EQ(args.policy, "adaptive");
+    EXPECT_EQ(args.chunk, 256u);
+
+    EXPECT_FALSE(parse({"coexec", "--chunk", "nope"}).error.empty());
+    EXPECT_FALSE(parse({"coexec", "--chunk", "-4"}).error.empty());
+}
+
 TEST(CliLookups, Aliases)
 {
     EXPECT_NE(workloadByName("lulesh"), nullptr);
@@ -101,6 +134,28 @@ TEST(CliExecute, BadNamesReturnError)
     std::ostringstream os;
     EXPECT_EQ(execute(parse({"run", "--app", "doom"}), os), 2);
     EXPECT_EQ(execute(parse({"compare", "--device", "fpga"}), os), 2);
+    EXPECT_EQ(execute(parse({"coexec", "--devices", "cpu+fpga"}), os),
+              2);
+    EXPECT_EQ(execute(parse({"coexec", "--policy", "greedy"}), os),
+              2);
+    EXPECT_EQ(execute(parse({"coexec", "--app", "lulesh"}), os), 2);
+}
+
+TEST(CliExecute, CoexecPrintsPerDeviceBreakdown)
+{
+    std::ostringstream os;
+    Args args = parse({"coexec", "--app", "readmem", "--devices",
+                       "cpu+dgpu", "--policy", "adaptive", "--scale",
+                       "0.02", "--functional"});
+    EXPECT_EQ(execute(args, os), 0);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("share"), std::string::npos);
+    EXPECT_NE(out.find("pcie (s)"), std::string::npos);
+    EXPECT_NE(out.find("A10-7850K"), std::string::npos);
+    EXPECT_NE(out.find("R9 280X"), std::string::npos);
+    EXPECT_NE(out.find("co-exec speedup"), std::string::npos);
+    EXPECT_NE(out.find("validated"), std::string::npos);
+    EXPECT_NE(out.find("yes"), std::string::npos);
 }
 
 } // namespace

@@ -97,6 +97,84 @@ TEST(ThreadPool, GlobalSingleton)
     EXPECT_GE(ThreadPool::global().workers(), 1u);
 }
 
+TEST(ThreadPool, TripCountSmallerThanWorkerCount)
+{
+    // The co-execution tail hands out chunks smaller than the pool;
+    // every item must still run exactly once and no worker may see an
+    // empty range.
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(3, [&](u64 b, u64 e) {
+        ASSERT_LT(b, e);
+        for (u64 i = b; i < e; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleItemRuns)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(1, [&](u64 b, u64 e) {
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 1u);
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ZeroItemsWithExplicitGrainIsNoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(0, [&](u64, u64) { called = true; }, 64);
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, NestedDispatchCoversAndPropagatesErrors)
+{
+    // The dynamic scheduler runs chunk bodies through the global
+    // pool while an outer functional dispatch may already be in
+    // flight; nested coverage must stay exact and exceptions from a
+    // nested dispatch must reach the outer caller.
+    ThreadPool pool(4);
+    constexpr u64 outer = 8;
+    constexpr u64 inner = 1000;
+    std::vector<std::atomic<int>> hits(outer * inner);
+    pool.parallelFor(outer, [&](u64 b, u64 e) {
+        for (u64 i = b; i < e; ++i) {
+            ThreadPool::global().parallelFor(
+                inner, [&, i](u64 bb, u64 ee) {
+                    for (u64 j = bb; j < ee; ++j) {
+                        hits[i * inner + j].fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
+                });
+        }
+    });
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+
+    EXPECT_THROW(
+        pool.parallelFor(4,
+                         [](u64, u64) {
+                             ThreadPool::global().parallelFor(
+                                 10, [](u64 bb, u64) {
+                                     if (bb == 0) {
+                                         throw std::runtime_error(
+                                             "nested");
+                                     }
+                                 });
+                         }),
+        std::runtime_error);
+    // Pool still usable after the nested throw.
+    std::atomic<u64> count{0};
+    pool.parallelFor(50, [&](u64 b, u64 e) { count += e - b; });
+    EXPECT_EQ(count.load(), 50u);
+}
+
 TEST(ThreadPool, ManySequentialJobs)
 {
     ThreadPool pool(3);
