@@ -119,6 +119,38 @@ main(int argc, char **argv)
         if (opts.csv)
             table.printCsv(std::cout);
         std::cout << '\n';
+
+        // Per-device utilization under the adaptive policy: how much
+        // of the co-exec makespan each pool member spent computing vs
+        // waiting (idle = makespan - compute-queue busy time).
+        Table util(std::string(pool_caption) +
+                   " - per-device idle time (adaptive)");
+        util.setHeader({"app", "device", "share", "kernel (s)",
+                        "idle (s)", "idle %"});
+        for (const char *app : app_names) {
+            auto kernel = apps::coex::coKernelByName(
+                app, opts.scale, Precision::Single);
+            coexec::ExecOptions exec_opts;
+            exec_opts.policy = coexec::Policy::Adaptive;
+            exec_opts.functional = false;
+            auto result = hc::parallel_dispatch(
+                *pool, Precision::Single, *kernel, exec_opts);
+            for (const auto &dev : result.devices) {
+                util.addRow(
+                    {app, dev.device,
+                     Table::num(100.0 * dev.share, 1) + "%",
+                     Table::num(dev.kernelSeconds, 5),
+                     Table::num(dev.idleSeconds, 5),
+                     Table::num(result.seconds > 0.0
+                                    ? 100.0 * dev.idleSeconds /
+                                          result.seconds
+                                    : 0.0, 1) + "%"});
+            }
+        }
+        util.print(std::cout);
+        if (opts.csv)
+            util.printCsv(std::cout);
+        std::cout << '\n';
     }
 
     return bench::runRegisteredBenchmarks(opts);

@@ -8,6 +8,8 @@
 #include "common/logging.hh"
 #include "cpu/threadpool.hh"
 #include "coexec/scheduler.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 
 namespace hetsim::coexec
 {
@@ -157,6 +159,10 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
     };
 
     sim::Timeline timeline;
+    timeline.attachTracer(&obs::Tracer::global());
+    obs::Metrics &metrics = obs::Metrics::global();
+    metrics.defineHistogram("coexec.chunk_items",
+                            {1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8});
     std::vector<Slot> slots(devices.size());
     std::vector<DeviceState> states(devices.size());
     for (size_t d = 0; d < devices.size(); ++d) {
@@ -229,6 +235,12 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
         if (take == 0) {
             slot.done = true;
             slot.nextPull = std::numeric_limits<double>::infinity();
+            if (timeline.tracing()) {
+                timeline.tracer()->instant(
+                    timeline.tracer()->track(slot.spec->name +
+                                             "/compute"),
+                    "scheduler-done", "coexec", slot.lastFinish);
+            }
             continue;
         }
         take = std::min(take, remaining);
@@ -242,23 +254,27 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
         if (discrete && !slot.staged) {
             slot.staged = true;
             if (kernel.h2dBytesFixed > 0.0) {
+                const u64 fixed_bytes =
+                    static_cast<u64>(kernel.h2dBytesFixed);
                 const double secs =
-                    opts.pcie.transferSeconds(static_cast<u64>(
-                        kernel.h2dBytesFixed)) /
-                    xfer_eff;
-                slot.fixedTask =
-                    timeline.schedule(slot.dmaH2D, secs);
+                    opts.pcie.transferSeconds(fixed_bytes) / xfer_eff;
+                slot.fixedTask = timeline.schedule(
+                    slot.dmaH2D, secs, std::span<const sim::TaskId>{},
+                    sim::Timeline::SpanInfo{"h2d fixed tables",
+                                            "transfer", 0.0,
+                                            fixed_bytes});
                 slot.report.transferSeconds += secs;
             }
         }
         if (discrete && kernel.h2dBytesPerItem > 0.0) {
+            const u64 h2d_bytes = static_cast<u64>(
+                static_cast<double>(take) * kernel.h2dBytesPerItem);
             const double secs =
-                opts.pcie.transferSeconds(static_cast<u64>(
-                    static_cast<double>(take) *
-                    kernel.h2dBytesPerItem)) /
-                xfer_eff;
-            deps.push_back(
-                timeline.schedule(slot.dmaH2D, secs, slot.fixedTask));
+                opts.pcie.transferSeconds(h2d_bytes) / xfer_eff;
+            deps.push_back(timeline.schedule(
+                slot.dmaH2D, secs, slot.fixedTask,
+                sim::Timeline::SpanInfo{"h2d chunk", "transfer", 0.0,
+                                        h2d_bytes}));
             slot.report.transferSeconds += secs;
         } else if (slot.fixedTask != sim::NoTask) {
             deps.push_back(slot.fixedTask);
@@ -268,24 +284,28 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
             kernel.desc, take, prec, slot.cg.usesLds,
             kernel.hints.workgroupSize);
         prof.chainConcurrencyPerCu *= slot.cg.chainEfficiency;
-        const double kernel_secs =
-            sim::timeKernel(*slot.spec, slot.spec->stockFreq(), prec,
-                            prof, slot.cg)
-                .seconds;
+        const sim::KernelTiming timing = sim::timeKernel(
+            *slot.spec, slot.spec->stockFreq(), prec, prof, slot.cg);
+        const double kernel_secs = timing.seconds;
+        const std::string chunk_label =
+            kernel.name + "#" + std::to_string(slot.report.chunks);
         const sim::TaskId compute = timeline.schedule(
             slot.computeQ, kernel_secs,
-            std::span<const sim::TaskId>(deps));
+            std::span<const sim::TaskId>(deps),
+            sim::Timeline::SpanInfo{chunk_label, "compute",
+                                    timing.launchSeconds, 0});
         slot.report.kernelSeconds += kernel_secs;
 
         double finish = timeline.finishTime(compute);
         if (discrete && kernel.d2hBytesPerItem > 0.0) {
+            const u64 d2h_bytes = static_cast<u64>(
+                static_cast<double>(take) * kernel.d2hBytesPerItem);
             const double secs =
-                opts.pcie.transferSeconds(static_cast<u64>(
-                    static_cast<double>(take) *
-                    kernel.d2hBytesPerItem)) /
-                xfer_eff;
-            const sim::TaskId d2h =
-                timeline.schedule(slot.dmaD2H, secs, compute);
+                opts.pcie.transferSeconds(d2h_bytes) / xfer_eff;
+            const sim::TaskId d2h = timeline.schedule(
+                slot.dmaD2H, secs, compute,
+                sim::Timeline::SpanInfo{"d2h chunk", "transfer", 0.0,
+                                        d2h_bytes});
             slot.report.transferSeconds += secs;
             finish = timeline.finishTime(d2h);
         }
@@ -296,6 +316,15 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
         slot.report.chunks += 1;
         states[d].itemsDone += take;
         states[d].chunksDone += 1;
+        metrics.add("coexec.chunks", 1);
+        metrics.add("coexec.items", static_cast<double>(take));
+        metrics.observe("coexec.chunk_items",
+                        static_cast<double>(take));
+        if (kernel_secs > 0.0) {
+            // Per-chunk simulated kernel throughput, items/s.
+            metrics.observe("coexec.chunk_items_per_sec",
+                            static_cast<double>(take) / kernel_secs);
+        }
         // End-to-end elapsed time on the device, staging included:
         // the adaptive policy's observed throughput must see PCIe
         // serialization, not just kernel time.
@@ -319,7 +348,22 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
             static_cast<double>(slot.report.items) /
             static_cast<double>(kernel.items);
         slot.report.finishSeconds = slot.lastFinish;
+        // Idle: the pool kept running while this device's compute
+        // queue had nothing scheduled (EngineCL's load-balance FoM).
+        slot.report.idleSeconds =
+            result.seconds - timeline.resourceBusyTime(slot.computeQ);
         result.transferSeconds += slot.report.transferSeconds;
+        if (metrics.enabled()) {
+            const std::string prefix = "coexec." + slot.spec->name;
+            metrics.set(prefix + ".busy_seconds",
+                        timeline.resourceBusyTime(slot.computeQ));
+            metrics.set(prefix + ".idle_seconds",
+                        slot.report.idleSeconds);
+            metrics.set(prefix + ".transfer_seconds",
+                        slot.report.transferSeconds);
+            metrics.set(prefix + ".chunks",
+                        static_cast<double>(slot.report.chunks));
+        }
         result.devices.push_back(slot.report);
     }
     if (result.functional) {

@@ -161,6 +161,9 @@ struct DeviceReport
     double kernelSeconds = 0.0;   ///< simulated compute time
     double transferSeconds = 0.0; ///< simulated PCIe staging time
     double finishSeconds = 0.0;   ///< completion time on the timeline
+    /** Time the device's compute queue sat idle while the pool was
+     *  still running: co-exec makespan minus compute-busy time. */
+    double idleSeconds = 0.0;
 };
 
 /** Merged outcome of a co-executed launch. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace hetsim::cpu
 {
@@ -87,6 +88,9 @@ ThreadPool::parallelFor(u64 n, const RangeFn &body, u64 grain)
 {
     if (n == 0)
         return;
+    obs::Metrics &metrics = obs::Metrics::global();
+    metrics.add("host.parallel_for.calls", 1);
+    metrics.add("host.parallel_for.items", static_cast<double>(n));
     if (grain == 0)
         grain = std::max<u64>(1, n / (u64(numWorkers) * 8));
 

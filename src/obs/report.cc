@@ -1,0 +1,114 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace hetsim::obs
+{
+
+namespace
+{
+
+struct Interval
+{
+    double begin;
+    double end;
+};
+
+/** Total length of the union of @p intervals (sorted in place). */
+double
+unionSeconds(std::vector<Interval> &intervals)
+{
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.begin < b.begin;
+              });
+    double total = 0.0;
+    double cur_begin = 0.0;
+    double cur_end = -1.0;
+    bool open = false;
+    for (const Interval &iv : intervals) {
+        if (!open || iv.begin > cur_end) {
+            if (open)
+                total += cur_end - cur_begin;
+            cur_begin = iv.begin;
+            cur_end = iv.end;
+            open = true;
+        } else {
+            cur_end = std::max(cur_end, iv.end);
+        }
+    }
+    if (open)
+        total += cur_end - cur_begin;
+    return total;
+}
+
+struct DeviceAccum
+{
+    std::vector<Interval> all;
+    std::vector<Interval> compute;
+    double overheadSec = 0.0;
+    double transferSec = 0.0; // raw sum of transfer span durations
+    u64 spans = 0;
+    u64 transferBytes = 0;
+};
+
+} // namespace
+
+BreakdownReport
+computeBreakdown(const Tracer &tracer)
+{
+    const std::vector<TraceEvent> events = tracer.snapshot();
+    const std::vector<std::string> names = tracer.trackNames();
+
+    BreakdownReport report;
+    std::map<std::string, DeviceAccum> devices;
+
+    for (const TraceEvent &event : events) {
+        if (event.kind != TraceEvent::Kind::Span || event.cat == "run")
+            continue;
+        const std::string track = event.track < names.size()
+                                      ? names[event.track]
+                                      : std::string("?");
+        const size_t slash = track.rfind('/');
+        const std::string device =
+            slash == std::string::npos ? track : track.substr(0, slash);
+
+        DeviceAccum &acc = devices[device];
+        const double begin = event.tsUs * 1e-6;
+        const double end = begin + event.durUs * 1e-6;
+        acc.all.push_back({begin, end});
+        acc.spans += 1;
+        report.makespanSeconds = std::max(report.makespanSeconds, end);
+
+        if (event.cat == "transfer") {
+            acc.transferSec += event.durUs * 1e-6;
+            acc.transferBytes += event.bytes;
+        } else {
+            // compute, host work, and anything unclassified count as
+            // the device doing work on its compute side.
+            acc.compute.push_back({begin, end});
+            acc.overheadSec += event.overheadUs * 1e-6;
+        }
+    }
+
+    for (auto &[device, acc] : devices) {
+        DevicePhases row;
+        row.device = device;
+        row.spans = acc.spans;
+        row.transferBytes = acc.transferBytes;
+        row.busySeconds = unionSeconds(acc.all);
+        const double compute_busy = unionSeconds(acc.compute);
+        // Exposed transfer: device-busy time not covered by compute.
+        row.transferSeconds = row.busySeconds - compute_busy;
+        row.overlappedTransferSeconds =
+            std::max(0.0, acc.transferSec - row.transferSeconds);
+        row.overheadSeconds = std::min(acc.overheadSec, compute_busy);
+        row.computeSeconds = compute_busy - row.overheadSeconds;
+        row.idleSeconds = report.makespanSeconds - row.busySeconds;
+        report.devices.push_back(std::move(row));
+    }
+    return report;
+}
+
+} // namespace hetsim::obs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-phase breakdown computed from a recorded trace.
+ *
+ * Spans carry a category ("compute", "transfer", "host", ...) and
+ * live on tracks named "<device>/<queue>".  The breakdown groups the
+ * spans per device and splits the run's end-to-end time into four
+ * phases whose sum is *exactly* the makespan:
+ *
+ *   compute  - time the device's compute/host queues were busy,
+ *              minus launch overhead;
+ *   overhead - the launch-overhead portion of the compute spans;
+ *   transfer - *exposed* PCIe staging time: transfer-span time not
+ *              hidden under concurrent compute (the paper's
+ *              "transfers cost you" narrative is exactly this term);
+ *   idle     - the rest of the makespan.
+ *
+ * Transfer time that overlaps compute (successful copy/compute
+ * pipelining) is reported separately as overlappedTransferSeconds.
+ */
+
+#ifndef HETSIM_OBS_REPORT_HH
+#define HETSIM_OBS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/tracer.hh"
+
+namespace hetsim::obs
+{
+
+/** One device's share of the end-to-end time, split into phases. */
+struct DevicePhases
+{
+    std::string device;
+    double computeSeconds = 0.0;
+    double overheadSeconds = 0.0;
+    /** Exposed (non-overlapped) transfer time. */
+    double transferSeconds = 0.0;
+    /** Transfer time hidden under concurrent compute. */
+    double overlappedTransferSeconds = 0.0;
+    double idleSeconds = 0.0;
+    /** Union of all busy intervals across the device's queues. */
+    double busySeconds = 0.0;
+    u64 spans = 0;
+    u64 transferBytes = 0;
+
+    /** @return compute + overhead + transfer + idle (== makespan). */
+    double
+    phaseSum() const
+    {
+        return computeSeconds + overheadSeconds + transferSeconds +
+               idleSeconds;
+    }
+};
+
+/** Per-device phase split of one traced run. */
+struct BreakdownReport
+{
+    /** End-to-end time: latest span finish across every device. */
+    double makespanSeconds = 0.0;
+    std::vector<DevicePhases> devices;
+};
+
+/**
+ * Compute the per-phase breakdown of the spans recorded in
+ * @p tracer.  Tracks named "<device>/<queue>" are grouped by device;
+ * tracks without a '/' form their own group.  Spans of category
+ * "run" (the CLI's top-level envelope) are ignored.
+ */
+BreakdownReport computeBreakdown(const Tracer &tracer);
+
+} // namespace hetsim::obs
+
+#endif // HETSIM_OBS_REPORT_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * hetsim::obs - the event tracer half of the observability subsystem.
+ *
+ * The Tracer collects three kinds of events into a bounded ring
+ * buffer and serializes them as Chrome trace-event JSON (loadable in
+ * chrome://tracing or Perfetto):
+ *
+ *  - spans:    named intervals on a *track* (one track per simulated
+ *              device queue: compute, dma-h2d, dma-d2h, host), with an
+ *              optional launch-overhead portion and a byte payload for
+ *              bandwidth attribution of transfers;
+ *  - instants: point-in-time markers (device drained, phase change);
+ *  - counters: sampled numeric series (items completed, queue depth).
+ *
+ * Timestamps are caller-supplied seconds: the simulator records
+ * *simulated* time, while ScopedSpan records host wall-clock phases
+ * relative to the tracer's epoch.  The tracer never mixes the two on
+ * its own.
+ *
+ * Cost model: when disabled (the default) every record call returns
+ * after one relaxed atomic load - no lock, no allocation, no event.
+ * When the ring fills, the oldest events are dropped (and counted),
+ * so a trace always holds the most recent window of a run.
+ */
+
+#ifndef HETSIM_OBS_TRACER_HH
+#define HETSIM_OBS_TRACER_HH
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hetsim::obs
+{
+
+/** Identifies one horizontal track (thread row) of the trace. */
+using TrackId = u32;
+
+/** One recorded trace event. */
+struct TraceEvent
+{
+    enum class Kind : u8
+    {
+        Span,    ///< named interval ("X" phase)
+        Instant, ///< point marker ("i" phase)
+        Counter, ///< sampled series ("C" phase)
+    };
+
+    Kind kind = Kind::Span;
+    TrackId track = 0;
+    /** Start (spans) or sample (instant/counter) time, microseconds. */
+    double tsUs = 0.0;
+    /** Span duration in microseconds. */
+    double durUs = 0.0;
+    /** Counter sample value. */
+    double value = 0.0;
+    /** Launch-overhead portion of a span's duration, microseconds. */
+    double overheadUs = 0.0;
+    /** Payload bytes of a transfer span (0 = not a transfer). */
+    u64 bytes = 0;
+    std::string name;
+    std::string cat;
+};
+
+/** Thread-safe, ring-buffered trace-event collector. */
+class Tracer
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 1 << 16;
+
+    explicit Tracer(size_t capacity = kDefaultCapacity);
+
+    /** Turn recording on or off (off = zero events, near-zero cost). */
+    void setEnabled(bool on) { recording.store(on, std::memory_order_relaxed); }
+
+    /** @return whether events are being recorded. */
+    bool
+    enabled() const
+    {
+        return recording.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Resize the ring buffer; the oldest events are dropped if the
+     * current contents exceed the new capacity.
+     */
+    void setCapacity(size_t capacity);
+
+    /** @return maximum number of retained events. */
+    size_t capacity() const;
+
+    /**
+     * Find or create the track named @p name.  Tracks are metadata,
+     * not events: they are registered even while recording is
+     * disabled so instrumented subsystems can cache ids up front.
+     */
+    TrackId track(const std::string &name);
+
+    /** Record a span of @p durSec starting at @p startSec (seconds). */
+    void span(TrackId track, std::string_view name, std::string_view cat,
+              double startSec, double durSec, double overheadSec = 0.0,
+              u64 bytes = 0);
+
+    /** Record an instant marker at @p tsSec. */
+    void instant(TrackId track, std::string_view name,
+                 std::string_view cat, double tsSec);
+
+    /** Record a counter sample at @p tsSec. */
+    void counter(TrackId track, std::string_view name, double tsSec,
+                 double value);
+
+    /** @return events currently retained. */
+    size_t size() const;
+
+    /** @return events dropped to ring-buffer overflow. */
+    u64 dropped() const;
+
+    /** Drop all retained events (tracks survive). */
+    void clear();
+
+    /** @return a copy of the retained events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** @return registered track names, indexed by TrackId. */
+    std::vector<std::string> trackNames() const;
+
+    /** @return host wall-clock seconds since tracer construction. */
+    double nowSeconds() const;
+
+    /**
+     * Serialize as Chrome trace-event JSON: a {"traceEvents": [...]}
+     * object with thread-name metadata per track, "X"/"i"/"C" events,
+     * and transfer spans annotated with bytes and achieved GB/s.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** @return the process-wide tracer (disabled until configured). */
+    static Tracer &global();
+
+  private:
+    void push(TraceEvent &&event);
+
+    std::atomic<bool> recording{false};
+    mutable std::mutex mtx;
+    size_t cap;
+    u64 droppedCount = 0;
+    std::deque<TraceEvent> events;
+    std::vector<std::string> tracks;
+    std::map<std::string, TrackId, std::less<>> trackIndex;
+    std::chrono::steady_clock::time_point epoch;
+};
+
+/**
+ * RAII span over host wall-clock time, for host-side phases (setup,
+ * functional execution) and for exercising the tracer from concurrent
+ * threads.  Emits one span on destruction; emits nothing when the
+ * tracer was disabled at construction.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Tracer &tracer, TrackId track, std::string name,
+               std::string cat = "host");
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    Tracer &tracer;
+    TrackId trackId;
+    std::string name;
+    std::string cat;
+    double startSec = 0.0;
+    bool active = false;
+};
+
+} // namespace hetsim::obs
+
+#endif // HETSIM_OBS_TRACER_HH

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "cpu/threadpool.hh"
+#include "obs/metrics.hh"
 
 namespace hetsim::rt
 {
@@ -17,10 +18,13 @@ RuntimeContext::RuntimeContext(sim::DeviceSpec spec_, ir::ModelKind model,
       clocks(spec.stockFreq()),
       resolver(spec)
 {
-    dmaH2D = timeline.addResource("dma-h2d");
-    dmaD2H = timeline.addResource("dma-d2h");
-    computeQ = timeline.addResource("compute");
-    hostQ = timeline.addResource("host");
+    // Resources carry the device name so each queue gets its own
+    // track in an emitted trace ("R9 280X/compute", ...).
+    dmaH2D = timeline.addResource(spec.name + "/dma-h2d");
+    dmaD2H = timeline.addResource(spec.name + "/dma-d2h");
+    computeQ = timeline.addResource(spec.name + "/compute");
+    hostQ = timeline.addResource(spec.name + "/host");
+    timeline.attachTracer(&obs::Tracer::global());
 }
 
 void
@@ -107,18 +111,29 @@ RuntimeContext::scheduleTransfer(BufferId buf, bool to_device,
     double seconds = pcie.transferSeconds(info.bytes) /
                      compilerModel->transferEfficiency();
     sim::ResourceId dma = to_device ? dmaH2D : dmaD2H;
-    sim::TaskId task = timeline.schedule(dma, seconds, dep);
+    const std::string label =
+        std::string(to_device ? "h2d " : "d2h ") + info.name;
+    sim::TaskId task = timeline.schedule(
+        dma, seconds, dep,
+        sim::Timeline::SpanInfo{label, "transfer", 0.0, info.bytes});
 
+    obs::Metrics &metrics = obs::Metrics::global();
     if (to_device) {
         info.deviceOk = true;
         counters.add("xfer.h2d.bytes", static_cast<double>(info.bytes));
         counters.add("xfer.h2d.count", 1);
         counters.add("xfer.h2d.seconds", seconds);
+        metrics.add("xfer.h2d.bytes", static_cast<double>(info.bytes));
+        metrics.add("xfer.h2d.count", 1);
+        metrics.add("xfer.h2d.seconds", seconds);
     } else {
         info.hostOk = true;
         counters.add("xfer.d2h.bytes", static_cast<double>(info.bytes));
         counters.add("xfer.d2h.count", 1);
         counters.add("xfer.d2h.seconds", seconds);
+        metrics.add("xfer.d2h.bytes", static_cast<double>(info.bytes));
+        metrics.add("xfer.d2h.count", 1);
+        metrics.add("xfer.d2h.seconds", seconds);
     }
     return task;
 }
@@ -186,7 +201,10 @@ RuntimeContext::launch(const ir::KernelDescriptor &desc, u64 items,
     sim::KernelTiming timing = sim::timeKernel(spec, clocks, prec, prof,
                                                cg);
 
-    sim::TaskId task = timeline.schedule(computeQ, timing.seconds, deps);
+    sim::TaskId task = timeline.schedule(
+        computeQ, timing.seconds, deps,
+        sim::Timeline::SpanInfo{desc.name, "compute",
+                                timing.launchSeconds, 0});
 
     KernelRecord record;
     record.name = desc.name;
@@ -199,6 +217,11 @@ RuntimeContext::launch(const ir::KernelDescriptor &desc, u64 items,
     counters.add("kernel.launches", 1);
     counters.add("kernel.seconds", timing.seconds);
     counters.add("kernel.launch_overhead_seconds", timing.launchSeconds);
+    obs::Metrics &metrics = obs::Metrics::global();
+    metrics.add("kernel.launches", 1);
+    metrics.add("kernel.seconds", timing.seconds);
+    metrics.add("kernel.launch_overhead_seconds", timing.launchSeconds);
+    metrics.add("kernel.items", static_cast<double>(items));
     return task;
 }
 
@@ -208,7 +231,10 @@ RuntimeContext::hostWork(double seconds, sim::TaskId dep)
     if (seconds < 0.0)
         panic("negative host work");
     counters.add("host.seconds", seconds);
-    return timeline.schedule(hostQ, seconds, dep);
+    obs::Metrics::global().add("host.seconds", seconds);
+    return timeline.schedule(
+        hostQ, seconds, dep,
+        sim::Timeline::SpanInfo{"host-work", "host", 0.0, 0});
 }
 
 double

@@ -10,13 +10,27 @@ namespace hetsim::sim
 ResourceId
 Timeline::addResource(std::string name)
 {
-    resources.push_back(Resource{std::move(name), 0.0, 0.0});
+    Resource res;
+    res.name = std::move(name);
+    if (trc)
+        res.track = trc->track(res.name);
+    resources.push_back(std::move(res));
     return static_cast<ResourceId>(resources.size() - 1);
+}
+
+void
+Timeline::attachTracer(obs::Tracer *tracer)
+{
+    trc = tracer;
+    if (!trc)
+        return;
+    for (auto &res : resources)
+        res.track = trc->track(res.name);
 }
 
 TaskId
 Timeline::schedule(ResourceId resource, double seconds,
-                   std::span<const TaskId> deps)
+                   std::span<const TaskId> deps, const SpanInfo &info)
 {
     if (resource >= resources.size())
         panic("unknown timeline resource %u", resource);
@@ -40,15 +54,23 @@ Timeline::schedule(ResourceId resource, double seconds,
     res.freeAt = task.finish;
     res.busy += seconds;
     tasks.push_back(task);
+
+    if (trc && !info.name.empty()) {
+        trc->span(res.track, info.name, info.cat, task.start, seconds,
+                  info.overheadSeconds, info.bytes);
+    }
     return tasks.size() - 1;
 }
 
 TaskId
-Timeline::schedule(ResourceId resource, double seconds, TaskId dep)
+Timeline::schedule(ResourceId resource, double seconds, TaskId dep,
+                   const SpanInfo &info)
 {
     if (dep == NoTask)
-        return schedule(resource, seconds, std::span<const TaskId>{});
-    return schedule(resource, seconds, std::span<const TaskId>(&dep, 1));
+        return schedule(resource, seconds, std::span<const TaskId>{},
+                        info);
+    return schedule(resource, seconds, std::span<const TaskId>(&dep, 1),
+                    info);
 }
 
 double
@@ -90,6 +112,14 @@ Timeline::resourceBusyTime(ResourceId resource) const
     if (resource >= resources.size())
         panic("unknown timeline resource %u", resource);
     return resources[resource].busy;
+}
+
+const std::string &
+Timeline::resourceName(ResourceId resource) const
+{
+    if (resource >= resources.size())
+        panic("unknown timeline resource %u", resource);
+    return resources[resource].name;
 }
 
 void

@@ -15,9 +15,11 @@
 
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/tracer.hh"
 
 namespace hetsim::sim
 {
@@ -35,8 +37,39 @@ constexpr TaskId NoTask = ~0ULL;
 class Timeline
 {
   public:
+    /**
+     * Trace annotation of one scheduled task.  When a tracer is
+     * attached, every task scheduled with a non-empty name emits a
+     * span on the track named after its resource.
+     */
+    struct SpanInfo
+    {
+        std::string_view name;
+        std::string_view cat;
+        /** Launch-overhead portion of the duration, seconds. */
+        double overheadSeconds;
+        /** Payload bytes (transfers), for bandwidth attribution. */
+        u64 bytes;
+    };
+
     /** Create a resource and return its id. */
     ResourceId addResource(std::string name);
+
+    /**
+     * Attach an event tracer: one track per resource (existing and
+     * future), named after the resource.  Pass nullptr to detach.
+     */
+    void attachTracer(obs::Tracer *tracer);
+
+    /** @return whether spans would actually be recorded right now. */
+    bool
+    tracing() const
+    {
+        return trc != nullptr && trc->enabled();
+    }
+
+    /** @return the attached tracer, or nullptr. */
+    obs::Tracer *tracer() const { return trc; }
 
     /**
      * Schedule a task.
@@ -44,13 +77,16 @@ class Timeline
      * @param resource resource the task occupies.
      * @param seconds  task duration in simulated seconds.
      * @param deps     tasks that must finish before this one starts.
+     * @param info     trace annotation (span emitted when named).
      * @return the new task's id.
      */
     TaskId schedule(ResourceId resource, double seconds,
-                    std::span<const TaskId> deps = {});
+                    std::span<const TaskId> deps = {},
+                    const SpanInfo &info = SpanInfo{});
 
     /** Schedule with a single dependency (NoTask for none). */
-    TaskId schedule(ResourceId resource, double seconds, TaskId dep);
+    TaskId schedule(ResourceId resource, double seconds, TaskId dep,
+                    const SpanInfo &info = SpanInfo{});
 
     /** @return the finish time of a task. */
     double finishTime(TaskId task) const;
@@ -70,6 +106,12 @@ class Timeline
     /** @return busy time accumulated on @p resource. */
     double resourceBusyTime(ResourceId resource) const;
 
+    /** @return number of resources. */
+    size_t resourceCount() const { return resources.size(); }
+
+    /** @return the name of @p resource. */
+    const std::string &resourceName(ResourceId resource) const;
+
     /** Remove all tasks but keep the resources. */
     void clearTasks();
 
@@ -86,10 +128,12 @@ class Timeline
         std::string name;
         double freeAt = 0.0;
         double busy = 0.0;
+        obs::TrackId track = 0;
     };
 
     std::vector<Resource> resources;
     std::vector<Task> tasks;
+    obs::Tracer *trc = nullptr;
 };
 
 } // namespace hetsim::sim

@@ -1,6 +1,11 @@
 #include "cli.hh"
 
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -8,6 +13,9 @@
 #include "coexec/coexec.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/tracer.hh"
 
 namespace hetsim::cli
 {
@@ -92,7 +100,7 @@ parse(const std::vector<std::string> &argv)
     args.command = argv[0];
     if (args.command != "list" && args.command != "run" &&
         args.command != "compare" && args.command != "sweep" &&
-        args.command != "coexec") {
+        args.command != "coexec" && args.command != "breakdown") {
         args.error = "unknown command '" + args.command + "'";
         return args;
     }
@@ -119,8 +127,24 @@ parse(const std::vector<std::string> &argv)
             if (auto v = value("--scale"))
                 args.scale = std::atof(v->c_str());
         } else if (arg == "--devices") {
-            if (auto v = value("--devices"))
+            if (auto v = value("--devices")) {
                 args.devices = *v;
+                args.devicesGiven = true;
+            }
+        } else if (arg == "--trace-out") {
+            if (auto v = value("--trace-out")) {
+                if (v->empty())
+                    args.error = "--trace-out wants a file path";
+                else
+                    args.traceOut = *v;
+            }
+        } else if (arg == "--metrics-out") {
+            if (auto v = value("--metrics-out")) {
+                if (v->empty())
+                    args.error = "--metrics-out wants a file path";
+                else
+                    args.metricsOut = *v;
+            }
         } else if (arg == "--policy") {
             if (auto v = value("--policy"))
                 args.policy = *v;
@@ -186,7 +210,13 @@ usage(std::ostream &os)
           "  hetsim coexec --app <app> --devices <d1+d2[+..]>\n"
           "             [--policy static|dynamic|adaptive]\n"
           "             [--chunk n] [--scale f] [--dp] "
-          "[--functional]\n\n"
+          "[--functional]\n"
+          "  hetsim breakdown --app <app> --device <dev> [--model m]\n"
+          "             [--devices <d1+d2[+..]>] [--scale f] [--dp]\n\n"
+          "observability (any verb):\n"
+          "  --trace-out FILE    Chrome trace-event JSON "
+          "(chrome://tracing)\n"
+          "  --metrics-out FILE  metrics registry dump as JSON\n\n"
           "apps:    readmem lulesh comd xsbench minife\n"
           "         (coexec: readmem xsbench minife)\n"
           "models:  serial openmp opencl cppamp openacc hc\n"
@@ -233,6 +263,12 @@ cmdRun(const Args &args, std::ostream &os)
     cfg.freq = args.freq;
 
     auto result = wl->run(*model, *device, cfg);
+    obs::Tracer &tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+        tracer.span(tracer.track("run"),
+                    args.app + " | " + args.model + " | " + args.device,
+                    "run", 0.0, result.seconds);
+    }
     Table table(wl->name() + " | " + ir::displayName(*model) + " | " +
                 device->name);
     table.setHeader({"metric", "value"});
@@ -372,7 +408,21 @@ cmdCoexec(const Args &args, std::ostream &os)
     coexec::CoExecutor executor(*pool, prec);
     auto result = executor.execute(*kernel, opts);
 
-    // Best single device of the pool, for the speedup headline.
+    obs::Tracer &tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+        tracer.span(tracer.track("run"),
+                    kernel->name + " | " + pool->name() + " | " +
+                        result.policy,
+                    "run", 0.0, result.seconds);
+    }
+
+    // Best single device of the pool, for the speedup headline.  The
+    // reference runs are paused out of the trace/metrics so the
+    // emitted timeline holds exactly the requested co-execution.
+    const bool was_tracing = tracer.enabled();
+    const bool was_metering = obs::Metrics::global().enabled();
+    tracer.setEnabled(false);
+    obs::Metrics::global().setEnabled(false);
     double best_single = 0.0;
     std::string best_name;
     for (size_t d = 0; d < pool->size(); ++d) {
@@ -387,11 +437,14 @@ cmdCoexec(const Args &args, std::ostream &os)
             best_name = pool->spec(d).name;
         }
     }
+    tracer.setEnabled(was_tracing);
+    obs::Metrics::global().setEnabled(was_metering);
 
     Table table(kernel->name + " co-executed on " + pool->name() +
                 " (" + result.policy + ", " + toString(prec) + ")");
     table.setHeader({"device", "share", "items", "chunks",
-                     "kernel (s)", "pcie (s)", "finish (s)"});
+                     "kernel (s)", "pcie (s)", "idle (s)",
+                     "finish (s)"});
     for (const auto &dev : result.devices) {
         table.addRow({dev.device,
                       Table::num(100.0 * dev.share, 1) + "%",
@@ -399,6 +452,7 @@ cmdCoexec(const Args &args, std::ostream &os)
                       std::to_string(dev.chunks),
                       Table::num(dev.kernelSeconds, 6),
                       Table::num(dev.transferSeconds, 6),
+                      Table::num(dev.idleSeconds, 6),
                       Table::num(dev.finishSeconds, 6)});
     }
     table.print(os);
@@ -422,6 +476,184 @@ cmdCoexec(const Args &args, std::ostream &os)
     return args.functional && !result.validated ? 1 : 0;
 }
 
+/**
+ * Runs the traced workload for the breakdown verb and returns its
+ * end-to-end simulated seconds (negative on error).  With --devices
+ * the co-execution path is traced; otherwise a single-device run.
+ */
+double
+runForBreakdown(const Args &args, std::ostream &os, std::string &title)
+{
+    if (args.devicesGiven) {
+        auto pool = coexec::DevicePool::parse(args.devices);
+        if (!pool) {
+            os << "error: unknown device pool '" << args.devices
+               << "' (want e.g. cpu+dgpu or cpu+apu)\n";
+            return -1.0;
+        }
+        auto policy = coexec::policyByName(args.policy);
+        if (!policy) {
+            os << "error: unknown policy '" << args.policy
+               << "' (static, dynamic, adaptive)\n";
+            return -1.0;
+        }
+        Precision prec = args.doublePrecision ? Precision::Double
+                                              : Precision::Single;
+        auto kernel = apps::coex::coKernelByName(args.app, args.scale,
+                                                 prec);
+        if (!kernel) {
+            os << "error: app '" << args.app
+               << "' has no co-execution kernel (readmem, xsbench, "
+                  "minife)\n";
+            return -1.0;
+        }
+        coexec::ExecOptions opts;
+        opts.policy = *policy;
+        opts.chunkItems = args.chunk;
+        opts.functional = false;
+        coexec::CoExecutor executor(*pool, prec);
+        auto result = executor.execute(*kernel, opts);
+        title = kernel->name + " | " + pool->name() + " | " +
+                result.policy;
+        return result.seconds;
+    }
+
+    auto wl = workloadByName(args.app);
+    auto model = modelByName(args.model);
+    auto device = deviceByName(args.device);
+    if (!wl || !model || !device) {
+        os << "error: unknown app/model/device\n";
+        return -1.0;
+    }
+    core::WorkloadConfig cfg;
+    cfg.scale = args.scale;
+    cfg.functional = false;
+    cfg.precision = args.doublePrecision ? Precision::Double
+                                         : Precision::Single;
+    cfg.freq = args.freq;
+    auto result = wl->run(*model, *device, cfg);
+    title = args.app + " | " + ir::displayName(*model) + " | " +
+            device->name;
+    return result.seconds;
+}
+
+int
+cmdBreakdown(const Args &args, std::ostream &os)
+{
+    std::string title;
+    double endToEnd = runForBreakdown(args, os, title);
+    if (endToEnd < 0.0)
+        return 2;
+
+    auto report = obs::computeBreakdown(obs::Tracer::global());
+    if (report.devices.empty()) {
+        os << "error: no spans recorded - nothing to break down\n";
+        return 2;
+    }
+
+    Table table("phase breakdown: " + title);
+    table.setHeader({"device", "compute (s)", "overhead (s)",
+                     "xfer exposed (s)", "xfer hidden (s)", "idle (s)",
+                     "phase sum (s)"});
+    for (const auto &dev : report.devices) {
+        table.addRow({dev.device,
+                      Table::num(dev.computeSeconds, 6),
+                      Table::num(dev.overheadSeconds, 6),
+                      Table::num(dev.transferSeconds, 6),
+                      Table::num(dev.overlappedTransferSeconds, 6),
+                      Table::num(dev.idleSeconds, 6),
+                      Table::num(dev.phaseSum(), 6)});
+    }
+    table.print(os);
+
+    Table summary("\nsummary");
+    summary.setHeader({"metric", "value"});
+    summary.addRow({"end-to-end (s)", Table::num(endToEnd, 6)});
+    summary.addRow({"trace makespan (s)",
+                    Table::num(report.makespanSeconds, 6)});
+    double worst = 0.0;
+    for (const auto &dev : report.devices) {
+        double err = report.makespanSeconds > 0.0
+            ? std::abs(dev.phaseSum() - report.makespanSeconds) /
+                  report.makespanSeconds
+            : 0.0;
+        worst = std::max(worst, err);
+    }
+    summary.addRow({"worst phase-sum error",
+                    Table::num(100.0 * worst, 4) + "%"});
+    summary.print(os);
+    return worst > 0.01 ? 1 : 0;
+}
+
+/**
+ * Writes --trace-out / --metrics-out files; a path that cannot be
+ * opened or written produces a clear error and exit code 2.
+ */
+int
+writeObsOutputs(const Args &args, std::ostream &os)
+{
+    if (!args.traceOut.empty()) {
+        std::ofstream out(args.traceOut);
+        if (!out.is_open()) {
+            os << "error: cannot open trace output '" << args.traceOut
+               << "': " << std::strerror(errno) << "\n";
+            return 2;
+        }
+        obs::Tracer::global().writeJson(out);
+        out.flush();
+        if (!out) {
+            os << "error: failed writing trace output '"
+               << args.traceOut << "'\n";
+            return 2;
+        }
+    }
+    if (!args.metricsOut.empty()) {
+        std::ofstream out(args.metricsOut);
+        if (!out.is_open()) {
+            os << "error: cannot open metrics output '"
+               << args.metricsOut << "': " << std::strerror(errno)
+               << "\n";
+            return 2;
+        }
+        obs::Metrics::global().dumpJson(out);
+        out.flush();
+        if (!out) {
+            os << "error: failed writing metrics output '"
+               << args.metricsOut << "'\n";
+            return 2;
+        }
+    }
+    return 0;
+}
+
+/**
+ * Enables the global tracer/metrics for the duration of a command
+ * when any observability output was requested, and disables them
+ * again on exit so library users of execute() see no residue.
+ */
+struct ObsSession
+{
+    explicit ObsSession(bool on) : active(on)
+    {
+        if (!active)
+            return;
+        obs::Tracer::global().clear();
+        obs::Tracer::global().setEnabled(true);
+        obs::Metrics::global().clear();
+        obs::Metrics::global().setEnabled(true);
+    }
+
+    ~ObsSession()
+    {
+        if (!active)
+            return;
+        obs::Tracer::global().setEnabled(false);
+        obs::Metrics::global().setEnabled(false);
+    }
+
+    bool active;
+};
+
 } // namespace
 
 int
@@ -432,18 +664,35 @@ execute(const Args &args, std::ostream &os)
         usage(os);
         return 2;
     }
+
+    ObsSession obs_session(!args.traceOut.empty() ||
+                           !args.metricsOut.empty() ||
+                           args.command == "breakdown");
+
+    int rc;
     if (args.command == "list")
-        return cmdList(os);
-    if (args.command == "run")
-        return cmdRun(args, os);
-    if (args.command == "compare")
-        return cmdCompare(args, os);
-    if (args.command == "sweep")
-        return cmdSweep(args, os);
-    if (args.command == "coexec")
-        return cmdCoexec(args, os);
-    usage(os);
-    return 2;
+        rc = cmdList(os);
+    else if (args.command == "run")
+        rc = cmdRun(args, os);
+    else if (args.command == "compare")
+        rc = cmdCompare(args, os);
+    else if (args.command == "sweep")
+        rc = cmdSweep(args, os);
+    else if (args.command == "coexec")
+        rc = cmdCoexec(args, os);
+    else if (args.command == "breakdown")
+        rc = cmdBreakdown(args, os);
+    else {
+        usage(os);
+        return 2;
+    }
+
+    if (obs_session.active) {
+        int obs_rc = writeObsOutputs(args, os);
+        if (rc == 0)
+            rc = obs_rc;
+    }
+    return rc;
 }
 
 } // namespace hetsim::cli

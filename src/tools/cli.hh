@@ -11,6 +11,12 @@
  *   hetsim coexec --app readmem --devices cpu+dgpu
  *                 [--policy adaptive] [--chunk N] [--scale 1.0]
  *                 [--dp] [--functional]
+ *   hetsim breakdown --app xsbench --device dgpu [--model opencl]
+ *                 [--devices cpu+dgpu] [--scale 1.0] [--dp]
+ *
+ * Every verb accepts --trace-out FILE (Chrome trace-event JSON for
+ * chrome://tracing / Perfetto) and --metrics-out FILE (metrics
+ * registry dump as JSON).
  *
  * The parsing and command logic live here (unit-testable); main.cc is
  * a thin wrapper.
@@ -33,7 +39,8 @@ namespace hetsim::cli
 /** Parsed command line. */
 struct Args
 {
-    std::string command; ///< list | run | compare | sweep | coexec
+    /** list | run | compare | sweep | coexec | breakdown */
+    std::string command;
     std::string app = "readmem";
     std::string model = "opencl";
     std::string device = "dgpu";
@@ -45,6 +52,10 @@ struct Args
     bool functional = false;
     bool stats = false;
     bool kernels = false;
+    /** Whether --devices appeared (breakdown picks coexec mode). */
+    bool devicesGiven = false;
+    std::string traceOut;   ///< Chrome trace JSON path ("" = off)
+    std::string metricsOut; ///< metrics JSON path ("" = off)
     sim::FreqDomain freq{0.0, 0.0};
     std::string error; ///< non-empty on parse failure
 };

@@ -151,11 +151,77 @@ TEST(CliExecute, CoexecPrintsPerDeviceBreakdown)
     const std::string out = os.str();
     EXPECT_NE(out.find("share"), std::string::npos);
     EXPECT_NE(out.find("pcie (s)"), std::string::npos);
+    EXPECT_NE(out.find("idle (s)"), std::string::npos);
     EXPECT_NE(out.find("A10-7850K"), std::string::npos);
     EXPECT_NE(out.find("R9 280X"), std::string::npos);
     EXPECT_NE(out.find("co-exec speedup"), std::string::npos);
     EXPECT_NE(out.find("validated"), std::string::npos);
     EXPECT_NE(out.find("yes"), std::string::npos);
+}
+
+TEST(CliParse, ObservabilityFlags)
+{
+    Args args = parse({"breakdown", "--app", "xsbench", "--device",
+                       "dgpu", "--trace-out", "/tmp/t.json",
+                       "--metrics-out", "/tmp/m.json"});
+    EXPECT_TRUE(args.error.empty()) << args.error;
+    EXPECT_EQ(args.command, "breakdown");
+    EXPECT_EQ(args.traceOut, "/tmp/t.json");
+    EXPECT_EQ(args.metricsOut, "/tmp/m.json");
+    EXPECT_FALSE(args.devicesGiven);
+
+    Args coex = parse({"breakdown", "--app", "readmem", "--devices",
+                       "cpu+dgpu"});
+    EXPECT_TRUE(coex.error.empty()) << coex.error;
+    EXPECT_TRUE(coex.devicesGiven);
+
+    EXPECT_FALSE(parse({"run", "--trace-out"}).error.empty());
+    EXPECT_FALSE(parse({"run", "--trace-out", ""}).error.empty());
+    EXPECT_FALSE(parse({"run", "--metrics-out", ""}).error.empty());
+}
+
+TEST(CliExecute, BreakdownPhaseSumsMatchMakespan)
+{
+    std::ostringstream os;
+    Args args = parse({"breakdown", "--app", "xsbench", "--device",
+                       "dgpu", "--scale", "0.1"});
+    // Exit code 1 would mean a phase-sum error above 1%.
+    EXPECT_EQ(execute(args, os), 0);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("phase breakdown"), std::string::npos);
+    EXPECT_NE(out.find("compute (s)"), std::string::npos);
+    EXPECT_NE(out.find("xfer exposed (s)"), std::string::npos);
+    EXPECT_NE(out.find("worst phase-sum error"), std::string::npos);
+    EXPECT_NE(out.find("R9 280X"), std::string::npos);
+}
+
+TEST(CliExecute, BreakdownCoexecModeListsEveryPoolDevice)
+{
+    std::ostringstream os;
+    Args args = parse({"breakdown", "--app", "readmem", "--devices",
+                       "cpu+dgpu", "--scale", "0.05"});
+    EXPECT_EQ(execute(args, os), 0);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("A10-7850K"), std::string::npos);
+    EXPECT_NE(out.find("R9 280X"), std::string::npos);
+    EXPECT_NE(out.find("idle (s)"), std::string::npos);
+}
+
+TEST(CliExecute, UnwritableObsPathsFailLoudly)
+{
+    std::ostringstream os;
+    Args args = parse({"run", "--app", "readmem", "--scale", "0.05",
+                       "--trace-out", "/nonexistent-dir/t.json"});
+    EXPECT_EQ(execute(args, os), 2);
+    EXPECT_NE(os.str().find("cannot open trace output"),
+              std::string::npos);
+
+    std::ostringstream os2;
+    Args args2 = parse({"run", "--app", "readmem", "--scale", "0.05",
+                        "--metrics-out", "/nonexistent-dir/m.json"});
+    EXPECT_EQ(execute(args2, os2), 2);
+    EXPECT_NE(os2.str().find("cannot open metrics output"),
+              std::string::npos);
 }
 
 } // namespace

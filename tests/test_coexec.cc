@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <vector>
@@ -145,6 +146,34 @@ TEST(CoexecStatic, SplitFollowsRooflineThroughputRatio)
             << result.devices[d].device;
         EXPECT_EQ(result.devices[d].chunks, 1u);
     }
+}
+
+// Per-device idle time: each device's idle + compute-busy time is
+// bounded by the co-exec makespan, and at least one device finishes
+// flush with the end (idle ~0 for the straggler).
+TEST(CoexecIdle, IdlePlusBusyBoundedByMakespan)
+{
+    auto pool = DevicePool::parse("cpu+dgpu");
+    ASSERT_TRUE(pool.has_value());
+    auto kernel = apps::coex::makeReadmemCoKernel(0.2,
+                                                  Precision::Single);
+    ExecOptions opts;
+    opts.policy = Policy::Adaptive;
+    opts.functional = false;
+    CoExecutor executor(*pool, Precision::Single);
+    CoExecResult result = executor.execute(kernel, opts);
+
+    ASSERT_EQ(result.devices.size(), 2u);
+    double min_idle = result.seconds;
+    for (const auto &dev : result.devices) {
+        EXPECT_GE(dev.idleSeconds, 0.0) << dev.device;
+        EXPECT_LE(dev.idleSeconds, result.seconds + 1e-12)
+            << dev.device;
+        min_idle = std::min(min_idle, dev.idleSeconds);
+    }
+    // The device defining the makespan has (near) no compute idle
+    // beyond its transfer waits; allow a loose bound.
+    EXPECT_LT(min_idle, 0.5 * result.seconds);
 }
 
 // Criterion (c): the adaptive policy's simulated time is no worse
