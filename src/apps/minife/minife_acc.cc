@@ -49,6 +49,14 @@ runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
     acc::LoopClauses red = flat;
     red.reduction = true;
 
+    // Descriptors are loop-invariant; building them per iteration
+    // re-wraps the gather-trace std::function closures on every launch
+    // (the CG loop runs hundreds of iterations at scale).
+    const ir::KernelDescriptor spmv_desc =
+        prob.spmvDescriptor(SpmvStyle::CsrScalar);
+    const ir::KernelDescriptor dot_desc = prob.dotDescriptor();
+    const ir::KernelDescriptor waxpby_desc = prob.waxpbyDescriptor();
+
     {
         // #pragma acc data copyin(matrix,vectors) copyout(vectors)
         acc::DataRegion data(rt, acc::CopyIn{matrix, vectors},
@@ -58,12 +66,12 @@ runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
         for (int it = 0; it < prob.iterations; ++it) {
             // #pragma acc kernels loop independent
             acc::kernelsLoop(
-                rt, prob.spmvDescriptor(SpmvStyle::CsrScalar),
+                rt, spmv_desc,
                 prob.rows, flat, {matrix, vectors}, {vectors},
                 [&prob](u64 i) { prob.spmv(i, i + 1); });
 
             // #pragma acc kernels loop reduction(+:p_ap)
-            acc::kernelsLoop(rt, prob.dotDescriptor(), prob.rows, red,
+            acc::kernelsLoop(rt, dot_desc, prob.rows, red,
                              {vectors}, {partials}, [&prob](u64 i) {
                                  prob.dotKernel(prob.p, prob.ap, i,
                                                 i + 1);
@@ -72,20 +80,20 @@ runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
             double p_ap = cfg.functional ? prob.dotFinish() : 1.0;
             double alpha = p_ap != 0.0 ? rr / p_ap : 0.0;
 
-            acc::kernelsLoop(rt, prob.waxpbyDescriptor(), prob.rows,
+            acc::kernelsLoop(rt, waxpby_desc, prob.rows,
                              flat, {vectors}, {vectors},
                              [&prob, alpha](u64 i) {
                                  prob.waxpby(prob.x, alpha, prob.p,
                                              1.0, i, i + 1);
                              });
-            acc::kernelsLoop(rt, prob.waxpbyDescriptor(), prob.rows,
+            acc::kernelsLoop(rt, waxpby_desc, prob.rows,
                              flat, {vectors}, {vectors},
                              [&prob, alpha](u64 i) {
                                  prob.waxpby(prob.r, -alpha, prob.ap,
                                              1.0, i, i + 1);
                              });
 
-            acc::kernelsLoop(rt, prob.dotDescriptor(), prob.rows, red,
+            acc::kernelsLoop(rt, dot_desc, prob.rows, red,
                              {vectors}, {partials}, [&prob](u64 i) {
                                  prob.dotKernel(prob.r, prob.r, i,
                                                 i + 1);
@@ -94,7 +102,7 @@ runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
             double rr_new = cfg.functional ? prob.dotFinish() : 1.0;
             double beta = rr != 0.0 ? rr_new / rr : 0.0;
 
-            acc::kernelsLoop(rt, prob.waxpbyDescriptor(), prob.rows,
+            acc::kernelsLoop(rt, waxpby_desc, prob.rows,
                              flat, {vectors}, {vectors},
                              [&prob, beta](u64 i) {
                                  prob.waxpby(prob.p, 1.0, prob.r,

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "cpu/threadpool.hh"
 #include "coexec/scheduler.hh"
+#include "kernelir/signature.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
 
@@ -119,11 +120,9 @@ predictKernelSeconds(const sim::DeviceSpec &spec, Precision prec,
     const ir::CompilerModel &compiler = compilerForSpec(spec);
     ir::Codegen cg = compiler.compile(desc, hints, spec);
     ir::ProfileResolver resolver(spec);
-    sim::KernelProfile prof = resolver.resolve(
-        desc, items, prec, cg.usesLds, hints.workgroupSize);
-    prof.chainConcurrencyPerCu *= cg.chainEfficiency;
-    return sim::timeKernel(spec, spec.stockFreq(), prec, prof, cg)
-        .seconds;
+    return ir::memoizedTiming(resolver, spec, spec.stockFreq(), prec,
+                              desc, items, hints.workgroupSize, cg)
+        .timing.seconds;
 }
 
 CoExecutor::CoExecutor(DevicePool pool, Precision prec_)
@@ -280,12 +279,11 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
             deps.push_back(slot.fixedTask);
         }
 
-        sim::KernelProfile prof = slot.resolver->resolve(
-            kernel.desc, take, prec, slot.cg.usesLds,
-            kernel.hints.workgroupSize);
-        prof.chainConcurrencyPerCu *= slot.cg.chainEfficiency;
-        const sim::KernelTiming timing = sim::timeKernel(
-            *slot.spec, slot.spec->stockFreq(), prec, prof, slot.cg);
+        const sim::KernelTiming timing =
+            ir::memoizedTiming(*slot.resolver, *slot.spec,
+                               slot.spec->stockFreq(), prec, kernel.desc,
+                               take, kernel.hints.workgroupSize, slot.cg)
+                .timing;
         const double kernel_secs = timing.seconds;
         const std::string chunk_label =
             kernel.name + "#" + std::to_string(slot.report.chunks);

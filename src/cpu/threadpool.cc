@@ -24,9 +24,10 @@ ThreadPool::ThreadPool(unsigned workers)
     numWorkers = workers ? workers : std::thread::hardware_concurrency();
     if (numWorkers == 0)
         numWorkers = 1;
+    slots = std::make_unique<Slot[]>(slotCount());
     threads.reserve(numWorkers);
     for (unsigned i = 0; i < numWorkers; ++i)
-        threads.emplace_back([this] { workerLoop(); });
+        threads.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -48,36 +49,127 @@ ThreadPool::global()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::runChunk(const RangeFn &body, u64 begin, u64 end)
+{
+    try {
+        body(begin, end);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (!jobError)
+            jobError = std::current_exception();
+    }
+    const u64 done = end - begin;
+    if (itemsLeft.fetch_sub(done, std::memory_order_acq_rel) == done) {
+        std::lock_guard<std::mutex> lock(mtx);
+        doneCv.notify_all();
+    }
+}
+
+void
+ThreadPool::runSlot(unsigned self, const RangeFn &body, u64 grain)
+{
+    Slot &own = slots[self];
+    while (true) {
+        u64 begin = 0, end = 0;
+
+        // Fast path: take one grain from the head of our own block
+        // (the whole remainder when splitting would leave a sub-grain
+        // fragment).
+        {
+            std::lock_guard<std::mutex> lock(own.m);
+            const u64 next = own.next.load(std::memory_order_relaxed);
+            const u64 limit = own.end.load(std::memory_order_relaxed);
+            if (next < limit) {
+                begin = next;
+                end = limit - next < 2 * grain ? limit : next + grain;
+                own.next.store(end, std::memory_order_relaxed);
+            }
+        }
+
+        // Own block drained: steal the richer half of the fullest
+        // victim's tail and make it our new block.
+        if (begin == end) {
+            unsigned victim = slotCount();
+            u64 best = 0;
+            for (unsigned s = 0; s < slotCount(); ++s) {
+                if (s == self)
+                    continue;
+                const u64 next =
+                    slots[s].next.load(std::memory_order_relaxed);
+                const u64 limit =
+                    slots[s].end.load(std::memory_order_relaxed);
+                const u64 avail = limit > next ? limit - next : 0;
+                if (avail > best) {
+                    best = avail;
+                    victim = s;
+                }
+            }
+            if (victim == slotCount())
+                return; // nothing left anywhere
+
+            u64 stolen_begin = 0, stolen_end = 0;
+            {
+                std::lock_guard<std::mutex> lock(slots[victim].m);
+                const u64 next =
+                    slots[victim].next.load(std::memory_order_relaxed);
+                const u64 limit =
+                    slots[victim].end.load(std::memory_order_relaxed);
+                if (next < limit) {
+                    // Half the remainder, but never a sub-grain crumb:
+                    // small victims are taken whole.
+                    const u64 avail = limit - next;
+                    const u64 take = std::max((avail + 1) / 2,
+                                              std::min(avail, grain));
+                    stolen_end = limit;
+                    stolen_begin = limit - take;
+                    slots[victim].end.store(stolen_begin,
+                                            std::memory_order_relaxed);
+                }
+            }
+            if (stolen_begin == stolen_end)
+                continue; // raced with the owner; rescan
+
+            jobSteals.fetch_add(1, std::memory_order_relaxed);
+            // Deposit the loot as our own block (only the owner ever
+            // writes its slot outside a steal, and ours is empty).
+            {
+                std::lock_guard<std::mutex> lock(own.m);
+                own.next.store(stolen_begin, std::memory_order_relaxed);
+                own.end.store(stolen_end, std::memory_order_relaxed);
+            }
+            continue;
+        }
+
+        runChunk(body, begin, end);
+    }
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
 {
     inPoolWorker = true;
+    u64 seen = 0;
     while (true) {
-        u64 begin, end;
         const RangeFn *body;
+        u64 grain;
         {
             std::unique_lock<std::mutex> lock(mtx);
-            workCv.wait(lock, [this] {
-                return stopping || (jobActive && job.next < job.end);
+            workCv.wait(lock, [&] {
+                return stopping || jobEpoch != seen;
             });
             if (stopping)
                 return;
-            begin = job.next;
-            end = std::min(job.end, begin + job.grain);
-            job.next = end;
-            ++job.pending;
-            body = job.body;
+            seen = jobEpoch;
+            if (!jobLive)
+                continue; // woke after the caller collected the job
+            body = jobBody;
+            grain = jobGrain;
+            ++activeWorkers;
         }
-        try {
-            (*body)(begin, end);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mtx);
-            if (!job.error)
-                job.error = std::current_exception();
-        }
+        runSlot(index, *body, grain);
         {
             std::lock_guard<std::mutex> lock(mtx);
-            --job.pending;
-            if (job.next >= job.end && job.pending == 0)
+            if (--activeWorkers == 0)
                 doneCv.notify_all();
         }
     }
@@ -102,52 +194,52 @@ ThreadPool::parallelFor(u64 n, const RangeFn &body, u64 grain)
     }
 
     std::lock_guard<std::mutex> caller(callerMtx);
+
+    // Pre-partition [0, n) into one block per participant - but never
+    // more blocks than grains, so an explicit coarse grain still
+    // yields ~n/grain chunks as the old central queue did.  No worker
+    // is awake for this job yet, so the slots can be written without
+    // their locks; the epoch bump below publishes them.
+    const unsigned parts = slotCount();
+    const unsigned blocks = static_cast<unsigned>(
+        std::min<u64>(parts, std::max<u64>(1, n / grain)));
+    for (unsigned s = 0; s < parts; ++s) {
+        const u64 lo = s < blocks ? n * s / blocks : 0;
+        const u64 hi = s < blocks ? n * (s + 1) / blocks : 0;
+        slots[s].next.store(lo, std::memory_order_relaxed);
+        slots[s].end.store(hi, std::memory_order_relaxed);
+    }
+    itemsLeft.store(n, std::memory_order_relaxed);
+    jobSteals.store(0, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mtx);
-        job = Job{};
-        job.body = &body;
-        job.next = 0;
-        job.end = n;
-        job.grain = grain;
-        jobActive = true;
+        jobBody = &body;
+        jobGrain = grain;
+        jobError = nullptr;
+        jobLive = true;
+        ++jobEpoch;
     }
     workCv.notify_all();
 
-    // The caller participates instead of idling.
-    while (true) {
-        u64 begin, end;
-        {
-            std::lock_guard<std::mutex> lock(mtx);
-            if (job.next >= job.end)
-                break;
-            begin = job.next;
-            end = std::min(job.end, begin + job.grain);
-            job.next = end;
-            ++job.pending;
-        }
-        try {
-            body(begin, end);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mtx);
-            if (!job.error)
-                job.error = std::current_exception();
-        }
-        {
-            std::lock_guard<std::mutex> lock(mtx);
-            --job.pending;
-        }
-    }
+    // The caller participates instead of idling (last slot is ours).
+    runSlot(parts - 1, body, grain);
 
     std::exception_ptr error;
     {
         std::unique_lock<std::mutex> lock(mtx);
-        doneCv.wait(lock,
-                    [this] { return job.next >= job.end &&
-                                    job.pending == 0; });
-        jobActive = false;
-        error = job.error;
-        job = Job{};
+        doneCv.wait(lock, [&] {
+            return itemsLeft.load(std::memory_order_acquire) == 0 &&
+                   activeWorkers == 0;
+        });
+        jobLive = false;
+        jobBody = nullptr;
+        error = jobError;
+        jobError = nullptr;
     }
+    const u64 steals = jobSteals.load(std::memory_order_relaxed);
+    if (steals > 0)
+        metrics.add("host.parallel_for.steals",
+                    static_cast<double>(steals));
     if (error)
         std::rethrow_exception(error);
 }

@@ -1,19 +1,31 @@
 /**
  * @file
- * A small persistent worker-thread pool.
+ * A small persistent worker-thread pool with work stealing.
  *
  * Functional kernel bodies are executed through this pool so large
  * proxy applications (LULESH -s 100, CoMD 60^3) run at host speed.
  * The pool is a *substrate*: simulated time never depends on host
  * wall-clock; it comes exclusively from the timing model.
+ *
+ * parallelFor splits [0, n) into one contiguous block per participant
+ * (each worker plus the caller).  Every participant consumes its own
+ * block from the head in grain-sized chunks; a participant that runs
+ * dry steals the richer half of the fullest remaining block from its
+ * owner's tail.  The only shared state touched per chunk is the
+ * owner's slot lock - uncontended unless a thief is present - so
+ * throughput no longer serializes on one central queue mutex.  The
+ * blocking signature and the first-exception-wins semantics of the
+ * previous implementation are preserved.
  */
 
 #ifndef HETSIM_CPU_THREADPOOL_HH
 #define HETSIM_CPU_THREADPOOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -45,7 +57,7 @@ class ThreadPool
     /**
      * Execute @p body over [0, n), split into chunks, blocking until
      * every chunk completes.  The first exception thrown by any chunk
-     * is rethrown on the caller.
+     * is rethrown on the caller; remaining chunks still run.
      *
      * @param n     number of work items.
      * @param body  range body; must be safe to run concurrently on
@@ -61,25 +73,44 @@ class ThreadPool
     static ThreadPool &global();
 
   private:
-    void workerLoop();
-
-    struct Job
+    /** One participant's block of the iteration space.  next/end are
+     *  written under the slot mutex; lock-free relaxed reads are only
+     *  used as a steal-victim heuristic and re-validated under the
+     *  lock. */
+    struct alignas(64) Slot
     {
-        const RangeFn *body = nullptr;
-        u64 next = 0;
-        u64 end = 0;
-        u64 grain = 1;
-        u64 pending = 0; // chunks still running or unclaimed
-        std::exception_ptr error;
+        std::mutex m;
+        std::atomic<u64> next{0};
+        std::atomic<u64> end{0};
     };
+
+    void workerLoop(unsigned index);
+
+    /** Drain own slot, then steal, until no work remains anywhere. */
+    void runSlot(unsigned self, const RangeFn &body, u64 grain);
+
+    /** Run one claimed chunk, recording the first exception and
+     *  signalling completion when the last item retires. */
+    void runChunk(const RangeFn &body, u64 begin, u64 end);
+
+    /** @return participant count (workers + the caller). */
+    unsigned slotCount() const { return numWorkers + 1; }
 
     unsigned numWorkers;
     std::vector<std::thread> threads;
+    std::unique_ptr<Slot[]> slots; ///< slotCount() entries
+
     std::mutex mtx;
     std::condition_variable workCv;
     std::condition_variable doneCv;
-    Job job;
-    bool jobActive = false;
+    const RangeFn *jobBody = nullptr;
+    u64 jobGrain = 1;
+    u64 jobEpoch = 0;    ///< bumped per job; wakes the workers
+    bool jobLive = false; ///< false once the caller has collected
+    unsigned activeWorkers = 0;
+    std::exception_ptr jobError;
+    std::atomic<u64> itemsLeft{0};
+    std::atomic<u64> jobSteals{0};
     bool stopping = false;
 };
 

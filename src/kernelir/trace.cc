@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <mutex>
+#include <vector>
 
 #include "common/logging.hh"
+#include "cpu/threadpool.hh"
+#include "obs/metrics.hh"
+#include "sim/timing_cache.hh"
 
 namespace hetsim::ir
 {
@@ -72,7 +76,13 @@ ProfileResolver::streamMissRatio(const KernelDescriptor &desc,
                       toString(prec) + '/' +
                       std::to_string(spec.l2Bytes) + '/' +
                       std::to_string(stream.workingSetBytesSp);
-    {
+    // The memo obeys the same switch as the timing cache: with
+    // --no-timing-cache every launch re-derives its miss ratios from
+    // scratch (the A/B contract is "no memoized timing state at all").
+    // Results are identical either way - the trace Rng is seeded from
+    // the key, so a re-run reproduces the memoized ratio bit-for-bit.
+    const bool memoize = sim::TimingCache::global().enabled();
+    if (memoize) {
         std::lock_guard<std::mutex> lock(globalMissMutex);
         auto it = globalMissCache.find(key);
         if (it != globalMissCache.end())
@@ -86,6 +96,8 @@ ProfileResolver::streamMissRatio(const KernelDescriptor &desc,
         // Seed from the key so reruns are bit-identical.
         Rng rng(std::hash<std::string>{}(key));
         stream.trace(cache, rng);
+        obs::Metrics::global().add(
+            "sim.trace.probes", static_cast<double>(cache.accesses()));
         if (cache.accesses() == 0) {
             warn("trace for %s produced no accesses; using heuristic",
                  key.c_str());
@@ -97,8 +109,10 @@ ProfileResolver::streamMissRatio(const KernelDescriptor &desc,
         miss = analyticMissRatio(stream, prec);
     }
 
-    std::lock_guard<std::mutex> lock(globalMissMutex);
-    globalMissCache.emplace(std::move(key), miss);
+    if (memoize) {
+        std::lock_guard<std::mutex> lock(globalMissMutex);
+        globalMissCache.emplace(std::move(key), miss);
+    }
     return miss;
 }
 
@@ -126,12 +140,29 @@ ProfileResolver::resolve(const KernelDescriptor &desc, u64 items,
     double dram_weighted = 0.0; // sum of dram_bytes / pattern_eff
     double max_dram_bytes = -1.0;
 
-    for (const auto &stream : desc.streams) {
+    // Independent per-stream cache simulations are the expensive part
+    // of resolution (up to 2M probes each); shard them across the host
+    // pool.  Each stream's Rng is seeded from its memo key, not from
+    // its worker, so the miss ratios are bitwise-identical no matter
+    // how the streams land on threads (see test_determinism).
+    std::vector<double> miss_ratios(desc.streams.size(), 0.0);
+    cpu::ThreadPool::global().parallelFor(
+        desc.streams.size(),
+        [&](u64 lo, u64 hi) {
+            for (u64 s = lo; s < hi; ++s) {
+                miss_ratios[s] =
+                    streamMissRatio(desc, desc.streams[s], prec);
+            }
+        },
+        1);
+
+    for (size_t s = 0; s < desc.streams.size(); ++s) {
+        const auto &stream = desc.streams[s];
         const double scale =
             stream.scalesWithPrecision ? prec_scale : 1.0;
         const double elem_bytes = 4.0 * scale;
         const double accesses = stream.bytesPerItemSp / 4.0;
-        const double miss = streamMissRatio(desc, stream, prec);
+        const double miss = miss_ratios[s];
 
         const double dram_bytes = accesses * miss * line;
         const double eff =

@@ -25,6 +25,9 @@ namespace hetsim::ir
 /** Default probe budget per stream trace. */
 constexpr u64 defaultTraceProbes = 1u << 21; // 2M probes
 
+/** Addresses buffered per accessBatch() call (stack-friendly). */
+constexpr u64 traceBatchAddrs = 4096;
+
 /**
  * Unit-stride streaming over @p bytes (element size @p elem_bytes).
  */
@@ -35,9 +38,7 @@ sequentialTrace(u64 bytes, u32 elem_bytes,
     return [bytes, elem_bytes, max_probes](sim::SetAssocCache &cache,
                                            Rng &) {
         u64 probes = std::min(bytes / elem_bytes, max_probes);
-        Addr addr = 0;
-        for (u64 i = 0; i < probes; ++i, addr += elem_bytes)
-            cache.access(addr);
+        cache.accessStream(0, elem_bytes, probes);
     };
 }
 
@@ -51,9 +52,15 @@ gatherTrace(std::function<u64(u64)> index_of, u64 count, u32 elem_bytes,
 {
     return [index_of = std::move(index_of), count, elem_bytes,
             max_probes](sim::SetAssocCache &cache, Rng &) {
-        u64 probes = std::min(count, max_probes);
-        for (u64 k = 0; k < probes; ++k)
-            cache.access(index_of(k) * elem_bytes);
+        const u64 probes = std::min(count, max_probes);
+        Addr addrs[traceBatchAddrs];
+        for (u64 k = 0; k < probes;) {
+            const u64 n = std::min(probes - k, traceBatchAddrs);
+            for (u64 j = 0; j < n; ++j)
+                addrs[j] = index_of(k + j) * elem_bytes;
+            cache.accessBatch(addrs, n);
+            k += n;
+        }
     };
 }
 
@@ -67,8 +74,14 @@ randomTrace(u64 region_bytes, u32 elem_bytes,
     return [region_bytes, elem_bytes, max_probes](
                sim::SetAssocCache &cache, Rng &rng) {
         u64 elements = std::max<u64>(region_bytes / elem_bytes, 1);
-        for (u64 k = 0; k < max_probes; ++k)
-            cache.access(rng.below(elements) * elem_bytes);
+        Addr addrs[traceBatchAddrs];
+        for (u64 k = 0; k < max_probes;) {
+            const u64 n = std::min(max_probes - k, traceBatchAddrs);
+            for (u64 j = 0; j < n; ++j)
+                addrs[j] = rng.below(elements) * elem_bytes;
+            cache.accessBatch(addrs, n);
+            k += n;
+        }
     };
 }
 

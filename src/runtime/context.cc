@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "cpu/threadpool.hh"
+#include "kernelir/signature.hh"
 #include "obs/metrics.hh"
 
 namespace hetsim::rt
@@ -193,13 +194,13 @@ RuntimeContext::launch(const ir::KernelDescriptor &desc, u64 items,
     if (functional && body)
         cpu::ThreadPool::global().parallelFor(items, body);
 
-    // Temporal modeling.
+    // Temporal modeling (memoized across repeated launches).
     ir::Codegen cg = compilerModel->compile(desc, hints, spec);
-    sim::KernelProfile prof = resolver.resolve(
-        desc, items, prec, cg.usesLds, hints.workgroupSize);
-    prof.chainConcurrencyPerCu *= cg.chainEfficiency;
-    sim::KernelTiming timing = sim::timeKernel(spec, clocks, prec, prof,
-                                               cg);
+    sim::TimingEntry eval =
+        ir::memoizedTiming(resolver, spec, clocks, prec, desc, items,
+                           hints.workgroupSize, cg);
+    sim::KernelProfile &prof = eval.profile;
+    const sim::KernelTiming timing = eval.timing;
 
     sim::TaskId task = timeline.schedule(
         computeQ, timing.seconds, deps,

@@ -1,5 +1,6 @@
 #include "cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
@@ -25,13 +26,9 @@ SetAssocCache::SetAssocCache(u64 size_bytes, u32 line_bytes, u32 assoc)
     ways.resize(u64(numSets) * assoc);
 }
 
-bool
-SetAssocCache::access(Addr addr)
+SetAssocCache::Way *
+SetAssocCache::probeLine(u64 line, bool &hit)
 {
-    ++numAccesses;
-    ++useClock;
-
-    u64 line = addr >> lineShift;
     u32 set = static_cast<u32>(line % numSets);
     u64 tag = line / numSets;
 
@@ -41,7 +38,8 @@ SetAssocCache::access(Addr addr)
         Way &way = base[w];
         if (way.valid && way.tag == tag) {
             way.lastUse = useClock;
-            return true;
+            hit = true;
+            return &way;
         }
         if (!way.valid) {
             victim = &way;
@@ -54,7 +52,36 @@ SetAssocCache::access(Addr addr)
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = useClock;
-    return false;
+    hit = false;
+    return victim;
+}
+
+void
+SetAssocCache::probeRun(u64 line, u64 run)
+{
+    // One real LRU probe; the run's remaining accesses would all hit
+    // the just-touched MRU line, so only the counters advance and the
+    // line's stamp moves to the run's final clock tick - bit-identical
+    // to the serial access() loop.
+    ++numAccesses;
+    ++useClock;
+    bool hit;
+    Way *way = probeLine(line, hit);
+    if (run > 1) {
+        numAccesses += run - 1;
+        useClock += run - 1;
+        way->lastUse = useClock;
+    }
+}
+
+bool
+SetAssocCache::access(Addr addr)
+{
+    ++numAccesses;
+    ++useClock;
+    bool hit;
+    probeLine(addr >> lineShift, hit);
+    return hit;
 }
 
 void
@@ -66,6 +93,39 @@ SetAssocCache::accessRange(Addr addr, u64 bytes)
     Addr last = (addr + bytes - 1) >> lineShift;
     for (Addr line = first; line <= last; ++line)
         access(line << lineShift);
+}
+
+void
+SetAssocCache::accessBatch(const Addr *addrs, u64 count)
+{
+    u64 i = 0;
+    while (i < count) {
+        const u64 line = addrs[i] >> lineShift;
+        u64 run = 1;
+        while (i + run < count && (addrs[i + run] >> lineShift) == line)
+            ++run;
+        probeRun(line, run);
+        i += run;
+    }
+}
+
+void
+SetAssocCache::accessStream(Addr start, u64 stride, u64 count)
+{
+    Addr addr = start;
+    u64 i = 0;
+    while (i < count) {
+        const u64 line = addr >> lineShift;
+        u64 run = count - i;
+        if (stride > 0) {
+            // Accesses remaining inside this line at this stride.
+            const Addr line_end = (line + 1) << lineShift;
+            run = std::min(run, (line_end - addr + stride - 1) / stride);
+        }
+        probeRun(line, run);
+        addr += stride * run;
+        i += run;
+    }
 }
 
 void

@@ -47,6 +47,24 @@ class SetAssocCache
      */
     void accessRange(Addr addr, u64 bytes);
 
+    /**
+     * Access @p count addresses in order, as if access() had been
+     * called once per element.  Counters and LRU state end up
+     * bit-identical to the serial loop; consecutive same-line runs are
+     * collapsed into one LRU probe (a run's trailing accesses are
+     * guaranteed hits on the just-touched MRU line, so only the
+     * bookkeeping needs to advance).
+     */
+    void accessBatch(const Addr *addrs, u64 count);
+
+    /**
+     * Access the strided sequence start, start+stride, ... (@p count
+     * probes), equivalent to the serial access() loop.  Same-line runs
+     * are collapsed arithmetically, so unit-stride streams cost one
+     * LRU probe per touched *line* instead of one per element.
+     */
+    void accessStream(Addr start, u64 stride, u64 count);
+
     /** Invalidate all lines and reset statistics. */
     void reset();
 
@@ -76,6 +94,14 @@ class SetAssocCache
         u64 lastUse = 0;
         bool valid = false;
     };
+
+    /** One LRU probe of @p line (useClock already advanced).
+     *  @return the way now holding the line; @p hit reports the
+     *  outcome. */
+    Way *probeLine(u64 line, bool &hit);
+
+    /** Probe @p line once for a run of @p run accesses. */
+    void probeRun(u64 line, u64 run);
 
     u32 lineSize;
     u32 lineShift;

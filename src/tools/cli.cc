@@ -16,6 +16,7 @@
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/tracer.hh"
+#include "sim/timing_cache.hh"
 
 namespace hetsim::cli
 {
@@ -178,6 +179,8 @@ parse(const std::vector<std::string> &argv)
             args.doublePrecision = true;
         } else if (arg == "--functional") {
             args.functional = true;
+        } else if (arg == "--no-timing-cache") {
+            args.timingCache = false;
         } else if (arg == "--stats") {
             args.stats = true;
         } else if (arg == "--kernels") {
@@ -217,6 +220,11 @@ usage(std::ostream &os)
           "  --trace-out FILE    Chrome trace-event JSON "
           "(chrome://tracing)\n"
           "  --metrics-out FILE  metrics registry dump as JSON\n\n"
+          "performance (any verb):\n"
+          "  --no-timing-cache   disable timing memoization: re-derive "
+          "miss ratios and\n"
+          "                      kernel timing on every launch (A/B "
+          "validation)\n\n"
           "apps:    readmem lulesh comd xsbench minife\n"
           "         (coexec: readmem xsbench minife)\n"
           "models:  serial openmp opencl cppamp openacc hc\n"
@@ -654,6 +662,27 @@ struct ObsSession
     bool active;
 };
 
+/**
+ * Applies --no-timing-cache for the duration of a command and
+ * restores the prior state on exit (library users of execute() keep
+ * their own configuration).
+ */
+struct TimingCacheSession
+{
+    explicit TimingCacheSession(bool on)
+        : prior(sim::TimingCache::global().enabled())
+    {
+        sim::TimingCache::global().setEnabled(on);
+    }
+
+    ~TimingCacheSession()
+    {
+        sim::TimingCache::global().setEnabled(prior);
+    }
+
+    bool prior;
+};
+
 } // namespace
 
 int
@@ -668,6 +697,7 @@ execute(const Args &args, std::ostream &os)
     ObsSession obs_session(!args.traceOut.empty() ||
                            !args.metricsOut.empty() ||
                            args.command == "breakdown");
+    TimingCacheSession cache_session(args.timingCache);
 
     int rc;
     if (args.command == "list")

@@ -54,6 +54,8 @@ struct Args
     bool kernels = false;
     /** Whether --devices appeared (breakdown picks coexec mode). */
     bool devicesGiven = false;
+    /** --no-timing-cache: disable kernel-timing memoization (A/B). */
+    bool timingCache = true;
     std::string traceOut;   ///< Chrome trace JSON path ("" = off)
     std::string metricsOut; ///< metrics JSON path ("" = off)
     sim::FreqDomain freq{0.0, 0.0};

@@ -9,6 +9,10 @@
 
 #include "core/harness.hh"
 #include "core/workload.hh"
+#include "cpu/threadpool.hh"
+#include "kernelir/signature.hh"
+#include "kernelir/tracegen.hh"
+#include "sim/timing_cache.hh"
 
 namespace hetsim
 {
@@ -75,6 +79,98 @@ TEST(Determinism, PrecisionOnlyChangesWhatItShould)
     auto dp = wl->run(ModelKind::OpenCl, sim::radeonR9_280X(), cfg);
     EXPECT_EQ(sp.kernelLaunches, dp.kernelLaunches);
     EXPECT_NEAR(dp.kernelSeconds / sp.kernelSeconds, 2.0, 0.2);
+}
+
+TEST(Determinism, TimingCacheOnVsOffIsBitIdentical)
+{
+    // The timing cache is an optimization, not a semantic change:
+    // cold (miss-filled), hot (pure hits), and disabled runs must
+    // produce bit-identical simulated results.
+    sim::TimingCache &cache = sim::TimingCache::global();
+    const bool prior = cache.enabled();
+    auto wl = core::makeReadMem();
+    core::WorkloadConfig cfg;
+    cfg.scale = 0.25;
+    cfg.functional = false;
+    auto run = [&] {
+        return wl->run(ModelKind::OpenCl, sim::radeonR9_280X(), cfg);
+    };
+
+    cache.setEnabled(false);
+    auto off = run();
+    cache.setEnabled(true);
+    cache.clear();
+    auto cold = run();
+    auto hot = run();
+    const u64 hits = cache.hits();
+    cache.setEnabled(prior);
+
+    EXPECT_EQ(off.seconds, cold.seconds);
+    EXPECT_EQ(off.seconds, hot.seconds);
+    EXPECT_EQ(off.kernelSeconds, hot.kernelSeconds);
+    EXPECT_EQ(off.llcMissRatio, hot.llcMissRatio);
+    EXPECT_EQ(off.kernelLaunches, hot.kernelLaunches);
+    // The hot run repeated the cold run's keys exactly.
+    EXPECT_GT(hits, 0u);
+}
+
+namespace
+{
+
+/** Descriptor with several traced gather streams (Rng-independent, so
+ *  equal content must produce equal ratios whatever thread runs it). */
+ir::KernelDescriptor
+tracedDescriptor(const std::string &tag)
+{
+    ir::KernelDescriptor desc;
+    desc.name = "det-" + tag;
+    desc.flopsPerItem = 2.0;
+    for (int s = 0; s < 4; ++s) {
+        ir::MemStream ms;
+        ms.buffer = "buf" + std::to_string(s) + "-" + tag;
+        ms.bytesPerItemSp = 4.0;
+        ms.pattern = sim::AccessPattern::Gather;
+        ms.workingSetBytesSp = 32u << 20;
+        ms.trace = ir::gatherTrace(
+            [s](u64 k) { return (k * 97 + u64(s) * 13) % (1u << 20); },
+            1u << 18, 4);
+        desc.streams.push_back(std::move(ms));
+    }
+    return desc;
+}
+
+} // namespace
+
+TEST(Determinism, ShardedStreamTracingMatchesSerial)
+{
+    // resolve() shards sibling stream traces across the thread pool;
+    // the resulting miss ratios must be bitwise-identical to running
+    // each trace serially on one thread (1 vs N workers contract).
+    sim::DeviceSpec spec = sim::radeonR9_280X();
+
+    // Serial reference: trace each stream by hand, one at a time.
+    ir::KernelDescriptor serial_desc = tracedDescriptor("serial");
+    ir::ProfileResolver serial_resolver(spec);
+    std::vector<double> serial_ratios;
+    for (const auto &stream : serial_desc.streams) {
+        serial_ratios.push_back(serial_resolver.streamMissRatio(
+            serial_desc, stream, Precision::Single));
+    }
+
+    // Sharded: identical stream content under different memo keys, so
+    // resolve() must re-run the traces (now across the pool).
+    ir::KernelDescriptor par_desc = tracedDescriptor("parallel");
+    ir::ProfileResolver par_resolver(spec);
+    par_resolver.resolve(par_desc, 1u << 20, Precision::Single, false);
+    std::vector<double> par_ratios;
+    for (const auto &stream : par_desc.streams) {
+        par_ratios.push_back(par_resolver.streamMissRatio(
+            par_desc, stream, Precision::Single));
+    }
+
+    ASSERT_EQ(serial_ratios.size(), par_ratios.size());
+    for (size_t s = 0; s < serial_ratios.size(); ++s)
+        EXPECT_EQ(serial_ratios[s], par_ratios[s]) << "stream " << s;
 }
 
 TEST(Determinism, HarnessBaselineIsCached)

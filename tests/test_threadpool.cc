@@ -185,5 +185,99 @@ TEST(ThreadPool, ManySequentialJobs)
     }
 }
 
+TEST(ThreadPool, GrainLargerThanTripCount)
+{
+    // A grain exceeding n degenerates to one inline chunk covering
+    // the whole range - never an empty or split range.
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    std::atomic<u64> covered{0};
+    pool.parallelFor(
+        7,
+        [&](u64 b, u64 e) {
+            EXPECT_EQ(b, 0u);
+            EXPECT_EQ(e, 7u);
+            calls.fetch_add(1);
+            covered += e - b;
+        },
+        1000);
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(covered.load(), 7u);
+}
+
+TEST(ThreadPool, ExceptionWhileChunksAreStolen)
+{
+    // Fine-grained jobs with uneven chunk costs force steals; a chunk
+    // that throws mid-job must not lose items, wedge a thief, or leave
+    // the pool unusable.  Every non-throwing item still runs exactly
+    // once (first-exception-wins keeps draining remaining chunks).
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        constexpr u64 n = 4096;
+        std::vector<std::atomic<int>> hits(n);
+        bool threw = false;
+        try {
+            pool.parallelFor(
+                n,
+                [&](u64 b, u64 e) {
+                    for (u64 i = b; i < e; ++i) {
+                        if (i == 1777)
+                            throw std::runtime_error("stolen");
+                        // Uneven cost: the first blocks run long so
+                        // idle participants must steal the tail.
+                        if (i < 64) {
+                            volatile u64 sink = 0;
+                            for (u64 k = 0; k < 2000; ++k)
+                                sink += k;
+                        }
+                        hits[i].fetch_add(1,
+                                          std::memory_order_relaxed);
+                    }
+                },
+                1);
+        } catch (const std::runtime_error &) {
+            threw = true;
+        }
+        ASSERT_TRUE(threw);
+        u64 ran = 0;
+        for (u64 i = 0; i < n; ++i) {
+            ASSERT_LE(hits[i].load(), 1);
+            ran += static_cast<u64>(hits[i].load());
+        }
+        // Everything except the throwing chunk completed (grain 1:
+        // the chunk holds at most 2 items after tail merging).
+        ASSERT_GE(ran, n - 2);
+        ASSERT_LT(ran, n);
+    }
+    // Pool remains fully usable after the throwing rounds.
+    std::atomic<u64> count{0};
+    pool.parallelFor(1234, [&](u64 b, u64 e) { count += e - b; });
+    EXPECT_EQ(count.load(), 1234u);
+}
+
+TEST(ThreadPool, StealsPreserveExactCoverageUnderImbalance)
+{
+    // Heavily skewed chunk costs make thieves carve up the loaded
+    // block repeatedly; coverage must stay exactly-once.
+    ThreadPool pool(4);
+    constexpr u64 n = 20000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(
+        n,
+        [&](u64 b, u64 e) {
+            for (u64 i = b; i < e; ++i) {
+                if (i < 32) {
+                    volatile u64 sink = 0;
+                    for (u64 k = 0; k < 20000; ++k)
+                        sink += k;
+                }
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+            }
+        },
+        16);
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+}
+
 } // namespace
 } // namespace hetsim::cpu

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the kernel-timing memoization layer: key discrimination,
+ * hit/miss accounting, the enable/disable escape hatch, and the
+ * end-to-end fast path through memoizedTiming().
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernelir/codegen.hh"
+#include "kernelir/signature.hh"
+#include "sim/device.hh"
+#include "sim/timing_cache.hh"
+
+namespace hetsim
+{
+namespace
+{
+
+sim::TimingKey
+keyOf(u64 kernel, u64 items)
+{
+    sim::TimingKey key;
+    key.kernelSig = kernel;
+    key.deviceSig = 1;
+    key.codegenSig = 2;
+    key.items = items;
+    key.setFreq({1000.0, 1500.0});
+    key.precision = 0;
+    key.workgroup = 64;
+    return key;
+}
+
+TEST(TimingCache, LookupInsertRoundTrip)
+{
+    sim::TimingCache cache;
+    EXPECT_FALSE(cache.lookup(keyOf(7, 100)).has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+
+    sim::TimingEntry entry;
+    entry.profile.name = "k";
+    entry.timing.seconds = 0.125;
+    cache.insert(keyOf(7, 100), entry);
+    EXPECT_EQ(cache.size(), 1u);
+
+    auto hit = cache.lookup(keyOf(7, 100));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->timing.seconds, 0.125);
+    EXPECT_EQ(hit->profile.name, "k");
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(TimingCache, KeysDiscriminateEveryField)
+{
+    sim::TimingCache cache;
+    sim::TimingEntry entry;
+    cache.insert(keyOf(7, 100), entry);
+
+    EXPECT_FALSE(cache.lookup(keyOf(8, 100)).has_value());
+    EXPECT_FALSE(cache.lookup(keyOf(7, 101)).has_value());
+    sim::TimingKey freq = keyOf(7, 100);
+    freq.setFreq({1000.0, 1501.0});
+    EXPECT_FALSE(cache.lookup(freq).has_value());
+    sim::TimingKey prec = keyOf(7, 100);
+    prec.precision = 1;
+    EXPECT_FALSE(cache.lookup(prec).has_value());
+    sim::TimingKey wg = keyOf(7, 100);
+    wg.workgroup = 128;
+    EXPECT_FALSE(cache.lookup(wg).has_value());
+    EXPECT_TRUE(cache.lookup(keyOf(7, 100)).has_value());
+}
+
+TEST(TimingCache, DisabledCacheNeverHitsAndFreezesCounters)
+{
+    sim::TimingCache cache;
+    cache.setEnabled(false);
+    cache.insert(keyOf(1, 1), sim::TimingEntry{});
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup(keyOf(1, 1)).has_value());
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(TimingCache, ClearDropsEntriesAndCounters)
+{
+    sim::TimingCache cache;
+    cache.insert(keyOf(1, 1), sim::TimingEntry{});
+    cache.lookup(keyOf(1, 1));
+    cache.lookup(keyOf(2, 2));
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(TimingCache, DeviceSignatureSeesGeometry)
+{
+    sim::DeviceSpec a = sim::radeonR9_280X();
+    sim::DeviceSpec b = a;
+    EXPECT_EQ(sim::deviceSignature(a), sim::deviceSignature(b));
+    b.l2Bytes *= 2;
+    EXPECT_NE(sim::deviceSignature(a), sim::deviceSignature(b));
+    b = a;
+    b.memClockMhz += 1.0;
+    EXPECT_NE(sim::deviceSignature(a), sim::deviceSignature(b));
+}
+
+TEST(TimingCache, KernelSignatureSeesDescriptorContent)
+{
+    ir::KernelDescriptor a;
+    a.name = "k";
+    a.flopsPerItem = 4.0;
+    ir::MemStream ms;
+    ms.buffer = "x";
+    ms.bytesPerItemSp = 8.0;
+    a.streams.push_back(ms);
+
+    ir::KernelDescriptor b = a;
+    EXPECT_EQ(ir::kernelSignature(a), ir::kernelSignature(b));
+    b.flopsPerItem = 5.0;
+    EXPECT_NE(ir::kernelSignature(a), ir::kernelSignature(b));
+    b = a;
+    b.streams[0].buffer = "y";
+    EXPECT_NE(ir::kernelSignature(a), ir::kernelSignature(b));
+    b = a;
+    b.streams[0].workingSetBytesSp = 1024;
+    EXPECT_NE(ir::kernelSignature(a), ir::kernelSignature(b));
+}
+
+TEST(TimingCache, MemoizedTimingHitSkipsResolver)
+{
+    sim::TimingCache &cache = sim::TimingCache::global();
+    const bool prior = cache.enabled();
+    cache.setEnabled(true);
+
+    sim::DeviceSpec spec = sim::radeonR9_280X();
+    ir::KernelDescriptor desc;
+    desc.name = "memo-hit-test";
+    desc.flopsPerItem = 8.0;
+    ir::MemStream ms;
+    ms.buffer = "memo-buf";
+    ms.bytesPerItemSp = 4.0;
+    ms.workingSetBytesSp = 1u << 30;
+    desc.streams.push_back(ms);
+
+    ir::ProfileResolver resolver(spec);
+    ir::Codegen cg;
+    const u64 miss0 = cache.misses();
+    auto first = ir::memoizedTiming(resolver, spec, spec.stockFreq(),
+                                    Precision::Single, desc, 1u << 20,
+                                    0, cg);
+    auto second = ir::memoizedTiming(resolver, spec, spec.stockFreq(),
+                                     Precision::Single, desc, 1u << 20,
+                                     0, cg);
+    cache.setEnabled(prior);
+
+    EXPECT_GT(cache.misses(), miss0);
+    EXPECT_EQ(first.timing.seconds, second.timing.seconds);
+    EXPECT_EQ(first.profile.dramBytesPerItem,
+              second.profile.dramBytesPerItem);
+    EXPECT_GT(first.timing.seconds, 0.0);
+}
+
+} // namespace
+} // namespace hetsim
