@@ -27,9 +27,11 @@ coexecSeconds(const coexec::DevicePool &pool,
     coexec::ExecOptions opts;
     opts.policy = policy;
     opts.functional = false;
-    return hc::parallel_dispatch(pool, Precision::Single, kernel,
-                                 opts)
-        .seconds;
+    auto result =
+        hc::parallel_dispatch(pool, Precision::Single, kernel, opts);
+    if (!result.ok)
+        fatal("co-execution failed: %s", result.error.c_str());
+    return result.seconds;
 }
 
 /** Best single-device seconds across the pool's members. */

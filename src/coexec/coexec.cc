@@ -1,13 +1,16 @@
 #include "coexec.hh"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.hh"
 #include "cpu/threadpool.hh"
 #include "coexec/scheduler.hh"
+#include "fault/fault.hh"
 #include "kernelir/signature.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
@@ -44,8 +47,8 @@ policyByName(const std::string &name)
 DevicePool::DevicePool(std::vector<sim::DeviceSpec> specs_)
     : specs(std::move(specs_))
 {
-    if (specs.empty())
-        panic("empty co-execution device pool");
+    // An empty pool is representable (CoExecutor::execute reports it
+    // as a structured error) so callers never abort mid-run.
     for (size_t d = 0; d < specs.size(); ++d) {
         if (d > 0)
             poolName += '+';
@@ -132,9 +135,21 @@ CoExecutor::CoExecutor(DevicePool pool, Precision prec_)
 CoExecResult
 CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
 {
+    CoExecResult result;
+    result.policy = toString(opts.policy);
+    result.items = kernel.items;
+    result.functional = opts.functional && kernel.body != nullptr;
+
+    if (devices.size() == 0) {
+        result.ok = false;
+        result.error = "empty co-execution device pool";
+        return result;
+    }
     if (kernel.items == 0) {
-        fatal("kernel %s co-executed with zero items",
-              kernel.name.c_str());
+        result.ok = false;
+        result.error = csprintf("kernel %s co-executed with zero items",
+                                kernel.name.c_str());
+        return result;
     }
 
     // One slot of executor state per device in the pool.
@@ -152,7 +167,10 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
         sim::TaskId fixedTask = sim::NoTask;
         /** Simulated instant at which this device pulls again. */
         double nextPull = 0.0;
-        bool done = false;
+        /** The scheduler released this device (no fresh grabs). */
+        bool schedDone = false;
+        /** The device is out of service; its work is rescued. */
+        bool dead = false;
         double lastFinish = 0.0;
         DeviceReport report;
     };
@@ -170,9 +188,12 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
         slot.compiler = &compilerForSpec(*slot.spec);
         if (kernel.desc.loop.needsBarriers &&
             !slot.compiler->features().fineGrainedSync) {
-            fatal("kernel %s requires work-group barriers which the "
-                  "co-execution slot for %s cannot express",
-                  kernel.desc.name.c_str(), slot.spec->name.c_str());
+            result.ok = false;
+            result.error = csprintf(
+                "kernel %s requires work-group barriers which the "
+                "co-execution slot for %s cannot express",
+                kernel.desc.name.c_str(), slot.spec->name.c_str());
+            return result;
         }
         slot.cg = slot.compiler->compile(kernel.desc, kernel.hints,
                                          *slot.spec);
@@ -199,56 +220,196 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
                                    opts.minChunkItems);
     scheduler->reset(kernel.items, states);
 
-    CoExecResult result;
-    result.policy = toString(opts.policy);
-    result.items = kernel.items;
-    result.functional = opts.functional && kernel.body != nullptr;
+    // --- Fault machinery -------------------------------------------------
+    fault::FaultPlan *plan = opts.faults;
+    const bool faulty = plan != nullptr && plan->enabled();
+    const u32 retry_max = faulty ? plan->config().retryMax : 0;
+    const double backoff_base =
+        faulty ? plan->config().backoffSeconds : 0.0;
+    const u64 faults_before = faulty ? plan->schedule().size() : 0;
+    size_t alive = devices.size();
+
+    // Declare a device dead: it takes no further work, and the pool
+    // degrades to whatever devices remain.
+    auto killDevice = [&](Slot &slot, const char *why, double when) {
+        slot.dead = true;
+        plan->markDead(slot.spec->name);
+        alive -= 1;
+        result.deadDevices.push_back(slot.spec->name);
+        metrics.add("fault.dead_devices", 1);
+        if (alive > 0) {
+            result.degradations += 1;
+            metrics.add("fault.degradations", 1);
+        }
+        if (timeline.tracing()) {
+            timeline.tracer()->instant(
+                timeline.tracer()->track(slot.spec->name + "/compute"),
+                csprintf("device-dead [%s]", why), "fault", when);
+        }
+        warn("coexec: %s marked dead (%s); %s", slot.spec->name.c_str(),
+             why,
+             alive > 0 ? "redistributing its work"
+                       : "no healthy devices remain");
+    };
+
+    // Failed chunk ranges awaiting re-execution on a healthy device.
+    std::deque<std::pair<u64, u64>> rescue;
+    auto rescueChunk = [&](u64 begin, u64 end) {
+        rescue.push_back({begin, end});
+        result.chunkRescues += 1;
+        metrics.add("fault.rescues", 1);
+    };
+
+    // Schedule one staging transfer, retrying injected failures with
+    // exponential backoff.  Every attempt occupies the DMA engine for
+    // its full duration and each backoff holds the engine idle, so
+    // recovery costs simulated time.  Returns the successful task, or
+    // nullopt when the device exhausted its retry budget (and died).
+    auto transferWithRetry =
+        [&](Slot &slot, sim::ResourceId dma, double secs, u64 bytes,
+            std::string_view what,
+            sim::TaskId dep) -> std::optional<sim::TaskId> {
+        for (u32 attempt = 0;; ++attempt) {
+            if (!faulty || !plan->failTransfer(slot.spec->name)) {
+                sim::TaskId task = timeline.schedule(
+                    dma, secs, dep,
+                    sim::Timeline::SpanInfo{what, "transfer", 0.0,
+                                            bytes});
+                slot.report.transferSeconds += secs;
+                return task;
+            }
+            const std::string label = std::string(what) + " [failed]";
+            sim::TaskId failed = timeline.schedule(
+                dma, secs, dep,
+                sim::Timeline::SpanInfo{label, "fault", 0.0, bytes});
+            slot.report.transferSeconds += secs;
+            metrics.add("fault.transfer_failures", 1);
+            if (attempt >= retry_max) {
+                killDevice(slot, "transfer retries exhausted",
+                           timeline.finishTime(failed));
+                return std::nullopt;
+            }
+            const double gap =
+                fault::backoffSeconds(attempt + 1, backoff_base);
+            timeline.blockResource(dma,
+                                   timeline.finishTime(failed) + gap);
+            plan->degrade(slot.spec->name);
+            result.transferRetries += 1;
+            metrics.add("fault.transfer_retries", 1);
+            metrics.add("fault.backoff_seconds", gap);
+        }
+    };
 
     // Pull loop: whichever device reaches its pull instant first
     // grabs the next chunk of the shared iteration space.  A device's
     // next pull is the *start* of its current compute task, so the
     // next chunk's staging overlaps the current chunk's compute
-    // (depth-1 prefetch on the DMA engine).
+    // (depth-1 prefetch on the DMA engine).  Chunks of dead devices
+    // land on the rescue queue and re-execute on healthy devices;
+    // items count as done only when their chunk fully succeeds.
     u64 next_item = 0;
-    while (next_item < kernel.items) {
+    u64 items_done = 0;
+    while (items_done < kernel.items) {
+        const bool have_fresh = next_item < kernel.items;
+        const bool degraded = !result.deadDevices.empty();
         size_t d = devices.size();
         for (size_t i = 0; i < devices.size(); ++i) {
-            if (slots[i].done)
+            Slot &s = slots[i];
+            if (s.dead)
+                continue;
+            // A scheduler-released device may still take rescue work,
+            // and in degraded mode the fresh tail as well.
+            const bool may_pull =
+                have_fresh && (!s.schedDone || degraded);
+            if (!may_pull && rescue.empty())
                 continue;
             if (d == devices.size() ||
-                slots[i].nextPull < slots[d].nextPull) {
+                s.nextPull < slots[d].nextPull) {
                 d = i;
             }
         }
         if (d == devices.size()) {
-            panic("co-exec schedulers left %llu of %llu items "
-                  "unassigned",
-                  static_cast<unsigned long long>(kernel.items -
-                                                  next_item),
-                  static_cast<unsigned long long>(kernel.items));
+            result.ok = false;
+            result.error = csprintf(
+                "co-exec left %llu of %llu items unassigned "
+                "(no healthy device can take them)",
+                static_cast<unsigned long long>(kernel.items -
+                                                items_done),
+                static_cast<unsigned long long>(kernel.items));
+            break;
         }
 
         Slot &slot = slots[d];
-        const u64 remaining = kernel.items - next_item;
-        u64 take = scheduler->grab(d, states[d], remaining);
-        if (take == 0) {
-            slot.done = true;
-            slot.nextPull = std::numeric_limits<double>::infinity();
-            if (timeline.tracing()) {
-                timeline.tracer()->instant(
-                    timeline.tracer()->track(slot.spec->name +
-                                             "/compute"),
-                    "scheduler-done", "coexec", slot.lastFinish);
+        u64 begin = 0;
+        u64 take = 0;
+        if (!rescue.empty() && (slot.schedDone || !have_fresh)) {
+            begin = rescue.front().first;
+            take = rescue.front().second - begin;
+            rescue.pop_front();
+        } else if (slot.schedDone) {
+            // Degraded-mode takeover: the scheduler already released
+            // this device, so it claims the orphaned tail directly.
+            begin = next_item;
+            take = kernel.items - next_item;
+            next_item = kernel.items;
+        } else {
+            const u64 remaining = kernel.items - next_item;
+            take = scheduler->grab(d, states[d], remaining);
+            if (take == 0) {
+                slot.schedDone = true;
+                if (timeline.tracing()) {
+                    timeline.tracer()->instant(
+                        timeline.tracer()->track(slot.spec->name +
+                                                 "/compute"),
+                        "scheduler-done", "coexec", slot.lastFinish);
+                }
+                continue;
             }
+            take = std::min(take, remaining);
+            begin = next_item;
+            next_item += take;
+        }
+
+        // --fail-device: the named device dies at its next pull once
+        // it has completed its configured chunk budget (mid-run).
+        if (faulty && plan->shouldKill(*slot.spec,
+                                       states[d].chunksDone)) {
+            killDevice(slot, "fail-device", slot.lastFinish);
+            rescueChunk(begin, begin + take);
             continue;
         }
-        take = std::min(take, remaining);
-        const u64 begin = next_item;
-        next_item += take;
 
         const bool discrete = !slot.spec->zeroCopy;
         const double xfer_eff = slot.compiler->transferEfficiency();
+
+        const sim::KernelTiming timing =
+            ir::memoizedTiming(*slot.resolver, *slot.spec,
+                               slot.spec->stockFreq(), prec, kernel.desc,
+                               take, kernel.hints.workgroupSize, slot.cg)
+                .timing;
+        const double kernel_secs = timing.seconds;
+
+        // Injected stall: the chunk hangs and the straggler watchdog
+        // declares the device dead after the stall timeout.
+        if (faulty && plan->stallDevice(slot.spec->name)) {
+            const double timeout =
+                opts.stallTimeoutSeconds > 0.0
+                    ? opts.stallTimeoutSeconds
+                    : 10.0 * std::max(kernel_secs, 1e-6);
+            const sim::TaskId stalled = timeline.schedule(
+                slot.computeQ, timeout, std::span<const sim::TaskId>{},
+                sim::Timeline::SpanInfo{"stall [watchdog]", "fault",
+                                        0.0, 0});
+            slot.lastFinish = std::max(slot.lastFinish,
+                                       timeline.finishTime(stalled));
+            metrics.add("fault.stalls", 1);
+            killDevice(slot, "stall watchdog", slot.lastFinish);
+            rescueChunk(begin, begin + take);
+            continue;
+        }
+
         std::vector<sim::TaskId> deps;
+        bool chunk_lost = false;
 
         if (discrete && !slot.staged) {
             slot.staged = true;
@@ -257,34 +418,66 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
                     static_cast<u64>(kernel.h2dBytesFixed);
                 const double secs =
                     opts.pcie.transferSeconds(fixed_bytes) / xfer_eff;
-                slot.fixedTask = timeline.schedule(
-                    slot.dmaH2D, secs, std::span<const sim::TaskId>{},
-                    sim::Timeline::SpanInfo{"h2d fixed tables",
-                                            "transfer", 0.0,
-                                            fixed_bytes});
-                slot.report.transferSeconds += secs;
+                auto staged = transferWithRetry(
+                    slot, slot.dmaH2D, secs, fixed_bytes,
+                    "h2d fixed tables", sim::NoTask);
+                if (staged)
+                    slot.fixedTask = *staged;
+                else
+                    chunk_lost = true;
             }
         }
-        if (discrete && kernel.h2dBytesPerItem > 0.0) {
+        if (!chunk_lost && discrete && kernel.h2dBytesPerItem > 0.0) {
             const u64 h2d_bytes = static_cast<u64>(
                 static_cast<double>(take) * kernel.h2dBytesPerItem);
             const double secs =
                 opts.pcie.transferSeconds(h2d_bytes) / xfer_eff;
-            deps.push_back(timeline.schedule(
-                slot.dmaH2D, secs, slot.fixedTask,
-                sim::Timeline::SpanInfo{"h2d chunk", "transfer", 0.0,
-                                        h2d_bytes}));
-            slot.report.transferSeconds += secs;
-        } else if (slot.fixedTask != sim::NoTask) {
+            auto h2d = transferWithRetry(slot, slot.dmaH2D, secs,
+                                         h2d_bytes, "h2d chunk",
+                                         slot.fixedTask);
+            if (h2d)
+                deps.push_back(*h2d);
+            else
+                chunk_lost = true;
+        } else if (!chunk_lost && slot.fixedTask != sim::NoTask) {
             deps.push_back(slot.fixedTask);
         }
+        if (chunk_lost) {
+            rescueChunk(begin, begin + take);
+            continue;
+        }
 
-        const sim::KernelTiming timing =
-            ir::memoizedTiming(*slot.resolver, *slot.spec,
-                               slot.spec->stockFreq(), prec, kernel.desc,
-                               take, kernel.hints.workgroupSize, slot.cg)
-                .timing;
-        const double kernel_secs = timing.seconds;
+        // Injected launch failure: a rejected submission costs its
+        // launch overhead before the error surfaces, then retries
+        // after a backoff window.
+        bool launch_ok = true;
+        for (u32 attempt = 0;
+             faulty && plan->failLaunch(slot.spec->name); ++attempt) {
+            const double cost = std::max(timing.launchSeconds, 1e-6);
+            const sim::TaskId failed = timeline.schedule(
+                slot.computeQ, cost, std::span<const sim::TaskId>(deps),
+                sim::Timeline::SpanInfo{"launch [failed]", "fault",
+                                        cost, 0});
+            metrics.add("fault.launch_failures", 1);
+            if (attempt >= retry_max) {
+                killDevice(slot, "launch retries exhausted",
+                           timeline.finishTime(failed));
+                launch_ok = false;
+                break;
+            }
+            timeline.blockResource(
+                slot.computeQ,
+                timeline.finishTime(failed) +
+                    fault::backoffSeconds(attempt + 1, backoff_base));
+            plan->degrade(slot.spec->name);
+            result.launchRetries += 1;
+            metrics.add("fault.launch_retries", 1);
+        }
+        if (!launch_ok) {
+            rescueChunk(begin, begin + take);
+            continue;
+        }
+
         const std::string chunk_label =
             kernel.name + "#" + std::to_string(slot.report.chunks);
         const sim::TaskId compute = timeline.schedule(
@@ -300,12 +493,16 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
                 static_cast<double>(take) * kernel.d2hBytesPerItem);
             const double secs =
                 opts.pcie.transferSeconds(d2h_bytes) / xfer_eff;
-            const sim::TaskId d2h = timeline.schedule(
-                slot.dmaD2H, secs, compute,
-                sim::Timeline::SpanInfo{"d2h chunk", "transfer", 0.0,
-                                        d2h_bytes});
-            slot.report.transferSeconds += secs;
-            finish = timeline.finishTime(d2h);
+            auto d2h = transferWithRetry(slot, slot.dmaD2H, secs,
+                                         d2h_bytes, "d2h chunk",
+                                         compute);
+            if (!d2h) {
+                // Results lost on the way back: the kernel work is
+                // sunk cost and the chunk re-executes elsewhere.
+                rescueChunk(begin, begin + take);
+                continue;
+            }
+            finish = timeline.finishTime(*d2h);
         }
         slot.lastFinish = std::max(slot.lastFinish, finish);
         slot.nextPull = timeline.startTime(compute);
@@ -314,6 +511,7 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
         slot.report.chunks += 1;
         states[d].itemsDone += take;
         states[d].chunksDone += 1;
+        items_done += take;
         metrics.add("coexec.chunks", 1);
         metrics.add("coexec.items", static_cast<double>(take));
         metrics.observe("coexec.chunk_items",
@@ -330,7 +528,10 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
 
         result.partitions.push_back({d, begin, begin + take});
 
-        // Functional execution of the grabbed range (real results).
+        // Functional execution of the range (real results).  Only a
+        // fully successful chunk executes its body, so rescued ranges
+        // run exactly once and results stay bit-identical to a
+        // fault-free (or CPU-only) run.
         if (result.functional) {
             cpu::ThreadPool::global().parallelFor(
                 take, [&](u64 lo, u64 hi) {
@@ -340,6 +541,11 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
     }
 
     result.seconds = timeline.makespan();
+    if (faulty) {
+        result.faultsInjected = plan->schedule().size() - faults_before;
+        metrics.add("fault.injected",
+                    static_cast<double>(result.faultsInjected));
+    }
     for (size_t d = 0; d < devices.size(); ++d) {
         Slot &slot = slots[d];
         slot.report.share =
@@ -364,7 +570,10 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
         }
         result.devices.push_back(slot.report);
     }
-    if (result.functional) {
+    // A failed launch skips validation: the functional results are
+    // incomplete by construction, and the caller already gets the
+    // structured error.
+    if (result.functional && result.ok) {
         if (kernel.validate)
             result.validated = kernel.validate();
         if (kernel.checksum)

@@ -47,6 +47,11 @@
 #include "sim/pcie.hh"
 #include "sim/timeline.hh"
 
+namespace hetsim::fault
+{
+class FaultPlan;
+}
+
 namespace hetsim::coexec
 {
 
@@ -141,6 +146,20 @@ struct ExecOptions
     bool functional = true;
     /** PCIe link used by discrete devices in the pool. */
     sim::PcieLink pcie;
+    /**
+     * Fault-injection plan (non-owning; nullptr = fault-free).  The
+     * executor draws transfer/launch/stall faults from the plan,
+     * retries transfers with timeline-accounted backoff, rescues a
+     * dead device's outstanding chunks onto healthy pools, and
+     * degrades to whatever devices remain alive.
+     */
+    fault::FaultPlan *faults = nullptr;
+    /**
+     * Straggler watchdog: a stalled chunk is declared dead after this
+     * many simulated seconds (0 = auto, 10x the chunk's predicted
+     * duration).
+     */
+    double stallTimeoutSeconds = 0.0;
 };
 
 /** One contiguous range of the iteration space bound to a device. */
@@ -169,6 +188,15 @@ struct DeviceReport
 /** Merged outcome of a co-executed launch. */
 struct CoExecResult
 {
+    /**
+     * Whether the launch completed (possibly degraded).  False means
+     * the work could not finish - e.g. every device of the pool died,
+     * or the request itself was degenerate (empty pool, zero items);
+     * `error` then describes why.  Callers report and exit cleanly
+     * instead of the pre-fault-model panic()/fatal() aborts.
+     */
+    bool ok = true;
+    std::string error;
     std::string policy;
     u64 items = 0;
     /** Merged completion time: makespan over every device. */
@@ -179,8 +207,25 @@ struct CoExecResult
     bool validated = false;
     double checksum = 0.0;
     std::vector<DeviceReport> devices;
-    /** Chunk assignment, in simulated pull order. */
+    /** Chunk assignment, in simulated pull order.  With faults
+     *  injected, rescued chunks appear when they finally succeed, so
+     *  partitions always cover every item exactly once but may leave
+     *  simulated pull order. */
     std::vector<Partition> partitions;
+
+    // --- Fault-tolerance accounting (zero on fault-free runs) -------
+    /** Faults injected during this launch (all kinds). */
+    u64 faultsInjected = 0;
+    /** Transfer retries that eventually succeeded. */
+    u64 transferRetries = 0;
+    /** Launch retries that eventually succeeded. */
+    u64 launchRetries = 0;
+    /** Chunks re-enqueued from a dead device to a healthy one. */
+    u64 chunkRescues = 0;
+    /** Device deaths the pool survived by redistributing work. */
+    u64 degradations = 0;
+    /** Devices marked dead, in death order. */
+    std::vector<std::string> deadDevices;
 };
 
 /**

@@ -29,14 +29,17 @@ class StaticRatioScheduler : public Scheduler
         double sum = 0.0;
         for (const auto &d : devices)
             sum += d.predictedItemsPerSec;
-        if (sum <= 0.0)
-            panic("static-ratio split with zero predicted throughput");
+        // A degenerate cost model (all predictions zero) falls back to
+        // an equal split instead of aborting the run.
+        const double equal_share =
+            1.0 / static_cast<double>(devices.size());
 
         u64 given = 0;
         size_t fastest = 0;
         for (size_t d = 0; d < devices.size(); ++d) {
             const double share =
-                devices[d].predictedItemsPerSec / sum;
+                sum > 0.0 ? devices[d].predictedItemsPerSec / sum
+                          : equal_share;
             assignments[d] = static_cast<u64>(
                 static_cast<double>(total_items) * share);
             given += assignments[d];

@@ -34,12 +34,25 @@ struct DeviceState
     /** Simulated seconds this device has spent computing. */
     double busySeconds = 0.0;
 
-    /** @return observed throughput, falling back to the prediction. */
+    /**
+     * Minimum observation window before the observed rate overrides
+     * the roofline prediction.  A single tiny chunk finishes in
+     * near-zero simulated seconds, and itemsDone / busySeconds would
+     * explode the adaptive scheduler's rate estimate (and with it the
+     * next chunk size) by orders of magnitude.
+     */
+    static constexpr double kMinObservedSeconds = 1e-6;
+    static constexpr u64 kMinObservedItems = 16;
+
+    /** @return observed throughput, falling back to the prediction
+     *  until the minimum observation window has accumulated. */
     double
     throughput() const
     {
-        if (chunksDone > 0 && busySeconds > 0.0)
+        if (chunksDone > 0 && busySeconds >= kMinObservedSeconds &&
+            itemsDone >= kMinObservedItems) {
             return static_cast<double>(itemsDone) / busySeconds;
+        }
         return predictedItemsPerSec;
     }
 };

@@ -1,7 +1,10 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 namespace hetsim
@@ -11,6 +14,30 @@ namespace
 {
 
 bool informOn = true;
+
+std::mutex crashHookMtx;
+std::vector<std::pair<int, std::function<void()>>> crashHooks;
+int nextCrashHookId = 0;
+
+/**
+ * Run registered crash hooks exactly once, newest-first.  The guard
+ * makes a hook that itself panics (or two racing fatal()s) fall
+ * through to abort/exit instead of recursing.
+ */
+void
+runCrashHooks()
+{
+    static std::atomic<bool> crashing{false};
+    if (crashing.exchange(true))
+        return;
+    std::vector<std::pair<int, std::function<void()>>> hooks;
+    {
+        std::lock_guard<std::mutex> lock(crashHookMtx);
+        hooks = crashHooks;
+    }
+    for (auto it = hooks.rbegin(); it != hooks.rend(); ++it)
+        it->second();
+}
 
 std::string
 vformat(const char *fmt, va_list args)
@@ -36,6 +63,7 @@ panic(const char *fmt, ...)
     std::string msg = vformat(fmt, args);
     va_end(args);
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    runCrashHooks();
     std::abort();
 }
 
@@ -47,7 +75,28 @@ fatal(const char *fmt, ...)
     std::string msg = vformat(fmt, args);
     va_end(args);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    runCrashHooks();
     std::exit(1);
+}
+
+int
+addCrashHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(crashHookMtx);
+    crashHooks.emplace_back(nextCrashHookId, std::move(hook));
+    return nextCrashHookId++;
+}
+
+void
+removeCrashHook(int id)
+{
+    std::lock_guard<std::mutex> lock(crashHookMtx);
+    for (auto it = crashHooks.begin(); it != crashHooks.end(); ++it) {
+        if (it->first == id) {
+            crashHooks.erase(it);
+            return;
+        }
+    }
 }
 
 void

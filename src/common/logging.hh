@@ -17,6 +17,7 @@
 #define HETSIM_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace hetsim
@@ -41,6 +42,20 @@ void setInformEnabled(bool enabled);
 
 /** @return whether inform() output is currently enabled. */
 bool informEnabled();
+
+/**
+ * Register a hook run on the crash path, after the panic()/fatal()
+ * message is printed but before abort()/exit().  Used to flush
+ * observability outputs (traces, metrics) so a crashed run still
+ * leaves parseable files behind.  Hooks run newest-first; a hook that
+ * itself panics does not re-enter the hook list.
+ *
+ * @return an id for removeCrashHook().
+ */
+int addCrashHook(std::function<void()> hook);
+
+/** Unregister a crash hook by the id addCrashHook() returned. */
+void removeCrashHook(int id);
 
 /**
  * Format a printf-style string into a std::string.

@@ -1,0 +1,208 @@
+#include "fault.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hetsim::fault
+{
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::TransferFail:
+        return "transfer-fail";
+      case FaultKind::LaunchFail:
+        return "launch-fail";
+      case FaultKind::DeviceStall:
+        return "device-stall";
+      case FaultKind::DeviceDeath:
+        return "device-death";
+    }
+    return "?";
+}
+
+const char *
+toString(DeviceHealth health)
+{
+    switch (health) {
+      case DeviceHealth::Healthy:
+        return "healthy";
+      case DeviceHealth::Degraded:
+        return "degraded";
+      case DeviceHealth::Dead:
+        return "dead";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Strictly parse a rate in [0, 1]; nullopt on junk. */
+std::optional<double>
+parseRate(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || v < 0.0 || v > 1.0)
+        return std::nullopt;
+    return v;
+}
+
+} // namespace
+
+std::optional<FaultConfig>
+parseFaultSpec(const std::string &spec)
+{
+    FaultConfig cfg;
+    if (spec.empty())
+        return std::nullopt;
+    std::stringstream ss(spec);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+        const size_t colon = token.find(':');
+        if (colon == std::string::npos)
+            return std::nullopt;
+        const std::string kind = token.substr(0, colon);
+        auto rate = parseRate(token.substr(colon + 1));
+        if (!rate)
+            return std::nullopt;
+        if (kind == "transfer")
+            cfg.transferFailRate = *rate;
+        else if (kind == "launch")
+            cfg.launchFailRate = *rate;
+        else if (kind == "stall")
+            cfg.stallRate = *rate;
+        else
+            return std::nullopt;
+    }
+    // Reject trailing separators ("transfer:0.1,") which getline eats.
+    if (spec.back() == ',')
+        return std::nullopt;
+    return cfg;
+}
+
+double
+backoffSeconds(u32 attempt, double base)
+{
+    if (attempt == 0 || base <= 0.0)
+        return 0.0;
+    // Exponential: base, 2*base, 4*base, ... capped at 2^16 periods so
+    // a misconfigured retry budget cannot overflow the timeline.
+    const u32 shift = std::min<u32>(attempt - 1, 16);
+    return base * static_cast<double>(1ULL << shift);
+}
+
+bool
+matchesDevice(const sim::DeviceSpec &spec, const std::string &alias)
+{
+    if (alias.empty())
+        return false;
+    std::string want = alias;
+    std::transform(want.begin(), want.end(), want.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    std::string name = spec.name;
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (want == name)
+        return true;
+    if (want == "cpu")
+        return spec.type == sim::DeviceType::Cpu;
+    if (want == "gpu")
+        return spec.type != sim::DeviceType::Cpu;
+    if (want == "dgpu")
+        return spec.type == sim::DeviceType::DiscreteGpu;
+    if (want == "apu" || want == "igpu")
+        return spec.type == sim::DeviceType::IntegratedGpu;
+    return false;
+}
+
+FaultPlan::FaultPlan(const FaultConfig &config)
+    : cfg(config), rng(config.seed), active(config.any())
+{}
+
+bool
+FaultPlan::draw(double rate, FaultKind kind, const std::string &device)
+{
+    // Zero-rate classes consume no randomness, so enabling one fault
+    // class never shifts another class's schedule.
+    if (!active || rate <= 0.0)
+        return false;
+    if (rng.uniform() >= rate)
+        return false;
+    events.push_back({kind, device, events.size()});
+    return true;
+}
+
+bool
+FaultPlan::failTransfer(const std::string &device)
+{
+    return draw(cfg.transferFailRate, FaultKind::TransferFail, device);
+}
+
+bool
+FaultPlan::failLaunch(const std::string &device)
+{
+    return draw(cfg.launchFailRate, FaultKind::LaunchFail, device);
+}
+
+bool
+FaultPlan::stallDevice(const std::string &device)
+{
+    return draw(cfg.stallRate, FaultKind::DeviceStall, device);
+}
+
+bool
+FaultPlan::shouldKill(const sim::DeviceSpec &spec,
+                      u64 completed_chunks) const
+{
+    if (!active || cfg.failDevice.empty())
+        return false;
+    if (health(spec.name) == DeviceHealth::Dead)
+        return false;
+    return matchesDevice(spec, cfg.failDevice) &&
+           completed_chunks >= cfg.failAfterChunks;
+}
+
+DeviceHealth
+FaultPlan::health(const std::string &device) const
+{
+    auto it = states.find(device);
+    return it == states.end() ? DeviceHealth::Healthy : it->second;
+}
+
+void
+FaultPlan::degrade(const std::string &device)
+{
+    auto [it, inserted] =
+        states.emplace(device, DeviceHealth::Degraded);
+    if (!inserted && it->second == DeviceHealth::Healthy)
+        it->second = DeviceHealth::Degraded;
+}
+
+void
+FaultPlan::markDead(const std::string &device)
+{
+    if (health(device) == DeviceHealth::Dead)
+        return;
+    states[device] = DeviceHealth::Dead;
+    events.push_back({FaultKind::DeviceDeath, device, events.size()});
+}
+
+bool
+FaultPlan::anyDead() const
+{
+    for (const auto &[device, health] : states) {
+        if (health == DeviceHealth::Dead)
+            return true;
+    }
+    return false;
+}
+
+} // namespace hetsim::fault

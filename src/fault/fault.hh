@@ -1,0 +1,190 @@
+/**
+ * @file
+ * hetsim::fault - deterministic, seed-driven fault injection.
+ *
+ * The paper's Section IV attributes the discrete GPU's losses to the
+ * imperfect device path (PCIe staging dominating kernel gains); this
+ * subsystem models the *failure* side of that path so the runtime and
+ * the co-execution scheduler can be exercised - and tested - under
+ * transfer failures, kernel-launch failures, and device stalls.
+ *
+ * Everything is driven by a FaultPlan: a deterministic schedule of
+ * fault decisions drawn from the shared common::Rng.  Equal seeds and
+ * equal simulation order yield bit-identical fault schedules, so every
+ * recovery scenario is reproducible from its `--fault-seed`.
+ *
+ * The plan also carries the per-device health state machine
+ *
+ *     Healthy -> Degraded (a fault was survived via retry)
+ *             -> Dead     (retry budget exhausted, watchdog fired, or
+ *                          the device was named by --fail-device)
+ *
+ * which the runtime and co-executor consult to decide between retry,
+ * straggler rescue, and graceful degradation.
+ */
+
+#ifndef HETSIM_FAULT_FAULT_HH
+#define HETSIM_FAULT_FAULT_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/device.hh"
+
+namespace hetsim::fault
+{
+
+/** The injectable fault classes. */
+enum class FaultKind : u8
+{
+    TransferFail, ///< a PCIe staging transfer fails after full cost
+    LaunchFail,   ///< a kernel submission is rejected at launch
+    DeviceStall,  ///< a device hangs mid-chunk until the watchdog fires
+    DeviceDeath,  ///< a device is declared dead (retries exhausted or
+                  ///< named by --fail-device)
+};
+
+/** @return printable name, e.g. "transfer-fail". */
+const char *toString(FaultKind kind);
+
+/** Per-device health as seen by the recovery machinery. */
+enum class DeviceHealth : u8
+{
+    Healthy,  ///< no faults observed
+    Degraded, ///< survived at least one fault via retry
+    Dead,     ///< removed from service; work is redistributed
+};
+
+/** @return printable name, e.g. "degraded". */
+const char *toString(DeviceHealth health);
+
+/** Knobs of one fault-injection campaign. */
+struct FaultConfig
+{
+    /** Probability that one transfer attempt fails. */
+    double transferFailRate = 0.0;
+    /** Probability that one kernel submission fails. */
+    double launchFailRate = 0.0;
+    /** Probability that one chunk stalls its device (hang). */
+    double stallRate = 0.0;
+    /** Seed of the fault schedule (--fault-seed). */
+    u64 seed = 0x5eedULL;
+    /** Retries allowed per operation before the device is Dead. */
+    u32 retryMax = 4;
+    /** Initial retry backoff, simulated seconds (doubles per retry). */
+    double backoffSeconds = 50e-6;
+    /** Device alias to kill mid-run (--fail-device); "" = none.
+     *  Aliases: cpu, gpu (any GPU), dgpu, apu/igpu, or a spec name. */
+    std::string failDevice;
+    /** Completed chunks after which the named device dies. */
+    u64 failAfterChunks = 1;
+
+    /** @return whether any fault source is configured. */
+    bool
+    any() const
+    {
+        return transferFailRate > 0.0 || launchFailRate > 0.0 ||
+               stallRate > 0.0 || !failDevice.empty();
+    }
+};
+
+/**
+ * Parse an `--inject-faults` spec: comma-separated `kind:rate` pairs
+ * with kind in {transfer, launch, stall} and rate in [0, 1], e.g.
+ * "transfer:0.2,launch:0.1,stall:0.05".  @return nullopt on any
+ * unknown kind, malformed rate, or trailing junk.
+ */
+std::optional<FaultConfig> parseFaultSpec(const std::string &spec);
+
+/** @return exponential backoff before retry @p attempt (1-based). */
+double backoffSeconds(u32 attempt, double base);
+
+/**
+ * @return whether CLI alias @p alias names @p spec.  Matches the
+ * device's spec name (case-insensitive) or the aliases cpu, gpu (any
+ * GPU type), dgpu, apu, igpu.
+ */
+bool matchesDevice(const sim::DeviceSpec &spec, const std::string &alias);
+
+/** One injected fault, in schedule order. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::TransferFail;
+    std::string device;
+    /** Position in the plan's injection sequence (0-based). */
+    u64 sequence = 0;
+
+    bool
+    operator==(const FaultEvent &other) const
+    {
+        return kind == other.kind && device == other.device &&
+               sequence == other.sequence;
+    }
+};
+
+/**
+ * A deterministic fault schedule plus the device-health state machine.
+ * Default-constructed plans are inert: every query answers "no fault"
+ * without consuming randomness.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+    explicit FaultPlan(const FaultConfig &config);
+
+    /** @return whether any fault source is active. */
+    bool enabled() const { return active; }
+
+    const FaultConfig &config() const { return cfg; }
+
+    /** Draw: does this transfer attempt on @p device fail? */
+    bool failTransfer(const std::string &device);
+
+    /** Draw: does this kernel submission on @p device fail? */
+    bool failLaunch(const std::string &device);
+
+    /** Draw: does this chunk stall @p device (hang)? */
+    bool stallDevice(const std::string &device);
+
+    /**
+     * @return whether the --fail-device target @p spec must die now,
+     * i.e. it has completed @p completed_chunks >= failAfterChunks and
+     * is not already dead.
+     */
+    bool shouldKill(const sim::DeviceSpec &spec,
+                    u64 completed_chunks) const;
+
+    /** @return the health of @p device (Healthy when never seen). */
+    DeviceHealth health(const std::string &device) const;
+
+    /** A fault was survived: Healthy -> Degraded (Dead is sticky). */
+    void degrade(const std::string &device);
+
+    /** Remove @p device from service and record the death event. */
+    void markDead(const std::string &device);
+
+    /** @return whether any device has been marked dead. */
+    bool anyDead() const;
+
+    /** @return every injected fault so far, in schedule order. */
+    const std::vector<FaultEvent> &schedule() const { return events; }
+
+  private:
+    /** One Bernoulli draw; records the event when it fires. */
+    bool draw(double rate, FaultKind kind, const std::string &device);
+
+    FaultConfig cfg;
+    Rng rng;
+    bool active = false;
+    std::vector<FaultEvent> events;
+    std::map<std::string, DeviceHealth> states;
+};
+
+} // namespace hetsim::fault
+
+#endif // HETSIM_FAULT_FAULT_HH

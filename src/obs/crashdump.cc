@@ -1,0 +1,54 @@
+#include "crashdump.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
+
+namespace hetsim::obs
+{
+
+namespace
+{
+
+int crashHookId = -1;
+
+void
+dumpTo(const std::string &trace_path, const std::string &metrics_path)
+{
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (out.is_open())
+            Tracer::global().writeJson(out);
+    }
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (out.is_open())
+            Metrics::global().dumpJson(out);
+    }
+}
+
+} // namespace
+
+void
+installCrashDump(const std::string &trace_path,
+                 const std::string &metrics_path)
+{
+    removeCrashDump();
+    if (trace_path.empty() && metrics_path.empty())
+        return;
+    crashHookId = addCrashHook(
+        [trace_path, metrics_path] { dumpTo(trace_path, metrics_path); });
+}
+
+void
+removeCrashDump()
+{
+    if (crashHookId < 0)
+        return;
+    removeCrashHook(crashHookId);
+    crashHookId = -1;
+}
+
+} // namespace hetsim::obs

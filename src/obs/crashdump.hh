@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Crash-path flushing of observability outputs.
+ *
+ * The tracer and metrics registry are normally serialized once, after
+ * a command finishes.  A panic()/fatal() mid-run used to leave the
+ * requested --trace-out/--metrics-out files missing or truncated to
+ * invalid JSON.  installCrashDump() registers a common/logging crash
+ * hook that writes both files from whatever the global tracer and
+ * registry hold at the instant of the crash, so partial runs still
+ * produce parseable output.
+ */
+
+#ifndef HETSIM_OBS_CRASHDUMP_HH
+#define HETSIM_OBS_CRASHDUMP_HH
+
+#include <string>
+
+namespace hetsim::obs
+{
+
+/**
+ * Arrange for the global Tracer and Metrics to be dumped to
+ * @p trace_path / @p metrics_path (empty = skip that output) when
+ * panic() or fatal() fires.  Replaces any previous installation.
+ */
+void installCrashDump(const std::string &trace_path,
+                      const std::string &metrics_path);
+
+/** Remove the crash-dump hook installed by installCrashDump(). */
+void removeCrashDump();
+
+} // namespace hetsim::obs
+
+#endif // HETSIM_OBS_CRASHDUMP_HH

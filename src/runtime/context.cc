@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "cpu/threadpool.hh"
+#include "fault/fault.hh"
 #include "kernelir/signature.hh"
 #include "obs/metrics.hh"
 
@@ -98,6 +99,24 @@ RuntimeContext::bufferBytes(BufferId buf) const
     return buffers[buf].bytes;
 }
 
+bool
+RuntimeContext::deviceHealthy() const
+{
+    return faults == nullptr ||
+           faults->health(spec.name) != fault::DeviceHealth::Dead;
+}
+
+void
+RuntimeContext::killDevice(const char *why)
+{
+    faults->markDead(spec.name);
+    counters.add("fault.dead_devices", 1);
+    obs::Metrics::global().add("fault.dead_devices", 1);
+    warn("runtime: %s marked dead (%s); further timeline work on it "
+         "is dropped",
+         spec.name.c_str(), why);
+}
+
 sim::TaskId
 RuntimeContext::scheduleTransfer(BufferId buf, bool to_device,
                                  sim::TaskId dep)
@@ -109,16 +128,59 @@ RuntimeContext::scheduleTransfer(BufferId buf, bool to_device,
         return sim::NoTask;
     }
 
+    obs::Metrics &metrics = obs::Metrics::global();
+    const bool faulty = faults != nullptr && faults->enabled();
+    if (faulty && !deviceHealthy()) {
+        // Dead device: the op never reaches the timeline.  Residency
+        // flags still advance so functional execution (which runs on
+        // the host regardless) keeps producing correct results.
+        counters.add("fault.dropped_ops", 1);
+        metrics.add("fault.dropped_ops", 1);
+        if (to_device)
+            info.deviceOk = true;
+        else
+            info.hostOk = true;
+        return sim::NoTask;
+    }
+
     double seconds = pcie.transferSeconds(info.bytes) /
                      compilerModel->transferEfficiency();
     sim::ResourceId dma = to_device ? dmaH2D : dmaD2H;
     const std::string label =
         std::string(to_device ? "h2d " : "d2h ") + info.name;
-    sim::TaskId task = timeline.schedule(
-        dma, seconds, dep,
-        sim::Timeline::SpanInfo{label, "transfer", 0.0, info.bytes});
 
-    obs::Metrics &metrics = obs::Metrics::global();
+    // Injected transfer failures cost the full transfer duration, then
+    // retry after an exponential-backoff window held on the DMA engine;
+    // an exhausted retry budget kills the device.
+    sim::TaskId task = sim::NoTask;
+    for (u32 attempt = 0;; ++attempt) {
+        if (!faulty || !faults->failTransfer(spec.name)) {
+            task = timeline.schedule(
+                dma, seconds, dep,
+                sim::Timeline::SpanInfo{label, "transfer", 0.0,
+                                        info.bytes});
+            break;
+        }
+        const std::string failed_label = label + " [failed]";
+        const sim::TaskId failed = timeline.schedule(
+            dma, seconds, dep,
+            sim::Timeline::SpanInfo{failed_label, "fault", 0.0,
+                                    info.bytes});
+        counters.add("fault.transfer_failures", 1);
+        metrics.add("fault.transfer_failures", 1);
+        if (attempt >= faults->config().retryMax) {
+            killDevice("transfer retries exhausted");
+            task = failed;
+            break;
+        }
+        const double gap = fault::backoffSeconds(
+            attempt + 1, faults->config().backoffSeconds);
+        timeline.blockResource(dma, timeline.finishTime(failed) + gap);
+        faults->degrade(spec.name);
+        counters.add("fault.transfer_retries", 1);
+        metrics.add("fault.transfer_retries", 1);
+        metrics.add("fault.backoff_seconds", gap);
+    }
     if (to_device) {
         info.deviceOk = true;
         counters.add("xfer.h2d.bytes", static_cast<double>(info.bytes));
@@ -190,9 +252,19 @@ RuntimeContext::launch(const ir::KernelDescriptor &desc, u64 items,
               desc.name.c_str(), displayName(modelKind));
     }
 
-    // Functional execution (real results) on the host pool.
+    // Functional execution (real results) on the host pool.  This
+    // runs even when the simulated device is dead, so applications
+    // always compute correct results and only the timeline degrades.
     if (functional && body)
         cpu::ThreadPool::global().parallelFor(items, body);
+
+    obs::Metrics &metrics_ = obs::Metrics::global();
+    const bool faulty = faults != nullptr && faults->enabled();
+    if (faulty && !deviceHealthy()) {
+        counters.add("fault.dropped_ops", 1);
+        metrics_.add("fault.dropped_ops", 1);
+        return sim::NoTask;
+    }
 
     // Temporal modeling (memoized across repeated launches).
     ir::Codegen cg = compilerModel->compile(desc, hints, spec);
@@ -201,6 +273,49 @@ RuntimeContext::launch(const ir::KernelDescriptor &desc, u64 items,
                            hints.workgroupSize, cg);
     sim::KernelProfile &prof = eval.profile;
     const sim::KernelTiming timing = eval.timing;
+
+    // Injected stall: the submission hangs and the per-queue watchdog
+    // (setLaunchTimeout, or 10x the predicted duration) declares the
+    // device dead instead of wedging the run.
+    if (faulty && faults->stallDevice(spec.name)) {
+        const double timeout =
+            launchTimeout > 0.0 ? launchTimeout
+                                : 10.0 * std::max(timing.seconds, 1e-6);
+        const sim::TaskId stalled = timeline.schedule(
+            computeQ, timeout, deps,
+            sim::Timeline::SpanInfo{"stall [watchdog]", "fault", 0.0,
+                                    0});
+        counters.add("fault.stalls", 1);
+        metrics_.add("fault.stalls", 1);
+        killDevice("stall watchdog");
+        return stalled;
+    }
+
+    // Injected launch rejection: each failed submission costs its
+    // launch overhead, then retries after a backoff window held on
+    // the compute queue.
+    for (u32 attempt = 0; faulty && faults->failLaunch(spec.name);
+         ++attempt) {
+        const double cost = std::max(timing.launchSeconds, 1e-6);
+        const sim::TaskId failed = timeline.schedule(
+            computeQ, cost, deps,
+            sim::Timeline::SpanInfo{"launch [failed]", "fault", cost,
+                                    0});
+        counters.add("fault.launch_failures", 1);
+        metrics_.add("fault.launch_failures", 1);
+        if (attempt >= faults->config().retryMax) {
+            killDevice("launch retries exhausted");
+            return failed;
+        }
+        timeline.blockResource(
+            computeQ,
+            timeline.finishTime(failed) +
+                fault::backoffSeconds(attempt + 1,
+                                      faults->config().backoffSeconds));
+        faults->degrade(spec.name);
+        counters.add("fault.launch_retries", 1);
+        metrics_.add("fault.launch_retries", 1);
+    }
 
     sim::TaskId task = timeline.schedule(
         computeQ, timing.seconds, deps,

@@ -73,6 +73,15 @@ Timeline::schedule(ResourceId resource, double seconds, TaskId dep,
                     info);
 }
 
+void
+Timeline::blockResource(ResourceId resource, double until_seconds)
+{
+    if (resource >= resources.size())
+        panic("unknown timeline resource %u", resource);
+    Resource &res = resources[resource];
+    res.freeAt = std::max(res.freeAt, until_seconds);
+}
+
 double
 Timeline::finishTime(TaskId task) const
 {

@@ -88,6 +88,14 @@ class Timeline
     TaskId schedule(ResourceId resource, double seconds, TaskId dep,
                     const SpanInfo &info = SpanInfo{});
 
+    /**
+     * Hold @p resource idle until @p until_seconds: it accepts no
+     * further tasks before that instant and accrues no busy time.
+     * Models retry-backoff windows, where the queue waits out a fault
+     * before the next attempt.  A past instant is a no-op.
+     */
+    void blockResource(ResourceId resource, double until_seconds);
+
     /** @return the finish time of a task. */
     double finishTime(TaskId task) const;
 

@@ -1,6 +1,7 @@
 #include "cli.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
@@ -13,6 +14,7 @@
 #include "coexec/coexec.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
+#include "obs/crashdump.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/tracer.hh"
@@ -38,6 +40,26 @@ parsePositive(const std::string &text)
     if (end != text.c_str() + text.size() || v <= 0.0)
         return std::nullopt;
     return v;
+}
+
+/**
+ * Strictly parse an unsigned integer count: digits only, no sign, no
+ * trailing junk, no overflow.  Integer flags all route through this,
+ * so "--chunk -5" or "--retry-max 3x" are rejected instead of being
+ * silently truncated by strtod/atoi.
+ */
+std::optional<u64>
+parseCount(const std::string &text)
+{
+    if (text.empty() ||
+        !std::isdigit(static_cast<unsigned char>(text[0])))
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return std::nullopt;
+    return static_cast<u64>(v);
 }
 
 } // namespace
@@ -151,12 +173,67 @@ parse(const std::vector<std::string> &argv)
                 args.policy = *v;
         } else if (arg == "--chunk") {
             if (auto v = value("--chunk")) {
-                auto n = parsePositive(*v);
-                if (!n || *n != static_cast<u64>(*n)) {
+                auto n = parseCount(*v);
+                if (!n || *n == 0) {
                     args.error = "--chunk wants a positive item "
                                  "count, got '" + *v + "'";
                 } else {
-                    args.chunk = static_cast<u64>(*n);
+                    args.chunk = *n;
+                }
+            }
+        } else if (arg == "--min-chunk") {
+            if (auto v = value("--min-chunk")) {
+                auto n = parseCount(*v);
+                if (!n || *n == 0) {
+                    args.error = "--min-chunk wants a positive item "
+                                 "count, got '" + *v + "'";
+                } else {
+                    args.minChunk = *n;
+                }
+            }
+        } else if (arg == "--inject-faults") {
+            if (auto v = value("--inject-faults")) {
+                auto cfg = fault::parseFaultSpec(*v);
+                if (!cfg) {
+                    args.error = "--inject-faults wants kind:rate "
+                                 "pairs (transfer|launch|stall, rate "
+                                 "in [0,1]), got '" + *v + "'";
+                } else {
+                    args.faultConfig.transferFailRate =
+                        cfg->transferFailRate;
+                    args.faultConfig.launchFailRate =
+                        cfg->launchFailRate;
+                    args.faultConfig.stallRate = cfg->stallRate;
+                    args.faultsGiven = true;
+                }
+            }
+        } else if (arg == "--fault-seed") {
+            if (auto v = value("--fault-seed")) {
+                auto n = parseCount(*v);
+                if (!n) {
+                    args.error = "--fault-seed wants an unsigned "
+                                 "integer, got '" + *v + "'";
+                } else {
+                    args.faultConfig.seed = *n;
+                }
+            }
+        } else if (arg == "--retry-max") {
+            if (auto v = value("--retry-max")) {
+                auto n = parseCount(*v);
+                if (!n || *n > 64) {
+                    args.error = "--retry-max wants a retry budget in "
+                                 "[0, 64], got '" + *v + "'";
+                } else {
+                    args.faultConfig.retryMax = static_cast<u32>(*n);
+                }
+            }
+        } else if (arg == "--fail-device") {
+            if (auto v = value("--fail-device")) {
+                if (v->empty()) {
+                    args.error = "--fail-device wants a device alias";
+                } else {
+                    args.faultConfig.failDevice = *v;
+                    args.faultsGiven = true;
                 }
             }
         } else if (arg == "--freq") {
@@ -212,14 +289,32 @@ usage(std::ostream &os)
           "             [--scale f]\n"
           "  hetsim coexec --app <app> --devices <d1+d2[+..]>\n"
           "             [--policy static|dynamic|adaptive]\n"
-          "             [--chunk n] [--scale f] [--dp] "
-          "[--functional]\n"
+          "             [--chunk n] [--min-chunk n] [--scale f] "
+          "[--dp] [--functional]\n"
+          "             [--inject-faults spec] [--fault-seed n]\n"
+          "             [--retry-max n] [--fail-device dev]\n"
           "  hetsim breakdown --app <app> --device <dev> [--model m]\n"
           "             [--devices <d1+d2[+..]>] [--scale f] [--dp]\n\n"
           "observability (any verb):\n"
           "  --trace-out FILE    Chrome trace-event JSON "
           "(chrome://tracing)\n"
           "  --metrics-out FILE  metrics registry dump as JSON\n\n"
+          "fault injection (coexec):\n"
+          "  --inject-faults S   comma-separated kind:rate pairs with\n"
+          "                      kind in {transfer, launch, stall} and\n"
+          "                      rate in [0,1], e.g. "
+          "transfer:0.2,stall:0.05\n"
+          "  --fault-seed N      fault-schedule seed (default 0x5eed); "
+          "equal seeds\n"
+          "                      reproduce identical fault schedules\n"
+          "  --retry-max N       retries per op before the device is "
+          "declared dead\n"
+          "                      (default 4)\n"
+          "  --fail-device D     kill device D (cpu/gpu/dgpu/apu or "
+          "spec name)\n"
+          "                      after its first completed chunk; the "
+          "pool degrades\n"
+          "                      and rescues its work\n\n"
           "performance (any verb):\n"
           "  --no-timing-cache   disable timing memoization: re-derive "
           "miss ratios and\n"
@@ -412,9 +507,19 @@ cmdCoexec(const Args &args, std::ostream &os)
     coexec::ExecOptions opts;
     opts.policy = *policy;
     opts.chunkItems = args.chunk;
+    opts.minChunkItems = args.minChunk;
     opts.functional = args.functional;
+    // The plan outlives the launch; the solo reference runs below stay
+    // fault-free so the speedup baseline is the healthy machine.
+    fault::FaultPlan plan(args.faultConfig);
+    if (args.faultsGiven)
+        opts.faults = &plan;
     coexec::CoExecutor executor(*pool, prec);
     auto result = executor.execute(*kernel, opts);
+    if (!result.ok) {
+        os << "error: " << result.error << "\n";
+        return 2;
+    }
 
     obs::Tracer &tracer = obs::Tracer::global();
     if (tracer.enabled()) {
@@ -476,6 +581,25 @@ cmdCoexec(const Args &args, std::ostream &os)
                     Table::num(best_single, 6)});
     summary.addRow({"co-exec speedup",
                     Table::num(best_single / result.seconds, 2)});
+    if (args.faultsGiven) {
+        summary.addRow({"faults injected",
+                        std::to_string(result.faultsInjected)});
+        summary.addRow({"transfer retries",
+                        std::to_string(result.transferRetries)});
+        summary.addRow({"launch retries",
+                        std::to_string(result.launchRetries)});
+        summary.addRow({"chunk rescues",
+                        std::to_string(result.chunkRescues)});
+        summary.addRow({"degradations",
+                        std::to_string(result.degradations)});
+        std::string dead;
+        for (const auto &name : result.deadDevices) {
+            if (!dead.empty())
+                dead += ", ";
+            dead += name;
+        }
+        summary.addRow({"dead devices", dead.empty() ? "none" : dead});
+    }
     if (args.functional) {
         summary.addRow({"checksum", Table::num(result.checksum, 6)});
         summary.addRow({"validated", result.validated ? "yes" : "NO"});
@@ -518,9 +642,14 @@ runForBreakdown(const Args &args, std::ostream &os, std::string &title)
         coexec::ExecOptions opts;
         opts.policy = *policy;
         opts.chunkItems = args.chunk;
+        opts.minChunkItems = args.minChunk;
         opts.functional = false;
         coexec::CoExecutor executor(*pool, prec);
         auto result = executor.execute(*kernel, opts);
+        if (!result.ok) {
+            os << "error: " << result.error << "\n";
+            return -1.0;
+        }
         title = kernel->name + " | " + pool->name() + " | " +
                 result.policy;
         return result.seconds;
@@ -641,7 +770,9 @@ writeObsOutputs(const Args &args, std::ostream &os)
  */
 struct ObsSession
 {
-    explicit ObsSession(bool on) : active(on)
+    ObsSession(bool on, const std::string &trace_path,
+               const std::string &metrics_path)
+        : active(on)
     {
         if (!active)
             return;
@@ -649,12 +780,16 @@ struct ObsSession
         obs::Tracer::global().setEnabled(true);
         obs::Metrics::global().clear();
         obs::Metrics::global().setEnabled(true);
+        // Crash-path flush: a panic()/fatal() mid-run still leaves
+        // parseable --trace-out/--metrics-out files behind.
+        obs::installCrashDump(trace_path, metrics_path);
     }
 
     ~ObsSession()
     {
         if (!active)
             return;
+        obs::removeCrashDump();
         obs::Tracer::global().setEnabled(false);
         obs::Metrics::global().setEnabled(false);
     }
@@ -695,8 +830,9 @@ execute(const Args &args, std::ostream &os)
     }
 
     ObsSession obs_session(!args.traceOut.empty() ||
-                           !args.metricsOut.empty() ||
-                           args.command == "breakdown");
+                               !args.metricsOut.empty() ||
+                               args.command == "breakdown",
+                           args.traceOut, args.metricsOut);
     TimingCacheSession cache_session(args.timingCache);
 
     int rc;

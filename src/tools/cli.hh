@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/workload.hh"
+#include "fault/fault.hh"
 #include "sim/device.hh"
 
 namespace hetsim::cli
@@ -47,6 +48,12 @@ struct Args
     std::string devices = "cpu+dgpu"; ///< coexec pool, '+'-separated
     std::string policy = "adaptive";  ///< coexec scheduling policy
     u64 chunk = 0;                    ///< coexec chunk size (0 = auto)
+    u64 minChunk = 0;                 ///< adaptive chunk floor (0 = auto)
+    /** Fault campaign assembled from --inject-faults / --fault-seed /
+     *  --retry-max / --fail-device. */
+    fault::FaultConfig faultConfig;
+    /** Whether any fault-injection flag appeared. */
+    bool faultsGiven = false;
     double scale = 1.0;
     bool doublePrecision = false;
     bool functional = false;

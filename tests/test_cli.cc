@@ -76,6 +76,91 @@ TEST(CliParse, CoexecOptions)
     EXPECT_FALSE(parse({"coexec", "--chunk", "-4"}).error.empty());
 }
 
+TEST(CliParse, FaultFlags)
+{
+    Args args = parse({"coexec", "--inject-faults",
+                       "transfer:0.2,stall:0.1", "--fault-seed", "42",
+                       "--retry-max", "7", "--fail-device", "gpu",
+                       "--min-chunk", "128"});
+    EXPECT_TRUE(args.error.empty()) << args.error;
+    EXPECT_TRUE(args.faultsGiven);
+    EXPECT_DOUBLE_EQ(args.faultConfig.transferFailRate, 0.2);
+    EXPECT_DOUBLE_EQ(args.faultConfig.stallRate, 0.1);
+    EXPECT_EQ(args.faultConfig.seed, 42u);
+    EXPECT_EQ(args.faultConfig.retryMax, 7u);
+    EXPECT_EQ(args.faultConfig.failDevice, "gpu");
+    EXPECT_EQ(args.minChunk, 128u);
+
+    // No fault flag given: the campaign stays off.
+    EXPECT_FALSE(parse({"coexec"}).faultsGiven);
+    // --fault-seed/--retry-max alone configure but do not arm it.
+    EXPECT_FALSE(parse({"coexec", "--fault-seed", "9"}).faultsGiven);
+}
+
+// Satellite 2: integer flags route through a strict validator;
+// negatives, trailing junk, signs, and overflow are all rejected
+// instead of being silently truncated.
+TEST(CliParse, StrictIntegerFlagsRejectJunk)
+{
+    struct FlagCase
+    {
+        const char *flag;
+        const char *bad;
+    };
+    const FlagCase cases[] = {
+        {"--chunk", "-5"},       {"--chunk", "0"},
+        {"--chunk", "12x"},      {"--chunk", "1.5"},
+        {"--chunk", "+3"},       {"--chunk", " 4"},
+        {"--min-chunk", "-1"},   {"--min-chunk", "0"},
+        {"--min-chunk", "junk"}, {"--fault-seed", "-1"},
+        {"--fault-seed", "0x10"},
+        {"--fault-seed", "99999999999999999999999"},
+        {"--retry-max", "-2"},   {"--retry-max", "65"},
+        {"--retry-max", "3x"},
+    };
+    for (const FlagCase &c : cases) {
+        Args args = parse({"coexec", c.flag, c.bad});
+        EXPECT_FALSE(args.error.empty()) << c.flag << " " << c.bad;
+        EXPECT_NE(args.error.find(c.flag), std::string::npos)
+            << c.flag << " " << c.bad;
+    }
+    // Boundary values that must parse.
+    EXPECT_TRUE(parse({"coexec", "--retry-max", "0"}).error.empty());
+    EXPECT_TRUE(parse({"coexec", "--fault-seed", "0"}).error.empty());
+    EXPECT_TRUE(
+        parse({"coexec", "--inject-faults", "transfer:0"}).error
+            .empty());
+    EXPECT_FALSE(
+        parse({"coexec", "--inject-faults", "transfer:0.1,"})
+            .error.empty());
+    EXPECT_FALSE(parse({"coexec", "--fail-device", ""}).error.empty());
+}
+
+TEST(CliExecute, CoexecFailDeviceDegradesAndValidates)
+{
+    std::ostringstream os;
+    Args args = parse({"coexec", "--app", "readmem", "--devices",
+                       "cpu+dgpu", "--scale", "0.05", "--functional",
+                       "--fail-device", "gpu"});
+    ASSERT_TRUE(args.error.empty()) << args.error;
+    EXPECT_EQ(execute(args, os), 0) << os.str();
+    EXPECT_NE(os.str().find("degradations"), std::string::npos);
+    EXPECT_NE(os.str().find("dead devices"), std::string::npos);
+    EXPECT_NE(os.str().find("yes"), std::string::npos);
+}
+
+TEST(CliExecute, CoexecAllDevicesDeadExitsCleanly)
+{
+    std::ostringstream os;
+    Args args = parse({"coexec", "--app", "readmem", "--devices",
+                       "cpu", "--scale", "0.05", "--fail-device",
+                       "cpu"});
+    ASSERT_TRUE(args.error.empty()) << args.error;
+    // Structured error + exit 2, not a panic/abort.
+    EXPECT_EQ(execute(args, os), 2);
+    EXPECT_NE(os.str().find("error:"), std::string::npos);
+}
+
 TEST(CliLookups, Aliases)
 {
     EXPECT_NE(workloadByName("lulesh"), nullptr);

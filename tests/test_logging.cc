@@ -5,7 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "common/logging.hh"
+#include "obs/crashdump.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 
 namespace hetsim
 {
@@ -34,15 +41,120 @@ TEST(Logging, InformToggle)
     EXPECT_TRUE(informEnabled());
 }
 
-TEST(LoggingDeath, PanicAborts)
+// The "fast" death-test style forks the test process, which deadlocks
+// when earlier tests in the same invocation have started the global
+// thread pool (the forked child inherits the pool object but not its
+// worker threads, and exit-time teardown joins forever).  The
+// threadsafe style re-executes the binary instead.
+class LoggingDeath : public testing::Test
+{
+    void
+    SetUp() override
+    {
+        testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    }
+};
+
+TEST_F(LoggingDeath, PanicAborts)
 {
     EXPECT_DEATH(panic("boom %d", 1), "panic: boom 1");
 }
 
-TEST(LoggingDeath, FatalExits)
+TEST_F(LoggingDeath, FatalExits)
 {
     EXPECT_EXIT(fatal("bad config %s", "x"),
                 testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+// Crash hooks run before the abort/exit, newest first; a removed hook
+// no longer fires.  The hook side effects happen in the death-test
+// child, so they are observed through the filesystem.
+TEST_F(LoggingDeath, CrashHooksRunOnPanic)
+{
+    const std::string path =
+        testing::TempDir() + "crash_hook_panic.txt";
+    std::remove(path.c_str());
+    EXPECT_DEATH(
+        {
+            int removed = addCrashHook([&] {
+                std::ofstream(path, std::ios::app) << "removed\n";
+            });
+            addCrashHook([&] {
+                std::ofstream(path, std::ios::app) << "first\n";
+            });
+            addCrashHook([&] {
+                std::ofstream(path, std::ios::app) << "second\n";
+            });
+            removeCrashHook(removed);
+            panic("with hooks");
+        },
+        "panic: with hooks");
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    // Newest-first order, removed hook absent.
+    EXPECT_EQ(content.str(), "second\nfirst\n");
+    std::remove(path.c_str());
+}
+
+TEST_F(LoggingDeath, CrashHooksRunOnFatal)
+{
+    const std::string path =
+        testing::TempDir() + "crash_hook_fatal.txt";
+    std::remove(path.c_str());
+    EXPECT_EXIT(
+        {
+            addCrashHook([&] {
+                std::ofstream(path) << "flushed";
+            });
+            fatal("going down");
+        },
+        testing::ExitedWithCode(1), "fatal: going down");
+    std::ifstream in(path);
+    std::string content;
+    std::getline(in, content);
+    EXPECT_EQ(content, "flushed");
+    std::remove(path.c_str());
+}
+
+// Satellite 3: a panic() mid-run with observability enabled still
+// leaves parseable --trace-out/--metrics-out files behind.
+TEST_F(LoggingDeath, CrashDumpFlushesObservabilityOutputs)
+{
+    const std::string trace = testing::TempDir() + "crash_trace.json";
+    const std::string metrics =
+        testing::TempDir() + "crash_metrics.json";
+    std::remove(trace.c_str());
+    std::remove(metrics.c_str());
+    EXPECT_DEATH(
+        {
+            obs::Tracer::global().clear();
+            obs::Tracer::global().setEnabled(true);
+            obs::Metrics::global().clear();
+            obs::Metrics::global().setEnabled(true);
+            obs::installCrashDump(trace, metrics);
+            obs::Tracer::global().span(
+                obs::Tracer::global().track("dev"), "work", "compute",
+                0.0, 1.0);
+            obs::Metrics::global().add("fault.degradations", 1);
+            panic("mid-run crash");
+        },
+        "panic: mid-run crash");
+
+    // Both files exist and hold balanced JSON with the recorded data.
+    std::ifstream tin(trace);
+    ASSERT_TRUE(tin.is_open());
+    std::stringstream tbuf;
+    tbuf << tin.rdbuf();
+    EXPECT_NE(tbuf.str().find("\"work\""), std::string::npos);
+    std::ifstream min(metrics);
+    ASSERT_TRUE(min.is_open());
+    std::stringstream mbuf;
+    mbuf << min.rdbuf();
+    EXPECT_NE(mbuf.str().find("fault.degradations"),
+              std::string::npos);
+    std::remove(trace.c_str());
+    std::remove(metrics.c_str());
 }
 
 } // namespace
