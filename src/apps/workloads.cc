@@ -20,4 +20,38 @@ makeAllWorkloads()
     return workloads;
 }
 
+std::unique_ptr<Workload>
+workloadByName(const std::string &name)
+{
+    if (name == "readmem")
+        return makeReadMem();
+    if (name == "lulesh")
+        return makeLulesh();
+    if (name == "comd")
+        return makeComd();
+    if (name == "xsbench")
+        return makeXsbench();
+    if (name == "minife")
+        return makeMiniFe();
+    return nullptr;
+}
+
+std::optional<ModelKind>
+modelByName(const std::string &name)
+{
+    if (name == "serial")
+        return ModelKind::Serial;
+    if (name == "openmp" || name == "omp")
+        return ModelKind::OpenMp;
+    if (name == "opencl" || name == "ocl")
+        return ModelKind::OpenCl;
+    if (name == "cppamp" || name == "amp")
+        return ModelKind::CppAmp;
+    if (name == "openacc" || name == "acc")
+        return ModelKind::OpenAcc;
+    if (name == "hc")
+        return ModelKind::Hc;
+    return std::nullopt;
+}
+
 } // namespace hetsim::core

@@ -9,6 +9,7 @@
 #define HETSIM_CORE_WORKLOAD_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -132,6 +133,15 @@ std::unique_ptr<Workload> makeMiniFe();
 
 /** All five proxy applications, in the paper's order. */
 std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
+
+/** @return the workload for a CLI alias (readmem, lulesh, comd,
+ *  xsbench, minife), or null.  Shared by the CLI and the serve
+ *  layer's JobSpec resolution. */
+std::unique_ptr<Workload> workloadByName(const std::string &name);
+
+/** @return the model kind for a CLI alias (serial, openmp/omp,
+ *  opencl/ocl, cppamp/amp, openacc/acc, hc), if valid. */
+std::optional<ModelKind> modelByName(const std::string &name);
 
 } // namespace hetsim::core
 

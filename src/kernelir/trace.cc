@@ -72,16 +72,24 @@ double
 ProfileResolver::streamMissRatio(const KernelDescriptor &desc,
                                  const MemStream &stream, Precision prec)
 {
-    std::string key = desc.name + '/' + stream.buffer + '/' +
-                      toString(prec) + '/' +
-                      std::to_string(spec.l2Bytes) + '/' +
-                      std::to_string(stream.workingSetBytesSp);
     // The memo obeys the same switch as the timing cache: with
     // --no-timing-cache every launch re-derives its miss ratios from
     // scratch (the A/B contract is "no memoized timing state at all").
     // Results are identical either way - the trace Rng is seeded from
     // the key, so a re-run reproduces the memoized ratio bit-for-bit.
-    const bool memoize = sim::TimingCache::global().enabled();
+    return streamMissRatio(desc, stream, prec,
+                           sim::TimingCache::global().enabled());
+}
+
+double
+ProfileResolver::streamMissRatio(const KernelDescriptor &desc,
+                                 const MemStream &stream, Precision prec,
+                                 bool memoize)
+{
+    std::string key = desc.name + '/' + stream.buffer + '/' +
+                      toString(prec) + '/' +
+                      std::to_string(spec.l2Bytes) + '/' +
+                      std::to_string(stream.workingSetBytesSp);
     if (memoize) {
         std::lock_guard<std::mutex> lock(globalMissMutex);
         auto it = globalMissCache.find(key);
@@ -145,13 +153,17 @@ ProfileResolver::resolve(const KernelDescriptor &desc, u64 items,
     // pool.  Each stream's Rng is seeded from its memo key, not from
     // its worker, so the miss ratios are bitwise-identical no matter
     // how the streams land on threads (see test_determinism).
+    // The memoize switch is read here, on the resolving thread: a
+    // per-job TimingCache::ScopedBypass is thread-local and must keep
+    // governing the shards that land on pool workers.
+    const bool memoize = sim::TimingCache::global().enabled();
     std::vector<double> miss_ratios(desc.streams.size(), 0.0);
     cpu::ThreadPool::global().parallelFor(
         desc.streams.size(),
         [&](u64 lo, u64 hi) {
             for (u64 s = lo; s < hi; ++s) {
-                miss_ratios[s] =
-                    streamMissRatio(desc, desc.streams[s], prec);
+                miss_ratios[s] = streamMissRatio(
+                    desc, desc.streams[s], prec, memoize);
             }
         },
         1);

@@ -53,6 +53,18 @@ class ProfileResolver
                            const MemStream &stream, Precision prec);
 
   private:
+    /**
+     * streamMissRatio with the memoization decision hoisted to the
+     * caller.  resolve() evaluates the timing-cache switch once on its
+     * own thread (where a per-job TimingCache::ScopedBypass lives)
+     * and passes it down, because the per-stream simulations are
+     * sharded across pool worker threads that do not carry the
+     * caller's thread-local bypass.
+     */
+    double streamMissRatio(const KernelDescriptor &desc,
+                           const MemStream &stream, Precision prec,
+                           bool memoize);
+
     double analyticMissRatio(const MemStream &stream,
                              Precision prec) const;
 

@@ -11,6 +11,31 @@
 namespace hetsim::rt
 {
 
+namespace
+{
+
+/** Per-thread session label; see rt::sessionLabel(). */
+thread_local std::string threadSessionLabel;
+
+} // namespace
+
+const std::string &
+sessionLabel()
+{
+    return threadSessionLabel;
+}
+
+ScopedSessionLabel::ScopedSessionLabel(std::string label)
+    : prior(std::move(threadSessionLabel))
+{
+    threadSessionLabel = std::move(label);
+}
+
+ScopedSessionLabel::~ScopedSessionLabel()
+{
+    threadSessionLabel = std::move(prior);
+}
+
 RuntimeContext::RuntimeContext(sim::DeviceSpec spec_, ir::ModelKind model,
                                Precision prec)
     : spec(std::move(spec_)),
@@ -21,11 +46,17 @@ RuntimeContext::RuntimeContext(sim::DeviceSpec spec_, ir::ModelKind model,
       resolver(spec)
 {
     // Resources carry the device name so each queue gets its own
-    // track in an emitted trace ("R9 280X/compute", ...).
-    dmaH2D = timeline.addResource(spec.name + "/dma-h2d");
-    dmaD2H = timeline.addResource(spec.name + "/dma-d2h");
-    computeQ = timeline.addResource(spec.name + "/compute");
-    hostQ = timeline.addResource(spec.name + "/host");
+    // track in an emitted trace ("R9 280X/compute", ...).  On a
+    // labelled serve-session thread they additionally carry the
+    // session label ("w0/R9 280X/compute") so concurrent jobs land on
+    // disjoint tracks.
+    const std::string &label = sessionLabel();
+    const std::string base =
+        label.empty() ? spec.name : label + "/" + spec.name;
+    dmaH2D = timeline.addResource(base + "/dma-h2d");
+    dmaD2H = timeline.addResource(base + "/dma-d2h");
+    computeQ = timeline.addResource(base + "/compute");
+    hostQ = timeline.addResource(base + "/host");
     timeline.attachTracer(&obs::Tracer::global());
 }
 

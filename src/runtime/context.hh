@@ -49,6 +49,29 @@ namespace hetsim::rt
 /** Handle to a runtime buffer. */
 using BufferId = u32;
 
+/**
+ * @return the calling thread's session label ("" when unset).
+ * Contexts constructed on a labelled thread prefix their timeline
+ * resource names with "<label>/", so concurrent serve-layer sessions
+ * emit disjoint per-worker trace tracks ("w0/R9 280X/compute", ...)
+ * instead of interleaving spans on one shared device track.
+ */
+const std::string &sessionLabel();
+
+/** RAII setter for the calling thread's session label. */
+class ScopedSessionLabel
+{
+  public:
+    explicit ScopedSessionLabel(std::string label);
+    ~ScopedSessionLabel();
+
+    ScopedSessionLabel(const ScopedSessionLabel &) = delete;
+    ScopedSessionLabel &operator=(const ScopedSessionLabel &) = delete;
+
+  private:
+    std::string prior;
+};
+
 /** Functional kernel body over a contiguous work-item range. */
 using KernelBody = std::function<void(u64 begin, u64 end)>;
 

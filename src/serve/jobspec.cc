@@ -1,0 +1,506 @@
+#include "jobspec.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace hetsim::serve
+{
+
+const char *
+toString(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Error:
+        return "error";
+      case JobStatus::Rejected:
+        return "rejected";
+      case JobStatus::Shed:
+        return "shed";
+      case JobStatus::Expired:
+        return "expired";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** One scalar JSON value: a string, a number, or a boolean. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        String,
+        Number,
+        Boolean,
+    };
+
+    Kind kind = Kind::String;
+    std::string text;   ///< string contents or raw number token
+    double number = 0.0;
+    bool boolean = false;
+};
+
+/**
+ * Minimal strict parser for one flat JSON object ({"key": scalar,
+ * ...}).  Nested objects/arrays and null are rejected: a JobSpec is a
+ * flat record, and rejecting structure we would ignore keeps bad grid
+ * files loud.
+ */
+class FlatJsonParser
+{
+  public:
+    explicit FlatJsonParser(const std::string &text) : s(text) {}
+
+    std::optional<std::map<std::string, JsonValue>>
+    parse(std::string &error)
+    {
+        std::map<std::string, JsonValue> object;
+        skipSpace();
+        if (!eat('{')) {
+            error = "expected '{'";
+            return std::nullopt;
+        }
+        skipSpace();
+        if (eat('}'))
+            return finish(object, error);
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key, error))
+                return std::nullopt;
+            skipSpace();
+            if (!eat(':')) {
+                error = "expected ':' after key \"" + key + "\"";
+                return std::nullopt;
+            }
+            skipSpace();
+            JsonValue value;
+            if (!parseValue(value, key, error))
+                return std::nullopt;
+            if (!object.emplace(key, std::move(value)).second) {
+                error = "duplicate key \"" + key + "\"";
+                return std::nullopt;
+            }
+            skipSpace();
+            if (eat(','))
+                continue;
+            if (eat('}'))
+                return finish(object, error);
+            error = "expected ',' or '}' after value of \"" + key + "\"";
+            return std::nullopt;
+        }
+    }
+
+  private:
+    std::optional<std::map<std::string, JsonValue>>
+    finish(std::map<std::string, JsonValue> &object, std::string &error)
+    {
+        skipSpace();
+        if (pos != s.size()) {
+            error = "trailing characters after object";
+            return std::nullopt;
+        }
+        return std::move(object);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &out, std::string &error)
+    {
+        if (!eat('"')) {
+            error = "expected '\"'";
+            return false;
+        }
+        out.clear();
+        while (pos < s.size()) {
+            char c = s[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= s.size())
+                    break;
+                char esc = s[pos++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  default:
+                    error = std::string("unsupported escape '\\") +
+                            esc + "'";
+                    return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        error = "unterminated string";
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue &value, const std::string &key,
+               std::string &error)
+    {
+        if (pos >= s.size()) {
+            error = "missing value for \"" + key + "\"";
+            return false;
+        }
+        char c = s[pos];
+        if (c == '"') {
+            value.kind = JsonValue::Kind::String;
+            return parseString(value.text, error);
+        }
+        if (s.compare(pos, 4, "true") == 0) {
+            value.kind = JsonValue::Kind::Boolean;
+            value.boolean = true;
+            pos += 4;
+            return true;
+        }
+        if (s.compare(pos, 5, "false") == 0) {
+            value.kind = JsonValue::Kind::Boolean;
+            value.boolean = false;
+            pos += 5;
+            return true;
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = pos;
+            while (pos < s.size() &&
+                   (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                    s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
+                    s[pos] == 'e' || s[pos] == 'E'))
+                ++pos;
+            value.kind = JsonValue::Kind::Number;
+            value.text = s.substr(start, pos - start);
+            char *end = nullptr;
+            value.number = std::strtod(value.text.c_str(), &end);
+            if (end != value.text.c_str() + value.text.size()) {
+                error = "malformed number '" + value.text + "' for \"" +
+                        key + "\"";
+                return false;
+            }
+            return true;
+        }
+        error = "unsupported value for \"" + key +
+                "\" (want string, number, or boolean)";
+        return false;
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+/** Strictly parse digits-only text into a u64 (no sign, no junk). */
+std::optional<u64>
+parseU64(const std::string &text)
+{
+    if (text.empty() ||
+        !std::isdigit(static_cast<unsigned char>(text[0])))
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return std::nullopt;
+    return static_cast<u64>(v);
+}
+
+/** Strictly parse an (optionally negative) integer. */
+std::optional<long>
+parseLong(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return std::nullopt;
+    return v;
+}
+
+/** Parse a positive "core:mem" MHz pair. */
+std::optional<sim::FreqDomain>
+parseFreqPair(const std::string &text)
+{
+    size_t colon = text.find(':');
+    if (colon == std::string::npos)
+        return std::nullopt;
+    auto positive = [](const std::string &part) -> std::optional<double> {
+        if (part.empty())
+            return std::nullopt;
+        char *end = nullptr;
+        double v = std::strtod(part.c_str(), &end);
+        if (end != part.c_str() + part.size() || v <= 0.0)
+            return std::nullopt;
+        return v;
+    };
+    auto core = positive(text.substr(0, colon));
+    auto mem = positive(text.substr(colon + 1));
+    if (!core || !mem)
+        return std::nullopt;
+    return sim::FreqDomain{*core, *mem};
+}
+
+/** JSON string escaper for the result writer. */
+std::string
+escapeJson(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Deterministic shortest-roundtrip double formatting. */
+std::string
+formatDouble(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+} // namespace
+
+std::optional<JobSpec>
+parseJobLine(const std::string &line, size_t lineno, std::string &error)
+{
+    auto fail = [&](const std::string &why) {
+        error = "line " + std::to_string(lineno) + ": " + why;
+        return std::nullopt;
+    };
+
+    FlatJsonParser parser(line);
+    std::string parse_error;
+    auto object = parser.parse(parse_error);
+    if (!object)
+        return fail(parse_error);
+
+    JobSpec spec;
+    bool idGiven = false;
+    for (const auto &[key, value] : *object) {
+        auto wantString = [&](std::string &dst) {
+            if (value.kind != JsonValue::Kind::String)
+                return false;
+            dst = value.text;
+            return true;
+        };
+        auto wantBool = [&](bool &dst) {
+            if (value.kind != JsonValue::Kind::Boolean)
+                return false;
+            dst = value.boolean;
+            return true;
+        };
+        bool ok = true;
+        if (key == "id") {
+            auto v = value.kind == JsonValue::Kind::Number
+                         ? parseU64(value.text)
+                         : std::nullopt;
+            if (!v)
+                return fail("\"id\" wants a non-negative integer");
+            spec.id = *v;
+            idGiven = true;
+        } else if (key == "app") {
+            ok = wantString(spec.app);
+        } else if (key == "model") {
+            ok = wantString(spec.model);
+        } else if (key == "device") {
+            ok = wantString(spec.device);
+        } else if (key == "devices") {
+            ok = wantString(spec.devices);
+        } else if (key == "policy") {
+            ok = wantString(spec.policy);
+        } else if (key == "scale") {
+            if (value.kind != JsonValue::Kind::Number ||
+                value.number <= 0.0)
+                return fail("\"scale\" wants a positive number");
+            spec.scale = value.number;
+        } else if (key == "dp") {
+            ok = wantBool(spec.doublePrecision);
+        } else if (key == "functional") {
+            ok = wantBool(spec.functional);
+        } else if (key == "timing_cache") {
+            ok = wantBool(spec.timingCache);
+        } else if (key == "freq") {
+            std::string text;
+            if (!wantString(text))
+                return fail("\"freq\" wants a \"core:mem\" string");
+            auto freq = parseFreqPair(text);
+            if (!freq)
+                return fail("\"freq\" wants positive core:mem MHz, "
+                            "got '" + text + "'");
+            spec.freq = *freq;
+        } else if (key == "faults") {
+            std::string text;
+            if (!wantString(text))
+                return fail("\"faults\" wants a kind:rate spec string");
+            auto cfg = fault::parseFaultSpec(text);
+            if (!cfg)
+                return fail("\"faults\" wants kind:rate pairs "
+                            "(transfer|launch|stall, rate in [0,1]), "
+                            "got '" + text + "'");
+            spec.faultConfig.transferFailRate = cfg->transferFailRate;
+            spec.faultConfig.launchFailRate = cfg->launchFailRate;
+            spec.faultConfig.stallRate = cfg->stallRate;
+            spec.faultsGiven = true;
+        } else if (key == "fault_seed") {
+            auto v = value.kind == JsonValue::Kind::Number
+                         ? parseU64(value.text)
+                         : std::nullopt;
+            if (!v)
+                return fail("\"fault_seed\" wants a non-negative "
+                            "integer");
+            spec.faultConfig.seed = *v;
+        } else if (key == "retry_max") {
+            auto v = value.kind == JsonValue::Kind::Number
+                         ? parseU64(value.text)
+                         : std::nullopt;
+            if (!v || *v > 64)
+                return fail("\"retry_max\" wants an integer in "
+                            "[0, 64]");
+            spec.faultConfig.retryMax = static_cast<u32>(*v);
+        } else if (key == "fail_device") {
+            std::string text;
+            if (!wantString(text) || text.empty())
+                return fail("\"fail_device\" wants a device alias");
+            spec.faultConfig.failDevice = text;
+            spec.faultsGiven = true;
+        } else if (key == "deadline_ms") {
+            if (value.kind != JsonValue::Kind::Number ||
+                value.number < 0.0)
+                return fail("\"deadline_ms\" wants a non-negative "
+                            "number");
+            spec.deadlineMs = value.number;
+        } else if (key == "priority") {
+            auto v = value.kind == JsonValue::Kind::Number
+                         ? parseLong(value.text)
+                         : std::nullopt;
+            if (!v)
+                return fail("\"priority\" wants an integer");
+            spec.priority = static_cast<int>(*v);
+        } else {
+            return fail("unknown key \"" + key + "\"");
+        }
+        if (!ok)
+            return fail("wrong value type for \"" + key + "\"");
+    }
+    if (!idGiven)
+        spec.id = lineno;
+    return spec;
+}
+
+std::optional<std::vector<JobSpec>>
+parseJobs(std::istream &is, std::string &error)
+{
+    std::vector<JobSpec> jobs;
+    std::set<u64> ids;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        bool blank = true;
+        for (char c : line) {
+            if (!std::isspace(static_cast<unsigned char>(c))) {
+                blank = false;
+                break;
+            }
+        }
+        if (blank)
+            continue;
+        auto spec = parseJobLine(line, lineno, error);
+        if (!spec)
+            return std::nullopt;
+        if (!ids.insert(spec->id).second) {
+            error = "line " + std::to_string(lineno) +
+                    ": duplicate job id " + std::to_string(spec->id);
+            return std::nullopt;
+        }
+        jobs.push_back(std::move(*spec));
+    }
+    return jobs;
+}
+
+void
+writeResultsJsonl(std::ostream &os, const std::vector<JobResult> &results)
+{
+    for (const auto &res : results) {
+        os << "{\"id\":" << res.id << ",\"status\":\""
+           << toString(res.status) << "\"";
+        if (!res.error.empty())
+            os << ",\"error\":\"" << escapeJson(res.error) << "\"";
+        os << ",\"app\":\"" << escapeJson(res.app) << "\"";
+        if (!res.devices.empty()) {
+            os << ",\"devices\":\"" << escapeJson(res.devices)
+               << "\",\"policy\":\"" << escapeJson(res.policy) << "\"";
+        } else {
+            os << ",\"model\":\"" << escapeJson(res.model)
+               << "\",\"device\":\"" << escapeJson(res.device) << "\"";
+        }
+        if (res.status == JobStatus::Ok) {
+            os << ",\"seconds\":" << formatDouble(res.simSeconds)
+               << ",\"kernel_seconds\":"
+               << formatDouble(res.kernelSeconds)
+               << ",\"transfer_seconds\":"
+               << formatDouble(res.transferSeconds);
+            if (res.functionalRun) {
+                os << ",\"checksum\":" << formatDouble(res.checksum)
+                   << ",\"validated\":"
+                   << (res.validated ? "true" : "false");
+            }
+            os << ",\"faults_injected\":" << res.faultsInjected
+               << ",\"fault_schedule_hash\":\"0x" << std::hex
+               << res.faultScheduleHash << std::dec << "\"";
+        }
+        os << "}\n";
+    }
+}
+
+} // namespace hetsim::serve

@@ -1,0 +1,664 @@
+#include "server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "apps/coexec_kernels.hh"
+#include "coexec/coexec.hh"
+#include "core/workload.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
+#include "runtime/context.hh"
+#include "sim/timing_cache.hh"
+
+namespace hetsim::serve
+{
+
+namespace
+{
+
+/** Host monotonic seconds (latency accounting only, never results). */
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+const std::vector<double> &
+latencyBucketBoundsMs()
+{
+    static const std::vector<double> bounds{
+        0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000, 10000};
+    return bounds;
+}
+
+} // namespace
+
+const char *
+toString(Admission admission)
+{
+    switch (admission) {
+      case Admission::Reject:
+        return "reject";
+      case Admission::Shed:
+        return "shed";
+      case Admission::Block:
+        return "block";
+    }
+    return "?";
+}
+
+std::optional<Admission>
+admissionByName(const std::string &name)
+{
+    if (name == "reject")
+        return Admission::Reject;
+    if (name == "shed")
+        return Admission::Shed;
+    if (name == "block")
+        return Admission::Block;
+    return std::nullopt;
+}
+
+LatencySummary
+summarizeLatencies(std::vector<double> values)
+{
+    LatencySummary summary;
+    if (values.empty())
+        return summary;
+    std::sort(values.begin(), values.end());
+    summary.count = values.size();
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    summary.mean = sum / static_cast<double>(values.size());
+    auto rank = [&](double pct) {
+        // Nearest-rank: ceil(p/100 * N), 1-based.
+        size_t r = static_cast<size_t>(
+            std::ceil(pct / 100.0 * static_cast<double>(values.size())));
+        r = std::clamp<size_t>(r, 1, values.size());
+        return values[r - 1];
+    };
+    summary.p50 = rank(50.0);
+    summary.p95 = rank(95.0);
+    summary.p99 = rank(99.0);
+    summary.max = values.back();
+    return summary;
+}
+
+u64
+faultScheduleHash(const std::vector<fault::FaultEvent> &schedule)
+{
+    sim::HashMix h;
+    h.mix(schedule.size());
+    for (const auto &event : schedule) {
+        h.mix(static_cast<u64>(event.kind));
+        h.mixString(event.device);
+        h.mix(event.sequence);
+    }
+    return h.digest();
+}
+
+namespace
+{
+
+/** Single-device job: the `hetsim run` path. */
+void
+runSingleDeviceJob(const JobSpec &spec, JobResult &res)
+{
+    if (spec.faultsGiven) {
+        res.error = "fault injection needs a co-execution job "
+                    "(set \"devices\")";
+        return;
+    }
+    auto wl = core::workloadByName(spec.app);
+    if (!wl) {
+        res.error = "unknown app '" + spec.app + "'";
+        return;
+    }
+    auto model = core::modelByName(spec.model);
+    if (!model) {
+        res.error = "unknown model '" + spec.model + "'";
+        return;
+    }
+    auto device = sim::deviceByName(spec.device);
+    if (!device) {
+        res.error = "unknown device '" + spec.device + "'";
+        return;
+    }
+    auto supported = wl->supportedModels();
+    if (std::find(supported.begin(), supported.end(), *model) ==
+        supported.end()) {
+        res.error = "app '" + spec.app + "' does not support model '" +
+                    spec.model + "'";
+        return;
+    }
+
+    core::WorkloadConfig cfg;
+    cfg.scale = spec.scale;
+    cfg.functional = spec.functional;
+    cfg.precision = spec.doublePrecision ? Precision::Double
+                                         : Precision::Single;
+    cfg.freq = spec.freq;
+    auto run = wl->run(*model, *device, cfg);
+
+    res.status = JobStatus::Ok;
+    res.simSeconds = run.seconds;
+    res.kernelSeconds = run.kernelSeconds;
+    res.transferSeconds = run.transferSeconds;
+    res.checksum = run.checksum;
+    res.functionalRun = spec.functional;
+    res.validated = run.validated;
+}
+
+/** Co-execution job: the `hetsim coexec` path, with a per-job plan. */
+void
+runCoexecJob(const JobSpec &spec, JobResult &res)
+{
+    auto pool = coexec::DevicePool::parse(spec.devices);
+    if (!pool) {
+        res.error = "unknown device pool '" + spec.devices + "'";
+        return;
+    }
+    auto policy = coexec::policyByName(spec.policy);
+    if (!policy) {
+        res.error = "unknown policy '" + spec.policy + "'";
+        return;
+    }
+    Precision prec = spec.doublePrecision ? Precision::Double
+                                          : Precision::Single;
+    auto kernel =
+        apps::coex::coKernelByName(spec.app, spec.scale, prec);
+    if (!kernel) {
+        res.error = "app '" + spec.app +
+                    "' has no co-execution kernel";
+        return;
+    }
+
+    coexec::ExecOptions opts;
+    opts.policy = *policy;
+    opts.functional = spec.functional;
+    // Per-job plan: seeded from the job's own config, so equal seeds
+    // reproduce the standalone `hetsim coexec` schedule bitwise no
+    // matter which worker session runs the job.
+    fault::FaultPlan plan(spec.faultConfig);
+    if (spec.faultsGiven)
+        opts.faults = &plan;
+
+    coexec::CoExecutor executor(*pool, prec);
+    auto run = executor.execute(*kernel, opts);
+    if (!run.ok) {
+        res.error = run.error;
+        return;
+    }
+
+    res.status = JobStatus::Ok;
+    res.simSeconds = run.seconds;
+    for (const auto &dev : run.devices)
+        res.kernelSeconds += dev.kernelSeconds;
+    res.transferSeconds = run.transferSeconds;
+    res.checksum = run.checksum;
+    res.functionalRun = run.functional;
+    res.validated = run.validated;
+    res.faultsInjected = run.faultsInjected;
+    if (spec.faultsGiven)
+        res.faultScheduleHash = faultScheduleHash(plan.schedule());
+}
+
+} // namespace
+
+JobResult
+runJob(const JobSpec &spec)
+{
+    JobResult res;
+    res.id = spec.id;
+    res.app = spec.app;
+    if (spec.coexec()) {
+        res.devices = spec.devices;
+        res.policy = spec.policy;
+    } else {
+        res.model = spec.model;
+        res.device = spec.device;
+    }
+    res.status = JobStatus::Error;
+    if (spec.coexec())
+        runCoexecJob(spec, res);
+    else
+        runSingleDeviceJob(spec, res);
+    return res;
+}
+
+double
+applyVirtualSchedule(std::vector<JobResult> &results, u32 workers)
+{
+    if (workers == 0)
+        return 0.0;
+    std::vector<JobResult *> ran;
+    for (auto &res : results) {
+        if (res.worker >= 0)
+            ran.push_back(&res);
+    }
+    std::sort(ran.begin(), ran.end(),
+              [](const JobResult *a, const JobResult *b) {
+                  return a->serviceSeq < b->serviceSeq;
+              });
+    std::vector<double> avail(workers, 0.0);
+    double makespan = 0.0;
+    for (JobResult *res : ran) {
+        // Deterministic list schedule: the next job in dequeue order
+        // starts on the earliest-free virtual worker (lowest index on
+        // ties, so the assignment is a pure function of the results).
+        size_t w = 0;
+        for (size_t i = 1; i < avail.size(); ++i) {
+            if (avail[i] < avail[w])
+                w = i;
+        }
+        res->simQueueWaitSeconds = avail[w];
+        avail[w] += res->simSeconds;
+        res->simFinishSeconds = avail[w];
+        makespan = std::max(makespan, avail[w]);
+    }
+    return makespan;
+}
+
+// --- Server ------------------------------------------------------------
+
+Server::Server(const ServerConfig &config) : cfg(config) {}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+std::optional<std::string>
+Server::validateConfig(const ServerConfig &config)
+{
+    if (config.workers == 0) {
+        return std::string(
+            "server needs at least one worker (got --workers 0)");
+    }
+    if (config.defaultDeadlineMs < 0.0)
+        return std::string("default deadline must be >= 0 ms");
+    return std::nullopt;
+}
+
+std::optional<std::string>
+Server::start()
+{
+    if (auto err = validateConfig(cfg))
+        return err;
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        if (started)
+            return std::string("server already started");
+        started = true;
+        stopping = false;
+        startWallSec = nowSeconds();
+    }
+    obs::Metrics &metrics = obs::Metrics::global();
+    metrics.defineHistogram("serve.queue_wait_ms",
+                            latencyBucketBoundsMs());
+    metrics.defineHistogram("serve.service_ms",
+                            latencyBucketBoundsMs());
+    metrics.set("serve.workers", cfg.workers);
+    workers.reserve(cfg.workers);
+    for (u32 w = 0; w < cfg.workers; ++w)
+        workers.emplace_back([this, w] { workerLoop(w); });
+    return std::nullopt;
+}
+
+void
+Server::pause()
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    paused = true;
+}
+
+void
+Server::resume()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        if (!paused)
+            return;
+        paused = false;
+        startWallSec = nowSeconds();
+    }
+    workCv.notify_all();
+}
+
+size_t
+Server::bestQueuedIndex() const
+{
+    size_t best = 0;
+    for (size_t i = 1; i < queue.size(); ++i) {
+        const QueuedJob &a = queue[i];
+        const QueuedJob &b = queue[best];
+        if (a.spec.priority > b.spec.priority ||
+            (a.spec.priority == b.spec.priority &&
+             a.submitSeq < b.submitSeq)) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+Server::recordResult(JobResult result)
+{
+    // Caller holds mtx.
+    obs::Metrics &metrics = obs::Metrics::global();
+    switch (result.status) {
+      case JobStatus::Ok:
+        metrics.add("serve.completed");
+        break;
+      case JobStatus::Error:
+        metrics.add("serve.errors");
+        break;
+      case JobStatus::Rejected:
+        metrics.add("serve.rejected");
+        break;
+      case JobStatus::Shed:
+        metrics.add("serve.shed");
+        break;
+      case JobStatus::Expired:
+        metrics.add("serve.expired");
+        break;
+    }
+    results.push_back(std::move(result));
+}
+
+void
+Server::submit(JobSpec spec)
+{
+    if (spec.deadlineMs <= 0.0)
+        spec.deadlineMs = cfg.defaultDeadlineMs;
+    obs::Metrics::global().add("serve.submitted");
+
+    std::unique_lock<std::mutex> lk(mtx);
+    if (cfg.queueCap != 0 && queue.size() >= cfg.queueCap) {
+        switch (cfg.admission) {
+          case Admission::Reject: {
+            JobResult res = JobResult();
+            res.id = spec.id;
+            res.app = spec.app;
+            res.model = spec.model;
+            res.device = spec.device;
+            res.devices = spec.devices;
+            res.policy = spec.policy;
+            res.status = JobStatus::Rejected;
+            res.error = "queue full (cap " +
+                        std::to_string(cfg.queueCap) + ")";
+            recordResult(std::move(res));
+            idleCv.notify_all();
+            return;
+          }
+          case Admission::Shed: {
+            // Victim: lowest priority, newest on a tie.  An incoming
+            // job that is not strictly higher-priority than the
+            // victim is shed itself (it would be the victim).
+            size_t victim = 0;
+            for (size_t i = 1; i < queue.size(); ++i) {
+                const QueuedJob &a = queue[i];
+                const QueuedJob &b = queue[victim];
+                if (a.spec.priority < b.spec.priority ||
+                    (a.spec.priority == b.spec.priority &&
+                     a.submitSeq > b.submitSeq)) {
+                    victim = i;
+                }
+            }
+            const JobSpec *shedSpec = &spec;
+            if (spec.priority > queue[victim].spec.priority) {
+                shedSpec = &queue[victim].spec;
+            }
+            JobResult res = JobResult();
+            res.id = shedSpec->id;
+            res.app = shedSpec->app;
+            res.model = shedSpec->model;
+            res.device = shedSpec->device;
+            res.devices = shedSpec->devices;
+            res.policy = shedSpec->policy;
+            res.status = JobStatus::Shed;
+            res.error = "shed at admission (queue cap " +
+                        std::to_string(cfg.queueCap) + ")";
+            if (shedSpec == &spec) {
+                recordResult(std::move(res));
+                idleCv.notify_all();
+                return;
+            }
+            recordResult(std::move(res));
+            queue.erase(queue.begin() +
+                        static_cast<ptrdiff_t>(victim));
+            break;
+          }
+          case Admission::Block:
+            spaceCv.wait(lk, [&] {
+                return stopping ||
+                       queue.size() < cfg.queueCap;
+            });
+            if (stopping)
+                return;
+            break;
+        }
+    }
+    queue.push_back(QueuedJob{std::move(spec), nowSeconds(),
+                              submitSeq++});
+    lk.unlock();
+    workCv.notify_one();
+}
+
+void
+Server::workerLoop(u32 index)
+{
+    // Every context this session constructs prefixes its trace tracks
+    // ("w0/R9 280X/compute", ...), and the session's own host-side
+    // spans land on one "serve/w<i>" track per worker.
+    rt::ScopedSessionLabel label("w" + std::to_string(index));
+    obs::Tracer &tracer = obs::Tracer::global();
+    const obs::TrackId track =
+        tracer.track("serve/w" + std::to_string(index));
+
+    while (true) {
+        std::unique_lock<std::mutex> lk(mtx);
+        workCv.wait(lk, [&] {
+            return stopping || (!paused && !queue.empty());
+        });
+        if (stopping)
+            break;
+        const size_t idx = bestQueuedIndex();
+        QueuedJob job = std::move(queue[idx]);
+        queue.erase(queue.begin() + static_cast<ptrdiff_t>(idx));
+        ++busyWorkers;
+        const u64 seq = serviceSeq++;
+        const double epochSec = startWallSec;
+        lk.unlock();
+        spaceCv.notify_one();
+
+        const double dequeueSec = nowSeconds();
+        const double waitMs = (dequeueSec - job.submitSec) * 1e3;
+
+        if (job.spec.deadlineMs > 0.0 &&
+            waitMs > job.spec.deadlineMs) {
+            JobResult res = JobResult();
+            res.id = job.spec.id;
+            res.app = job.spec.app;
+            res.model = job.spec.model;
+            res.device = job.spec.device;
+            res.devices = job.spec.devices;
+            res.policy = job.spec.policy;
+            res.status = JobStatus::Expired;
+            res.error = "deadline expired in queue (" +
+                        std::to_string(waitMs) + " ms > " +
+                        std::to_string(job.spec.deadlineMs) + " ms)";
+            res.hostQueueWaitMs = waitMs;
+            lk.lock();
+            recordResult(std::move(res));
+            --busyWorkers;
+            lk.unlock();
+            idleCv.notify_all();
+            continue;
+        }
+
+        JobResult res;
+        {
+            // Per-job `--no-timing-cache`: bypass the shared memo on
+            // this thread only; concurrent sessions keep hitting it.
+            sim::TimingCache::ScopedBypass bypass(
+                !job.spec.timingCache);
+            res = runJob(job.spec);
+        }
+        const double doneSec = nowSeconds();
+        res.hostQueueWaitMs = waitMs;
+        res.hostServiceMs = (doneSec - dequeueSec) * 1e3;
+        res.serviceSeq = seq;
+        res.worker = static_cast<int>(index);
+
+        obs::Metrics &metrics = obs::Metrics::global();
+        metrics.observe("serve.queue_wait_ms", res.hostQueueWaitMs);
+        metrics.observe("serve.service_ms", res.hostServiceMs);
+        if (tracer.enabled()) {
+            tracer.span(track,
+                        "job " + std::to_string(res.id) + " " +
+                            res.app,
+                        "serve", dequeueSec - epochSec,
+                        doneSec - dequeueSec);
+        }
+
+        lk.lock();
+        recordResult(std::move(res));
+        --busyWorkers;
+        lk.unlock();
+        idleCv.notify_all();
+    }
+}
+
+void
+Server::drain()
+{
+    std::unique_lock<std::mutex> lk(mtx);
+    idleCv.wait(lk, [&] {
+        return (queue.empty() && busyWorkers == 0) || stopping;
+    });
+    drainWallSec = nowSeconds();
+}
+
+void
+Server::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        if (!started)
+            return;
+        stopping = true;
+    }
+    workCv.notify_all();
+    spaceCv.notify_all();
+    idleCv.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+    workers.clear();
+    std::lock_guard<std::mutex> lk(mtx);
+    started = false;
+}
+
+std::vector<JobResult>
+Server::takeResults()
+{
+    std::vector<JobResult> out;
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        out = std::move(results);
+        results.clear();
+    }
+    std::sort(out.begin(), out.end(),
+              [](const JobResult &a, const JobResult &b) {
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+ServerReport
+Server::report()
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    ServerReport rep;
+    rep.workers = cfg.workers;
+    rep.submitted = results.size();
+    std::vector<double> waits, services;
+    for (const auto &res : results) {
+        switch (res.status) {
+          case JobStatus::Ok:
+            ++rep.completed;
+            rep.simBusySeconds += res.simSeconds;
+            break;
+          case JobStatus::Error:
+            ++rep.errors;
+            break;
+          case JobStatus::Rejected:
+            ++rep.rejected;
+            break;
+          case JobStatus::Shed:
+            ++rep.shed;
+            break;
+          case JobStatus::Expired:
+            ++rep.expired;
+            break;
+        }
+        if (res.worker >= 0) {
+            waits.push_back(res.hostQueueWaitMs);
+            services.push_back(res.hostServiceMs);
+        }
+    }
+    rep.queueWaitMs = summarizeLatencies(std::move(waits));
+    rep.serviceMs = summarizeLatencies(std::move(services));
+    rep.wallSeconds = (drainWallSec > startWallSec)
+                          ? drainWallSec - startWallSec
+                          : 0.0;
+    rep.virtualMakespanSeconds =
+        applyVirtualSchedule(results, cfg.workers);
+    return rep;
+}
+
+std::optional<BatchOutcome>
+runBatch(const std::vector<JobSpec> &jobs, const ServerConfig &config,
+         std::string &error)
+{
+    if (auto err = Server::validateConfig(config)) {
+        error = *err;
+        return std::nullopt;
+    }
+    if (config.admission == Admission::Block &&
+        config.queueCap != 0 && jobs.size() > config.queueCap) {
+        error = "block admission would deadlock a prefilled batch of " +
+                std::to_string(jobs.size()) + " jobs (queue cap " +
+                std::to_string(config.queueCap) +
+                "); use reject or shed";
+        return std::nullopt;
+    }
+
+    Server server(config);
+    server.pause();
+    if (auto err = server.start()) {
+        error = *err;
+        return std::nullopt;
+    }
+    for (const JobSpec &spec : jobs)
+        server.submit(spec);
+    server.resume();
+    server.drain();
+
+    BatchOutcome outcome;
+    outcome.report = server.report();
+    outcome.results = server.takeResults();
+    server.shutdown();
+    // report() scheduled the virtual cluster on the server's copy;
+    // re-derive the per-job virtual fields on the moved-out results.
+    applyVirtualSchedule(outcome.results, config.workers);
+    return outcome;
+}
+
+} // namespace hetsim::serve

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * hetsim::serve - an in-process simulation job server.
+ *
+ * The Server turns the one-shot CLI verbs into a serving layer: jobs
+ * (JobSpec) are submitted to a bounded priority queue guarded by an
+ * admission policy, a pool of worker sessions executes them - each
+ * worker owning its own runtime contexts while every session shares
+ * the process-wide sim::TimingCache - and per-job results plus
+ * latency distributions come back out.  Two front-ends drive it:
+ * `hetsim batch` (JSONL job file in, JSONL results out) and
+ * `hetsim serve --shots N` (closed-loop load generator).
+ *
+ * Determinism contract: the serialized result of a job depends only on
+ * its spec (the simulator is deterministic), so a batch's result file
+ * is byte-identical regardless of worker count.  Host-side latencies
+ * are reported separately and never serialized.  On top of the host
+ * execution, the server computes a *virtual cluster* schedule: jobs
+ * are list-scheduled in deterministic dequeue order onto W virtual
+ * workers using their *simulated* seconds as service time.  That gives
+ * scaling numbers (makespan, throughput) that are reproducible on any
+ * host - including single-core CI runners, where host wall-clock
+ * cannot show parallel speedup for CPU-bound simulation work.
+ *
+ * Admission control when the queue is full:
+ *  - reject: the incoming job completes immediately as Rejected;
+ *  - shed:   the lowest-priority queued job (newest on a tie) is
+ *            evicted as Shed - unless the incoming job's priority is
+ *            no higher, in which case the incoming job is shed;
+ *  - block:  submit() waits for space (live/closed-loop mode only; a
+ *            prefilled batch would deadlock, so runBatch refuses it).
+ *
+ * Deadlines are queue-wait deadlines in host milliseconds, checked at
+ * dequeue: a job still queued past its deadline completes as Expired
+ * without ever running.  Running jobs are not preempted.
+ */
+
+#ifndef HETSIM_SERVE_SERVER_HH
+#define HETSIM_SERVE_SERVER_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/jobspec.hh"
+
+namespace hetsim::serve
+{
+
+/** Policy applied when a job arrives and the queue is full. */
+enum class Admission : u8
+{
+    Reject, ///< fail the incoming job immediately
+    Shed,   ///< evict the lowest-priority queued job (newest on tie)
+    Block,  ///< make submit() wait for space
+};
+
+/** @return CLI identifier, e.g. "reject". */
+const char *toString(Admission admission);
+
+/** @return the policy for a CLI alias (reject/shed/block). */
+std::optional<Admission> admissionByName(const std::string &name);
+
+/** Serving-layer configuration. */
+struct ServerConfig
+{
+    /** Worker sessions (must be >= 1; validateConfig rejects 0). */
+    u32 workers = 4;
+    /** Queue capacity (0 = unbounded; admission never fires). */
+    size_t queueCap = 0;
+    Admission admission = Admission::Reject;
+    /** Default queue-wait deadline applied to jobs that carry none
+     *  (0 = no default). */
+    double defaultDeadlineMs = 0.0;
+};
+
+/** Percentile summary of one latency population (milliseconds). */
+struct LatencySummary
+{
+    u64 count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Nearest-rank percentiles over @p values (order irrelevant). */
+LatencySummary summarizeLatencies(std::vector<double> values);
+
+/** Aggregate serving statistics after a drain. */
+struct ServerReport
+{
+    u64 submitted = 0;
+    u64 completed = 0; ///< terminal Ok
+    u64 errors = 0;
+    u64 rejected = 0;
+    u64 shed = 0;
+    u64 expired = 0;
+    u32 workers = 0;
+    /** Host wall latencies of jobs that ran. */
+    LatencySummary queueWaitMs;
+    LatencySummary serviceMs;
+    /** Host wall seconds from resume()/start() to drained. */
+    double wallSeconds = 0.0;
+    /** Sum of simulated seconds over Ok jobs. */
+    double simBusySeconds = 0.0;
+    /** Virtual-cluster makespan of the ran jobs on `workers` virtual
+     *  workers (deterministic; see file comment). */
+    double virtualMakespanSeconds = 0.0;
+
+    /** @return Ok jobs per virtual-cluster second. */
+    double
+    simJobsPerSecond() const
+    {
+        return virtualMakespanSeconds > 0.0
+                   ? static_cast<double>(completed) /
+                         virtualMakespanSeconds
+                   : 0.0;
+    }
+
+    /** @return Ok jobs per host wall second (machine-dependent). */
+    double
+    wallJobsPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(completed) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * Execute one job synchronously on the calling thread (no queueing,
+ * no admission).  This is exactly what a worker session runs, so
+ * tests can compare a served job against a standalone run - fault
+ * schedules in particular must be bitwise identical.
+ */
+JobResult runJob(const JobSpec &spec);
+
+/** Order-sensitive hash of a fault schedule (for JobResult). */
+u64 faultScheduleHash(const std::vector<fault::FaultEvent> &schedule);
+
+/**
+ * List-schedule the jobs that ran (worker >= 0), in serviceSeq order,
+ * onto @p workers virtual workers using simSeconds as service time;
+ * fills simQueueWaitSeconds / simFinishSeconds.  @return the virtual
+ * makespan.
+ */
+double applyVirtualSchedule(std::vector<JobResult> &results,
+                            u32 workers);
+
+/** The in-process job server (see file comment). */
+class Server
+{
+  public:
+    explicit Server(const ServerConfig &config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** @return the structured configuration error, if any (e.g. a
+     *  zero-worker pool), without starting anything. */
+    static std::optional<std::string>
+    validateConfig(const ServerConfig &config);
+
+    /**
+     * Spawn the worker sessions.  @return a configuration error
+     * instead of starting when the config is invalid.
+     */
+    std::optional<std::string> start();
+
+    /** Stop dequeuing (queued jobs wait; running jobs finish). */
+    void pause();
+
+    /** Resume dequeuing; the drain wall-clock starts here. */
+    void resume();
+
+    /**
+     * Submit one job (admission control applies; see file comment).
+     * Jobs refused at admission complete immediately as
+     * Rejected/Shed.  With Block admission this call waits for queue
+     * space.
+     */
+    void submit(JobSpec spec);
+
+    /** Wait until the queue is empty and every worker is idle. */
+    void drain();
+
+    /** Stop and join the workers (queued jobs are abandoned; call
+     *  drain() first for an orderly finish). */
+    void shutdown();
+
+    /** Move the accumulated results out, sorted by ascending id. */
+    std::vector<JobResult> takeResults();
+
+    /** Aggregate statistics over the results accumulated so far
+     *  (computes the virtual-cluster schedule). */
+    ServerReport report();
+
+  private:
+    struct QueuedJob
+    {
+        JobSpec spec;
+        double submitSec = 0.0; ///< host seconds (monotonic)
+        u64 submitSeq = 0;      ///< admission order
+    };
+
+    void workerLoop(u32 index);
+    /** Pick the queue index to dequeue: highest priority, oldest. */
+    size_t bestQueuedIndex() const;
+    /** Record a terminal result and bump its status counter. */
+    void recordResult(JobResult result);
+
+    ServerConfig cfg;
+    std::vector<std::thread> workers;
+
+    mutable std::mutex mtx;
+    std::condition_variable workCv;  ///< queue -> workers
+    std::condition_variable spaceCv; ///< queue space -> Block submits
+    std::condition_variable idleCv;  ///< drain() wakeups
+    std::vector<QueuedJob> queue;
+    std::vector<JobResult> results;
+    u64 submitSeq = 0;
+    u64 serviceSeq = 0;
+    u32 busyWorkers = 0;
+    bool started = false;
+    bool paused = false;
+    bool stopping = false;
+    double startWallSec = 0.0; ///< resume()/start() timestamp
+    double drainWallSec = 0.0; ///< last drained timestamp
+};
+
+/** Results + report of one prefilled batch. */
+struct BatchOutcome
+{
+    std::vector<JobResult> results; ///< ascending id
+    ServerReport report;
+};
+
+/**
+ * Run @p jobs as a deterministic prefilled batch: the server starts
+ * paused, every job is submitted (admission and shedding therefore
+ * happen in file order), then the workers drain the queue.  @return
+ * nullopt and set @p error on an invalid configuration or a
+ * Block-admission batch that would deadlock.
+ */
+std::optional<BatchOutcome> runBatch(const std::vector<JobSpec> &jobs,
+                                     const ServerConfig &config,
+                                     std::string &error);
+
+} // namespace hetsim::serve
+
+#endif // HETSIM_SERVE_SERVER_HH

@@ -166,4 +166,18 @@ a10_7850kCpu()
     return spec;
 }
 
+std::optional<DeviceSpec>
+deviceByName(const std::string &name)
+{
+    if (name == "dgpu" || name == "r9-280x")
+        return radeonR9_280X();
+    if (name == "hd7950")
+        return radeonHd7950();
+    if (name == "apu" || name == "a10-7850k")
+        return a10_7850kGpu();
+    if (name == "cpu")
+        return a10_7850kCpu();
+    return std::nullopt;
+}
+
 } // namespace hetsim::sim

@@ -12,6 +12,7 @@
 #ifndef HETSIM_SIM_DEVICE_HH
 #define HETSIM_SIM_DEVICE_HH
 
+#include <optional>
 #include <string>
 
 #include "common/types.hh"
@@ -158,6 +159,13 @@ DeviceSpec a10_7850kGpu();
 
 /** 4-core CPU portion of the AMD A10-7850K (the OpenMP baseline). */
 DeviceSpec a10_7850kCpu();
+
+/**
+ * @return the device spec for a CLI alias (dgpu/r9-280x, hd7950,
+ * apu/a10-7850k, cpu), if valid.  Shared by the CLI and the serve
+ * layer's JobSpec resolution.
+ */
+std::optional<DeviceSpec> deviceByName(const std::string &name);
 
 } // namespace hetsim::sim
 

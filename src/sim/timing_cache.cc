@@ -20,7 +20,28 @@ bitsOf(double value)
     return bits;
 }
 
+/** Nesting depth of ScopedBypass frames on this thread. */
+thread_local int bypassDepth = 0;
+
 } // namespace
+
+bool
+timingCacheThreadBypassed()
+{
+    return bypassDepth > 0;
+}
+
+TimingCache::ScopedBypass::ScopedBypass(bool engage) : engaged(engage)
+{
+    if (engaged)
+        ++bypassDepth;
+}
+
+TimingCache::ScopedBypass::~ScopedBypass()
+{
+    if (engaged)
+        --bypassDepth;
+}
 
 void
 HashMix::mixDouble(double value)

@@ -111,10 +111,35 @@ struct TimingEntry
     KernelTiming timing;
 };
 
+/** @return whether the calling thread has a ScopedBypass engaged. */
+bool timingCacheThreadBypassed();
+
 /** Thread-safe (key -> profile+timing) memo with hit/miss counters. */
 class TimingCache
 {
   public:
+    /**
+     * RAII per-thread bypass: while engaged, enabled() answers false
+     * on this thread only, so lookups miss silently (no counters) and
+     * inserts are dropped.  Other threads sharing the process-wide
+     * cache are unaffected.  This is how a serve-layer job applies its
+     * own `--no-timing-cache` while concurrent sessions keep hitting
+     * the shared memo; the process-wide setEnabled() switch would race
+     * between jobs.  Bypasses nest (each frame re-engages).
+     */
+    class ScopedBypass
+    {
+      public:
+        explicit ScopedBypass(bool engage);
+        ~ScopedBypass();
+
+        ScopedBypass(const ScopedBypass &) = delete;
+        ScopedBypass &operator=(const ScopedBypass &) = delete;
+
+      private:
+        bool engaged;
+    };
+
     /** Turn the cache on or off (off = lookup always misses and
      *  insert is a no-op; counters freeze). */
     void
@@ -123,11 +148,14 @@ class TimingCache
         active.store(on, std::memory_order_relaxed);
     }
 
-    /** @return whether memoization is active. */
+    /** @return whether memoization is active for the calling thread
+     *  (the process-wide switch is on and no ScopedBypass is
+     *  engaged on this thread). */
     bool
     enabled() const
     {
-        return active.load(std::memory_order_relaxed);
+        return active.load(std::memory_order_relaxed) &&
+               !timingCacheThreadBypassed();
     }
 
     /**

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <sstream>
 
 #include "apps/coexec_kernels.hh"
@@ -18,6 +19,7 @@
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/tracer.hh"
+#include "serve/server.hh"
 #include "sim/timing_cache.hh"
 
 namespace hetsim::cli
@@ -67,49 +69,19 @@ parseCount(const std::string &text)
 std::unique_ptr<core::Workload>
 workloadByName(const std::string &name)
 {
-    if (name == "readmem")
-        return core::makeReadMem();
-    if (name == "lulesh")
-        return core::makeLulesh();
-    if (name == "comd")
-        return core::makeComd();
-    if (name == "xsbench")
-        return core::makeXsbench();
-    if (name == "minife")
-        return core::makeMiniFe();
-    return nullptr;
+    return core::workloadByName(name);
 }
 
 std::optional<core::ModelKind>
 modelByName(const std::string &name)
 {
-    if (name == "serial")
-        return core::ModelKind::Serial;
-    if (name == "openmp" || name == "omp")
-        return core::ModelKind::OpenMp;
-    if (name == "opencl" || name == "ocl")
-        return core::ModelKind::OpenCl;
-    if (name == "cppamp" || name == "amp")
-        return core::ModelKind::CppAmp;
-    if (name == "openacc" || name == "acc")
-        return core::ModelKind::OpenAcc;
-    if (name == "hc")
-        return core::ModelKind::Hc;
-    return std::nullopt;
+    return core::modelByName(name);
 }
 
 std::optional<sim::DeviceSpec>
 deviceByName(const std::string &name)
 {
-    if (name == "dgpu" || name == "r9-280x")
-        return sim::radeonR9_280X();
-    if (name == "hd7950")
-        return sim::radeonHd7950();
-    if (name == "apu" || name == "a10-7850k")
-        return sim::a10_7850kGpu();
-    if (name == "cpu")
-        return sim::a10_7850kCpu();
-    return std::nullopt;
+    return sim::deviceByName(name);
 }
 
 Args
@@ -123,7 +95,8 @@ parse(const std::vector<std::string> &argv)
     args.command = argv[0];
     if (args.command != "list" && args.command != "run" &&
         args.command != "compare" && args.command != "sweep" &&
-        args.command != "coexec" && args.command != "breakdown") {
+        args.command != "coexec" && args.command != "breakdown" &&
+        args.command != "batch" && args.command != "serve") {
         args.error = "unknown command '" + args.command + "'";
         return args;
     }
@@ -147,8 +120,15 @@ parse(const std::vector<std::string> &argv)
             if (auto v = value("--device"))
                 args.device = *v;
         } else if (arg == "--scale") {
-            if (auto v = value("--scale"))
-                args.scale = std::atof(v->c_str());
+            if (auto v = value("--scale")) {
+                auto f = parsePositive(*v);
+                if (!f) {
+                    args.error = "--scale wants a positive number, "
+                                 "got '" + *v + "'";
+                } else {
+                    args.scale = *f;
+                }
+            }
         } else if (arg == "--devices") {
             if (auto v = value("--devices")) {
                 args.devices = *v;
@@ -252,6 +232,71 @@ parse(const std::vector<std::string> &argv)
                     args.freq.memMhz = *mem;
                 }
             }
+        } else if (arg == "--jobs") {
+            if (auto v = value("--jobs")) {
+                if (v->empty())
+                    args.error = "--jobs wants a file path";
+                else
+                    args.jobs = *v;
+            }
+        } else if (arg == "--results-out") {
+            if (auto v = value("--results-out")) {
+                if (v->empty())
+                    args.error = "--results-out wants a file path";
+                else
+                    args.resultsOut = *v;
+            }
+        } else if (arg == "--workers") {
+            if (auto v = value("--workers")) {
+                auto n = parseCount(*v);
+                if (!n) {
+                    args.error = "--workers wants a worker count, "
+                                 "got '" + *v + "'";
+                } else {
+                    // 0 parses fine; the server reports the
+                    // structured zero-worker configuration error.
+                    args.workers = *n;
+                }
+            }
+        } else if (arg == "--queue-cap") {
+            if (auto v = value("--queue-cap")) {
+                auto n = parseCount(*v);
+                if (!n) {
+                    args.error = "--queue-cap wants a job count "
+                                 "(0 = unbounded), got '" + *v + "'";
+                } else {
+                    args.queueCap = *n;
+                }
+            }
+        } else if (arg == "--deadline-ms") {
+            if (auto v = value("--deadline-ms")) {
+                auto n = parseCount(*v);
+                if (!n) {
+                    args.error = "--deadline-ms wants milliseconds "
+                                 "(0 = none), got '" + *v + "'";
+                } else {
+                    args.deadlineMs = *n;
+                }
+            }
+        } else if (arg == "--shots") {
+            if (auto v = value("--shots")) {
+                auto n = parseCount(*v);
+                if (!n || *n == 0) {
+                    args.error = "--shots wants a positive job "
+                                 "count, got '" + *v + "'";
+                } else {
+                    args.shots = *n;
+                }
+            }
+        } else if (arg == "--admission") {
+            if (auto v = value("--admission")) {
+                if (!serve::admissionByName(*v)) {
+                    args.error = "--admission wants reject, shed, or "
+                                 "block, got '" + *v + "'";
+                } else {
+                    args.admission = *v;
+                }
+            }
         } else if (arg == "--dp") {
             args.doublePrecision = true;
         } else if (arg == "--functional") {
@@ -268,9 +313,6 @@ parse(const std::vector<std::string> &argv)
         if (!args.error.empty())
             return args;
     }
-
-    if (args.scale <= 0.0)
-        args.error = "--scale must be positive";
     return args;
 }
 
@@ -294,7 +336,39 @@ usage(std::ostream &os)
           "             [--inject-faults spec] [--fault-seed n]\n"
           "             [--retry-max n] [--fail-device dev]\n"
           "  hetsim breakdown --app <app> --device <dev> [--model m]\n"
-          "             [--devices <d1+d2[+..]>] [--scale f] [--dp]\n\n"
+          "             [--devices <d1+d2[+..]>] [--scale f] [--dp]\n"
+          "  hetsim batch --jobs FILE [--results-out FILE] "
+          "[--workers n]\n"
+          "             [--queue-cap n] [--deadline-ms n]\n"
+          "             [--admission reject|shed|block]\n"
+          "  hetsim serve --shots n [--workers n] [--queue-cap n]\n"
+          "             [--deadline-ms n] [--admission "
+          "reject|shed|block]\n"
+          "             [--scale f] [--results-out FILE]\n\n"
+          "serving layer (batch / serve):\n"
+          "  --jobs FILE         JSONL job file, one JSON object per "
+          "line; keys:\n"
+          "                      id, app, model, device, devices, "
+          "policy, scale,\n"
+          "                      dp, functional, freq, timing_cache, "
+          "faults,\n"
+          "                      fault_seed, retry_max, fail_device, "
+          "deadline_ms,\n"
+          "                      priority\n"
+          "  --results-out FILE  results JSONL (default: stdout); "
+          "deterministic\n"
+          "                      fields only, ordered by job id\n"
+          "  --workers N         worker sessions (default 4)\n"
+          "  --queue-cap N       admission queue capacity (default "
+          "unbounded)\n"
+          "  --admission P       queue-full policy: reject (default), "
+          "shed\n"
+          "                      (evict lowest-priority, newest on "
+          "tie), block\n"
+          "  --deadline-ms N     default queue-wait deadline for jobs "
+          "without one\n"
+          "  --shots N           serve: closed-loop jobs to generate "
+          "(default 16)\n\n"
           "observability (any verb):\n"
           "  --trace-out FILE    Chrome trace-event JSON "
           "(chrome://tracing)\n"
@@ -722,6 +796,184 @@ cmdBreakdown(const Args &args, std::ostream &os)
     return worst > 0.01 ? 1 : 0;
 }
 
+/** Assemble the serving config shared by the batch and serve verbs. */
+serve::ServerConfig
+serveConfig(const Args &args)
+{
+    serve::ServerConfig cfg;
+    cfg.workers = static_cast<u32>(args.workers);
+    cfg.queueCap = static_cast<size_t>(args.queueCap);
+    cfg.admission = *serve::admissionByName(args.admission);
+    cfg.defaultDeadlineMs = static_cast<double>(args.deadlineMs);
+    return cfg;
+}
+
+/** Print the serving summary table shared by batch and serve. */
+void
+printServeSummary(const serve::ServerReport &report, std::ostream &os)
+{
+    Table table("serving summary (" + std::to_string(report.workers) +
+                " workers)");
+    table.setHeader({"metric", "value"});
+    table.addRow({"jobs submitted", std::to_string(report.submitted)});
+    table.addRow({"ok", std::to_string(report.completed)});
+    table.addRow({"error", std::to_string(report.errors)});
+    table.addRow({"rejected", std::to_string(report.rejected)});
+    table.addRow({"shed", std::to_string(report.shed)});
+    table.addRow({"expired", std::to_string(report.expired)});
+    table.addRow({"queue wait p50/p95/p99 (ms)",
+                  Table::num(report.queueWaitMs.p50, 2) + " / " +
+                      Table::num(report.queueWaitMs.p95, 2) + " / " +
+                      Table::num(report.queueWaitMs.p99, 2)});
+    table.addRow({"service p50/p95/p99 (ms)",
+                  Table::num(report.serviceMs.p50, 2) + " / " +
+                      Table::num(report.serviceMs.p95, 2) + " / " +
+                      Table::num(report.serviceMs.p99, 2)});
+    table.addRow({"host wall (s)", Table::num(report.wallSeconds, 3)});
+    table.addRow({"sim busy (s)",
+                  Table::num(report.simBusySeconds, 6)});
+    table.addRow({"virtual makespan (s)",
+                  Table::num(report.virtualMakespanSeconds, 6)});
+    table.addRow({"sim throughput (jobs/s)",
+                  Table::num(report.simJobsPerSecond(), 3)});
+    table.print(os);
+}
+
+/**
+ * Writes the results JSONL to --results-out (or @p os when no path
+ * was given).  @return 0, or 2 on an unopenable/unwritable path.
+ */
+int
+writeServeResults(const Args &args,
+                  const std::vector<serve::JobResult> &results,
+                  std::ostream &os)
+{
+    if (args.resultsOut.empty()) {
+        serve::writeResultsJsonl(os, results);
+        return 0;
+    }
+    std::ofstream out(args.resultsOut);
+    if (!out.is_open()) {
+        os << "error: cannot open results output '" << args.resultsOut
+           << "': " << std::strerror(errno) << "\n";
+        return 2;
+    }
+    serve::writeResultsJsonl(out, results);
+    out.flush();
+    if (!out) {
+        os << "error: failed writing results output '"
+           << args.resultsOut << "'\n";
+        return 2;
+    }
+    return 0;
+}
+
+int
+cmdBatch(const Args &args, std::ostream &os)
+{
+    if (args.jobs.empty()) {
+        os << "error: batch needs --jobs FILE (JSONL, one job per "
+              "line)\n";
+        return 2;
+    }
+    std::ifstream is(args.jobs);
+    if (!is.is_open()) {
+        os << "error: cannot open jobs file '" << args.jobs
+           << "': " << std::strerror(errno) << "\n";
+        return 2;
+    }
+    std::string parse_error;
+    auto jobs = serve::parseJobs(is, parse_error);
+    if (!jobs) {
+        os << "error: " << args.jobs << ": " << parse_error << "\n";
+        return 2;
+    }
+    if (jobs->empty()) {
+        os << "error: " << args.jobs << ": no jobs\n";
+        return 2;
+    }
+
+    std::string error;
+    auto outcome = serve::runBatch(*jobs, serveConfig(args), error);
+    if (!outcome) {
+        os << "error: " << error << "\n";
+        return 2;
+    }
+    int rc = writeServeResults(args, outcome->results, os);
+    if (rc != 0)
+        return rc;
+    // With the JSONL going to a file, the summary goes to the
+    // console; with JSONL on stdout, stdout stays machine-readable.
+    if (!args.resultsOut.empty())
+        printServeSummary(outcome->report, os);
+    return 0;
+}
+
+int
+cmdServe(const Args &args, std::ostream &os)
+{
+    // Closed-loop load generator: a deterministic mixed workload
+    // cycling over the experiment grid's cheap corners.
+    struct MixEntry
+    {
+        const char *app;
+        const char *model;  ///< "" selects the coexec path
+        const char *device; ///< pool spec for coexec entries
+    };
+    static const MixEntry kMix[] = {
+        {"readmem", "opencl", "dgpu"},
+        {"xsbench", "opencl", "apu"},
+        {"minife", "openmp", "cpu"},
+        {"readmem", "hc", "apu"},
+        {"xsbench", "", "cpu+dgpu"},
+        {"minife", "opencl", "dgpu"},
+    };
+
+    std::vector<serve::JobSpec> jobs;
+    jobs.reserve(args.shots);
+    for (u64 i = 0; i < args.shots; ++i) {
+        const MixEntry &mix = kMix[i % std::size(kMix)];
+        serve::JobSpec spec;
+        spec.id = i + 1;
+        spec.app = mix.app;
+        if (*mix.model == '\0') {
+            spec.devices = mix.device;
+            spec.policy = "adaptive";
+        } else {
+            spec.model = mix.model;
+            spec.device = mix.device;
+        }
+        spec.scale = args.scale;
+        spec.timingCache = args.timingCache;
+        spec.deadlineMs = static_cast<double>(args.deadlineMs);
+        jobs.push_back(std::move(spec));
+    }
+
+    serve::ServerConfig cfg = serveConfig(args);
+    if (auto err = serve::Server::validateConfig(cfg)) {
+        os << "error: " << *err << "\n";
+        return 2;
+    }
+    // Live (not prefilled): jobs arrive while the workers run, so
+    // queue-wait latencies and admission behave like a real server.
+    serve::Server server(cfg);
+    if (auto err = server.start()) {
+        os << "error: " << *err << "\n";
+        return 2;
+    }
+    for (const auto &spec : jobs)
+        server.submit(spec);
+    server.drain();
+    auto report = server.report();
+    auto results = server.takeResults();
+    server.shutdown();
+
+    printServeSummary(report, os);
+    if (!args.resultsOut.empty())
+        return writeServeResults(args, results, os);
+    return 0;
+}
+
 /**
  * Writes --trace-out / --metrics-out files; a path that cannot be
  * opened or written produces a clear error and exit code 2.
@@ -848,6 +1100,10 @@ execute(const Args &args, std::ostream &os)
         rc = cmdCoexec(args, os);
     else if (args.command == "breakdown")
         rc = cmdBreakdown(args, os);
+    else if (args.command == "batch")
+        rc = cmdBatch(args, os);
+    else if (args.command == "serve")
+        rc = cmdServe(args, os);
     else {
         usage(os);
         return 2;

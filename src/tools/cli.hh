@@ -13,6 +13,12 @@
  *                 [--dp] [--functional]
  *   hetsim breakdown --app xsbench --device dgpu [--model opencl]
  *                 [--devices cpu+dgpu] [--scale 1.0] [--dp]
+ *   hetsim batch --jobs jobs.jsonl [--results-out results.jsonl]
+ *                 [--workers 4] [--queue-cap N] [--deadline-ms N]
+ *                 [--admission reject|shed|block]
+ *   hetsim serve --shots 16 [--workers 4] [--queue-cap N]
+ *                 [--deadline-ms N] [--admission reject|shed|block]
+ *                 [--scale 1.0] [--results-out results.jsonl]
  *
  * Every verb accepts --trace-out FILE (Chrome trace-event JSON for
  * chrome://tracing / Perfetto) and --metrics-out FILE (metrics
@@ -40,7 +46,8 @@ namespace hetsim::cli
 /** Parsed command line. */
 struct Args
 {
-    /** list | run | compare | sweep | coexec | breakdown */
+    /** list | run | compare | sweep | coexec | breakdown | batch |
+     *  serve */
     std::string command;
     std::string app = "readmem";
     std::string model = "opencl";
@@ -66,6 +73,14 @@ struct Args
     std::string traceOut;   ///< Chrome trace JSON path ("" = off)
     std::string metricsOut; ///< metrics JSON path ("" = off)
     sim::FreqDomain freq{0.0, 0.0};
+    // --- serving layer (batch / serve verbs) ------------------------
+    std::string jobs;       ///< JSONL job file (batch)
+    std::string resultsOut; ///< results JSONL path ("" = stdout)
+    u64 workers = 4;        ///< worker sessions
+    u64 queueCap = 0;       ///< admission queue cap (0 = unbounded)
+    u64 deadlineMs = 0;     ///< default queue-wait deadline (0 = none)
+    u64 shots = 16;         ///< serve: closed-loop job count
+    std::string admission = "reject"; ///< reject | shed | block
     std::string error; ///< non-empty on parse failure
 };
 

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "tools/cli.hh"
 
@@ -307,6 +310,168 @@ TEST(CliExecute, UnwritableObsPathsFailLoudly)
     EXPECT_EQ(execute(args2, os2), 2);
     EXPECT_NE(os2.str().find("cannot open metrics output"),
               std::string::npos);
+}
+
+// --- Serving layer (batch / serve verbs) -------------------------------
+
+/** Writes @p text to a temp jobs file; removes it on destruction. */
+class TempJobsFile
+{
+  public:
+    explicit TempJobsFile(const std::string &text)
+        : filePath("hetsim_test_jobs_" +
+                   std::to_string(::testing::UnitTest::GetInstance()
+                                      ->random_seed()) +
+                   "_" + std::to_string(counter++) + ".jsonl")
+    {
+        std::ofstream out(filePath);
+        out << text;
+    }
+    ~TempJobsFile() { std::remove(filePath.c_str()); }
+    const std::string &path() const { return filePath; }
+
+  private:
+    static int counter;
+    std::string filePath;
+};
+
+int TempJobsFile::counter = 0;
+
+TEST(CliParse, ServeFlagsParseAndValidate)
+{
+    Args args = parse({"batch", "--jobs", "j.jsonl", "--results-out",
+                       "r.jsonl", "--workers", "8", "--queue-cap",
+                       "32", "--deadline-ms", "250", "--admission",
+                       "shed"});
+    EXPECT_TRUE(args.error.empty()) << args.error;
+    EXPECT_EQ(args.jobs, "j.jsonl");
+    EXPECT_EQ(args.resultsOut, "r.jsonl");
+    EXPECT_EQ(args.workers, 8u);
+    EXPECT_EQ(args.queueCap, 32u);
+    EXPECT_EQ(args.deadlineMs, 250u);
+    EXPECT_EQ(args.admission, "shed");
+
+    Args serve = parse({"serve", "--shots", "4"});
+    EXPECT_TRUE(serve.error.empty()) << serve.error;
+    EXPECT_EQ(serve.shots, 4u);
+}
+
+TEST(CliParse, ServeIntegerFlagsRejectJunk)
+{
+    struct FlagCase
+    {
+        const char *flag;
+        const char *bad;
+    };
+    const FlagCase cases[] = {
+        {"--workers", "-1"},     {"--workers", "4x"},
+        {"--workers", "1.5"},    {"--queue-cap", "-3"},
+        {"--queue-cap", "cap"},  {"--deadline-ms", "fast"},
+        {"--deadline-ms", "-9"}, {"--shots", "0"},
+        {"--shots", "ten"},      {"--scale", "big"},
+        {"--scale", "1x"},
+    };
+    for (const FlagCase &c : cases) {
+        Args args = parse({"serve", c.flag, c.bad});
+        EXPECT_FALSE(args.error.empty()) << c.flag << " " << c.bad;
+        EXPECT_NE(args.error.find(c.flag), std::string::npos)
+            << c.flag << " " << c.bad;
+    }
+    // --workers 0 parses; the server reports the structured error.
+    EXPECT_TRUE(parse({"serve", "--workers", "0"}).error.empty());
+    Args bad = parse({"batch", "--admission", "greedy"});
+    EXPECT_FALSE(bad.error.empty());
+    EXPECT_NE(bad.error.find("--admission"), std::string::npos);
+}
+
+TEST(CliExecute, BatchWithoutJobsFileIsAnError)
+{
+    std::ostringstream os;
+    EXPECT_EQ(execute(parse({"batch"}), os), 2);
+    EXPECT_NE(os.str().find("--jobs"), std::string::npos);
+}
+
+TEST(CliExecute, BatchMissingJobsFileFailsLoudly)
+{
+    std::ostringstream os;
+    Args args =
+        parse({"batch", "--jobs", "/nonexistent-dir/jobs.jsonl"});
+    EXPECT_EQ(execute(args, os), 2);
+    EXPECT_NE(os.str().find("cannot open jobs file"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("/nonexistent-dir/jobs.jsonl"),
+              std::string::npos);
+}
+
+TEST(CliExecute, BatchMalformedJobsReportLineNumber)
+{
+    TempJobsFile jobs(R"({"app": "readmem", "scale": 0.02}
+{"app": "readmem", "scale": oops}
+)");
+    std::ostringstream os;
+    Args args = parse({"batch", "--jobs", jobs.path()});
+    EXPECT_EQ(execute(args, os), 2);
+    EXPECT_NE(os.str().find("line 2"), std::string::npos) << os.str();
+    EXPECT_NE(os.str().find(jobs.path()), std::string::npos);
+}
+
+TEST(CliExecute, BatchEmptyJobsFileIsAnError)
+{
+    TempJobsFile jobs("\n\n");
+    std::ostringstream os;
+    EXPECT_EQ(execute(parse({"batch", "--jobs", jobs.path()}), os), 2);
+    EXPECT_NE(os.str().find("no jobs"), std::string::npos) << os.str();
+}
+
+TEST(CliExecute, BatchUnwritableResultsOutFailsLoudly)
+{
+    TempJobsFile jobs(R"({"app": "readmem", "scale": 0.02})"
+                      "\n");
+    std::ostringstream os;
+    Args args = parse({"batch", "--jobs", jobs.path(), "--results-out",
+                       "/nonexistent-dir/results.jsonl"});
+    EXPECT_EQ(execute(args, os), 2);
+    EXPECT_NE(os.str().find("cannot open results output"),
+              std::string::npos);
+}
+
+TEST(CliExecute, BatchZeroWorkersIsAStructuredError)
+{
+    TempJobsFile jobs(R"({"app": "readmem", "scale": 0.02})"
+                      "\n");
+    std::ostringstream os;
+    Args args =
+        parse({"batch", "--jobs", jobs.path(), "--workers", "0"});
+    EXPECT_EQ(execute(args, os), 2);
+    EXPECT_NE(os.str().find("at least one worker"), std::string::npos)
+        << os.str();
+}
+
+TEST(CliExecute, BatchEmitsOrderedJsonlOnStdout)
+{
+    TempJobsFile jobs(R"({"id": 2, "app": "readmem", "scale": 0.02}
+{"id": 1, "app": "minife", "model": "openmp", "device": "cpu", "scale": 0.02}
+)");
+    std::ostringstream os;
+    Args args = parse({"batch", "--jobs", jobs.path(), "--workers",
+                       "2"});
+    EXPECT_EQ(execute(args, os), 0);
+    const std::string out = os.str();
+    // Pure JSONL on stdout, id-ascending regardless of file order.
+    EXPECT_EQ(out.rfind("{\"id\":1,", 0), 0u) << out;
+    EXPECT_NE(out.find("\n{\"id\":2,"), std::string::npos) << out;
+    EXPECT_NE(out.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(CliExecute, ServeRunsAClosedLoopAndSummarizes)
+{
+    std::ostringstream os;
+    Args args = parse({"serve", "--shots", "6", "--workers", "2",
+                       "--scale", "0.02"});
+    EXPECT_EQ(execute(args, os), 0);
+    EXPECT_NE(os.str().find("jobs submitted"), std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("sim throughput"), std::string::npos);
 }
 
 } // namespace

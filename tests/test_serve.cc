@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Tests for the serving layer: JobSpec JSONL parsing, admission
+ * control (reject/shed), queued-job deadlines, fault-schedule
+ * determinism against standalone runs, and the byte-identical
+ * results contract across worker counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "obs/tracer.hh"
+#include "serve/server.hh"
+
+namespace hetsim::serve
+{
+namespace
+{
+
+JobSpec
+tinyJob(u64 id, const char *app = "readmem")
+{
+    JobSpec spec;
+    spec.id = id;
+    spec.app = app;
+    spec.model = "opencl";
+    spec.device = "dgpu";
+    spec.scale = 0.02;
+    return spec;
+}
+
+// --- JSONL parsing -----------------------------------------------------
+
+TEST(JobSpecParse, FullLineRoundTrips)
+{
+    std::string err;
+    auto spec = parseJobLine(
+        R"({"id": 9, "app": "xsbench", "devices": "cpu+dgpu",)"
+        R"( "policy": "dynamic", "scale": 0.5, "dp": true,)"
+        R"( "functional": true, "freq": "600:810",)"
+        R"( "timing_cache": false, "faults": "transfer:0.2",)"
+        R"( "fault_seed": 42, "retry_max": 7, "deadline_ms": 250,)"
+        R"( "priority": -3})",
+        1, err);
+    ASSERT_TRUE(spec.has_value()) << err;
+    EXPECT_EQ(spec->id, 9u);
+    EXPECT_EQ(spec->app, "xsbench");
+    EXPECT_TRUE(spec->coexec());
+    EXPECT_EQ(spec->policy, "dynamic");
+    EXPECT_DOUBLE_EQ(spec->scale, 0.5);
+    EXPECT_TRUE(spec->doublePrecision);
+    EXPECT_TRUE(spec->functional);
+    EXPECT_DOUBLE_EQ(spec->freq.coreMhz, 600);
+    EXPECT_DOUBLE_EQ(spec->freq.memMhz, 810);
+    EXPECT_FALSE(spec->timingCache);
+    EXPECT_TRUE(spec->faultsGiven);
+    EXPECT_DOUBLE_EQ(spec->faultConfig.transferFailRate, 0.2);
+    EXPECT_EQ(spec->faultConfig.seed, 42u);
+    EXPECT_EQ(spec->faultConfig.retryMax, 7u);
+    EXPECT_DOUBLE_EQ(spec->deadlineMs, 250.0);
+    EXPECT_EQ(spec->priority, -3);
+}
+
+TEST(JobSpecParse, MalformedLinesCarryTheLineNumber)
+{
+    const char *bad[] = {
+        "not json",
+        R"({"app": "readmem",})",
+        R"({"app": 7})",
+        R"({"unknown_key": 1})",
+        R"({"scale": -1})",
+        R"({"scale": 0})",
+        R"({"freq": "925"})",
+        R"({"faults": "meteor:0.5"})",
+        R"({"retry_max": 65})",
+        R"({"fault_seed": -1})",
+        R"({"deadline_ms": -5})",
+        R"({"app": "readmem"} trailing)",
+        R"({"nested": {"x": 1}})",
+        R"({"app": "a", "app": "b"})",
+    };
+    for (const char *line : bad) {
+        std::string err;
+        auto spec = parseJobLine(line, 7, err);
+        EXPECT_FALSE(spec.has_value()) << line;
+        EXPECT_NE(err.find("line 7"), std::string::npos)
+            << line << " -> " << err;
+    }
+}
+
+TEST(JobSpecParse, StreamAssignsLineIdsAndRejectsDuplicates)
+{
+    std::istringstream ok(R"({"app": "readmem"}
+
+{"app": "minife", "model": "openmp", "device": "cpu"}
+)");
+    std::string err;
+    auto jobs = parseJobs(ok, err);
+    ASSERT_TRUE(jobs.has_value()) << err;
+    ASSERT_EQ(jobs->size(), 2u);
+    // Implicit ids are the 1-based line numbers (blank lines count).
+    EXPECT_EQ((*jobs)[0].id, 1u);
+    EXPECT_EQ((*jobs)[1].id, 3u);
+
+    std::istringstream dup(R"({"id": 4, "app": "readmem"}
+{"id": 4, "app": "minife"}
+)");
+    auto dup_jobs = parseJobs(dup, err);
+    EXPECT_FALSE(dup_jobs.has_value());
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+    EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+}
+
+// --- runJob ------------------------------------------------------------
+
+TEST(ServeRunJob, BadSpecsAreStructuredErrors)
+{
+    EXPECT_EQ(runJob(tinyJob(1, "doom")).status, JobStatus::Error);
+
+    JobSpec faulty = tinyJob(2);
+    faulty.faultConfig.transferFailRate = 0.5;
+    faulty.faultsGiven = true;
+    // Fault injection rides the co-execution path only.
+    auto res = runJob(faulty);
+    EXPECT_EQ(res.status, JobStatus::Error);
+    EXPECT_NE(res.error.find("co-execution"), std::string::npos);
+
+    JobSpec badModel = tinyJob(3);
+    badModel.model = "cuda";
+    EXPECT_EQ(runJob(badModel).status, JobStatus::Error);
+}
+
+TEST(ServeRunJob, FaultScheduleMatchesStandaloneBitwise)
+{
+    JobSpec spec;
+    spec.id = 1;
+    spec.app = "xsbench";
+    spec.devices = "cpu+dgpu";
+    spec.scale = 0.05;
+    spec.faultConfig.transferFailRate = 0.3;
+    spec.faultConfig.seed = 42;
+    spec.faultsGiven = true;
+
+    // Standalone run on this thread = the `hetsim coexec` path.
+    JobResult standalone = runJob(spec);
+    ASSERT_EQ(standalone.status, JobStatus::Ok);
+    EXPECT_GT(standalone.faultsInjected, 0u);
+
+    // Served run: same spec through a multi-worker server.
+    ServerConfig cfg;
+    cfg.workers = 4;
+    std::string error;
+    auto outcome = runBatch({spec}, cfg, error);
+    ASSERT_TRUE(outcome.has_value()) << error;
+    ASSERT_EQ(outcome->results.size(), 1u);
+    const JobResult &served = outcome->results[0];
+    ASSERT_EQ(served.status, JobStatus::Ok);
+    EXPECT_EQ(served.faultScheduleHash, standalone.faultScheduleHash);
+    EXPECT_EQ(served.faultsInjected, standalone.faultsInjected);
+    // Bit-equal simulated outcome, not merely close.
+    EXPECT_EQ(served.simSeconds, standalone.simSeconds);
+    EXPECT_EQ(served.checksum, standalone.checksum);
+}
+
+// --- Admission control -------------------------------------------------
+
+TEST(ServeAdmission, QueueFullRejectsTheIncomingJob)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCap = 2;
+    cfg.admission = Admission::Reject;
+    std::vector<JobSpec> jobs;
+    for (u64 id = 1; id <= 5; ++id)
+        jobs.push_back(tinyJob(id));
+
+    std::string error;
+    auto outcome = runBatch(jobs, cfg, error);
+    ASSERT_TRUE(outcome.has_value()) << error;
+    ASSERT_EQ(outcome->results.size(), 5u);
+    // The prefill is paused, so exactly the first two jobs fit and
+    // jobs 3..5 are rejected, deterministically.
+    EXPECT_EQ(outcome->results[0].status, JobStatus::Ok);
+    EXPECT_EQ(outcome->results[1].status, JobStatus::Ok);
+    for (size_t i = 2; i < 5; ++i) {
+        EXPECT_EQ(outcome->results[i].status, JobStatus::Rejected)
+            << "job " << i + 1;
+        EXPECT_NE(outcome->results[i].error.find("queue full"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(outcome->report.rejected, 3u);
+    EXPECT_EQ(outcome->report.completed, 2u);
+}
+
+TEST(ServeAdmission, ShedEvictsLowestPriorityNewestFirst)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCap = 2;
+    cfg.admission = Admission::Shed;
+    JobSpec a = tinyJob(1);
+    JobSpec b = tinyJob(2);
+    JobSpec c = tinyJob(3);
+    c.priority = 5;
+    JobSpec d = tinyJob(4);
+
+    std::string error;
+    auto outcome = runBatch({a, b, c, d}, cfg, error);
+    ASSERT_TRUE(outcome.has_value()) << error;
+    ASSERT_EQ(outcome->results.size(), 4u);
+    // c (priority 5) arrives at a full queue {a, b}: the victim is
+    // the lowest-priority newest job, b.  d (priority 0) then arrives
+    // at {a, c}; it is not strictly higher-priority than the victim
+    // candidate a, so d itself is shed.
+    EXPECT_EQ(outcome->results[0].status, JobStatus::Ok);
+    EXPECT_EQ(outcome->results[1].status, JobStatus::Shed);
+    EXPECT_EQ(outcome->results[2].status, JobStatus::Ok);
+    EXPECT_EQ(outcome->results[3].status, JobStatus::Shed);
+    EXPECT_EQ(outcome->report.shed, 2u);
+}
+
+TEST(ServeAdmission, HigherPriorityDequeuesFirst)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    JobSpec low = tinyJob(1);
+    low.priority = 1;
+    JobSpec high = tinyJob(2);
+    high.priority = 5;
+    JobSpec mid = tinyJob(3);
+    mid.priority = 3;
+
+    std::string error;
+    auto outcome = runBatch({low, high, mid}, cfg, error);
+    ASSERT_TRUE(outcome.has_value()) << error;
+    ASSERT_EQ(outcome->results.size(), 3u);
+    // results are id-ordered; serviceSeq records dequeue order.
+    EXPECT_EQ(outcome->results[1].serviceSeq, 0u); // priority 5
+    EXPECT_EQ(outcome->results[2].serviceSeq, 1u); // priority 3
+    EXPECT_EQ(outcome->results[0].serviceSeq, 2u); // priority 1
+}
+
+TEST(ServeAdmission, BlockAdmissionRefusesAPrefilledBatch)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCap = 2;
+    cfg.admission = Admission::Block;
+    std::vector<JobSpec> jobs{tinyJob(1), tinyJob(2), tinyJob(3)};
+    std::string error;
+    EXPECT_FALSE(runBatch(jobs, cfg, error).has_value());
+    EXPECT_NE(error.find("deadlock"), std::string::npos) << error;
+}
+
+// --- Config validation -------------------------------------------------
+
+TEST(ServeConfig, ZeroWorkersIsAStructuredError)
+{
+    ServerConfig cfg;
+    cfg.workers = 0;
+    auto err = Server::validateConfig(cfg);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("worker"), std::string::npos);
+
+    std::string error;
+    EXPECT_FALSE(runBatch({tinyJob(1)}, cfg, error).has_value());
+    EXPECT_FALSE(error.empty());
+
+    Server server(cfg);
+    EXPECT_TRUE(server.start().has_value());
+}
+
+// --- Deadlines ---------------------------------------------------------
+
+TEST(ServeDeadline, ExpiresJobsStillQueuedPastTheirDeadline)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    Server server(cfg);
+    server.pause();
+    ASSERT_FALSE(server.start().has_value());
+
+    JobSpec doomed = tinyJob(1);
+    doomed.deadlineMs = 5.0;
+    JobSpec fine = tinyJob(2);
+    server.submit(doomed);
+    server.submit(fine);
+    // The server is paused: both jobs sit in the queue while the
+    // first one's deadline lapses.  Neither has started running.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.resume();
+    server.drain();
+    auto results = server.takeResults();
+    server.shutdown();
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, JobStatus::Expired);
+    EXPECT_NE(results[0].error.find("deadline"), std::string::npos);
+    EXPECT_LT(results[0].worker, 0); // never ran
+    EXPECT_EQ(results[1].status, JobStatus::Ok);
+}
+
+// --- Determinism across worker counts ----------------------------------
+
+TEST(ServeDeterminism, ResultsJsonlIsByteIdenticalAcrossWorkerCounts)
+{
+    std::vector<JobSpec> jobs;
+    jobs.push_back(tinyJob(1));
+    JobSpec coex;
+    coex.id = 2;
+    coex.app = "xsbench";
+    coex.devices = "cpu+dgpu";
+    coex.scale = 0.05;
+    coex.faultConfig.transferFailRate = 0.25;
+    coex.faultConfig.seed = 7;
+    coex.faultsGiven = true;
+    jobs.push_back(coex);
+    // The same job twice with the same seed: both copies must
+    // serialize identically (ISSUE acceptance).
+    JobSpec again = coex;
+    again.id = 3;
+    jobs.push_back(again);
+    JobSpec fn = tinyJob(4, "minife");
+    fn.model = "openmp";
+    fn.device = "cpu";
+    fn.functional = true;
+    jobs.push_back(fn);
+
+    auto serialize = [&](u32 workers) {
+        ServerConfig cfg;
+        cfg.workers = workers;
+        std::string error;
+        auto outcome = runBatch(jobs, cfg, error);
+        EXPECT_TRUE(outcome.has_value()) << error;
+        std::ostringstream os;
+        writeResultsJsonl(os, outcome->results);
+        return os.str();
+    };
+
+    const std::string one = serialize(1);
+    const std::string four = serialize(4);
+    EXPECT_EQ(one, four);
+    // Ascending id order, every job terminal.
+    EXPECT_LT(one.find("\"id\":1,"), one.find("\"id\":2,"));
+    EXPECT_LT(one.find("\"id\":2,"), one.find("\"id\":3,"));
+    // The two equal-seed copies produced identical payloads.
+    std::istringstream lines(four);
+    std::string l1, l2, l3;
+    std::getline(lines, l1);
+    std::getline(lines, l2);
+    std::getline(lines, l3);
+    EXPECT_EQ(l2.substr(l2.find("\"status\"")),
+              l3.substr(l3.find("\"status\"")));
+}
+
+// --- Virtual-cluster accounting ----------------------------------------
+
+TEST(ServeVirtualSchedule, ThroughputScalesWithVirtualWorkers)
+{
+    std::vector<JobSpec> jobs;
+    for (u64 id = 1; id <= 8; ++id)
+        jobs.push_back(tinyJob(id));
+
+    auto makespan = [&](u32 workers) {
+        ServerConfig cfg;
+        cfg.workers = workers;
+        std::string error;
+        auto outcome = runBatch(jobs, cfg, error);
+        EXPECT_TRUE(outcome.has_value()) << error;
+        EXPECT_EQ(outcome->report.completed, 8u);
+        EXPECT_GT(outcome->report.virtualMakespanSeconds, 0.0);
+        return outcome->report.virtualMakespanSeconds;
+    };
+
+    const double m1 = makespan(1);
+    const double m8 = makespan(8);
+    // Eight identical jobs on eight virtual workers: makespan drops
+    // by the worker count exactly, deterministically on any host.
+    EXPECT_GE(m1 / m8, 3.0);
+}
+
+TEST(ServeVirtualSchedule, ListSchedulesInServiceOrder)
+{
+    std::vector<JobResult> results(3);
+    for (size_t i = 0; i < results.size(); ++i) {
+        results[i].id = i + 1;
+        results[i].worker = 0;
+        results[i].serviceSeq = i;
+        results[i].simSeconds = 1.0;
+    }
+    const double makespan2 = applyVirtualSchedule(results, 2);
+    EXPECT_DOUBLE_EQ(makespan2, 2.0);
+    EXPECT_DOUBLE_EQ(results[0].simQueueWaitSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(results[1].simQueueWaitSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(results[2].simQueueWaitSeconds, 1.0);
+    EXPECT_DOUBLE_EQ(results[2].simFinishSeconds, 2.0);
+}
+
+TEST(ServeReport, LatencyPercentilesAreNearestRank)
+{
+    std::vector<double> values;
+    for (int v = 100; v >= 1; --v)
+        values.push_back(static_cast<double>(v));
+    LatencySummary s = summarizeLatencies(values);
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.p50, 50.0);
+    EXPECT_DOUBLE_EQ(s.p95, 95.0);
+    EXPECT_DOUBLE_EQ(s.p99, 99.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    EXPECT_DOUBLE_EQ(s.mean, 50.5);
+
+    EXPECT_EQ(summarizeLatencies({}).count, 0u);
+}
+
+// --- Observability -----------------------------------------------------
+
+TEST(ServeObservability, WorkersEmitPerSessionTraceTracks)
+{
+    obs::Tracer &tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+
+    std::vector<JobSpec> jobs;
+    for (u64 id = 1; id <= 4; ++id)
+        jobs.push_back(tinyJob(id));
+    ServerConfig cfg;
+    cfg.workers = 2;
+    std::string error;
+    auto outcome = runBatch(jobs, cfg, error);
+    tracer.setEnabled(false);
+    ASSERT_TRUE(outcome.has_value()) << error;
+
+    bool serveTrack = false;
+    bool labelledDevice = false;
+    for (const std::string &name : tracer.trackNames()) {
+        if (name.rfind("serve/w", 0) == 0)
+            serveTrack = true;
+        // RuntimeContext resources constructed on a worker session
+        // carry the session prefix, e.g. "w0/AMD Radeon .../compute".
+        if (name.rfind("w0/", 0) == 0 || name.rfind("w1/", 0) == 0)
+            labelledDevice = true;
+    }
+    tracer.clear();
+    EXPECT_TRUE(serveTrack);
+    EXPECT_TRUE(labelledDevice);
+}
+
+} // namespace
+} // namespace hetsim::serve

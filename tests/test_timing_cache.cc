@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "kernelir/codegen.hh"
 #include "kernelir/signature.hh"
 #include "sim/device.hh"
@@ -159,6 +163,114 @@ TEST(TimingCache, MemoizedTimingHitSkipsResolver)
     EXPECT_EQ(first.profile.dramBytesPerItem,
               second.profile.dramBytesPerItem);
     EXPECT_GT(first.timing.seconds, 0.0);
+}
+
+// Cross-session sharing stress (serve-layer contract): many worker
+// threads hammer one cache with a mix of contended shared keys and
+// per-thread private keys.  First insert wins, so every hit must
+// return the value derived from its key - a lost-update or torn entry
+// shows up as a mismatched read.
+TEST(TimingCache, ConcurrentSharedAndPrivateKeysAreConsistent)
+{
+    sim::TimingCache cache;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 400;
+    constexpr u64 kSharedKernels = 4;
+
+    auto entryFor = [](const sim::TimingKey &key) {
+        sim::TimingEntry entry;
+        entry.timing.seconds =
+            static_cast<double>(key.kernelSig * 1000 + key.items);
+        return entry;
+    };
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                // Shared keys contend across every thread; private
+                // keys (kernelSig offset by thread id) never collide.
+                const bool shared = (i % 2) == 0;
+                const u64 kernel =
+                    shared ? (i % kSharedKernels)
+                           : 100 + static_cast<u64>(t) * kIters + i;
+                sim::TimingKey key = keyOf(kernel, (i % 8) + 1);
+                auto hit = cache.lookup(key);
+                if (hit) {
+                    if (hit->timing.seconds !=
+                        entryFor(key).timing.seconds)
+                        mismatches.fetch_add(1);
+                } else {
+                    cache.insert(key, entryFor(key));
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    // Every lookup either hit or missed; nothing was dropped.
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              static_cast<u64>(kThreads) * kIters);
+    // The shared working set is small; the bulk of entries are the
+    // per-thread private keys (each inserted at most once).
+    EXPECT_GE(cache.size(), kSharedKernels * 8);
+    EXPECT_GT(cache.hits(), 0u);
+}
+
+// The serve layer's per-job `--no-timing-cache` relies on the bypass
+// being thread-local: one worker opting out must not blind the other
+// workers sharing the process-wide cache.
+TEST(TimingCache, ScopedBypassIsPerThread)
+{
+    sim::TimingCache cache;
+    cache.insert(keyOf(11, 5), sim::TimingEntry{});
+    const u64 hits0 = cache.hits();
+    const u64 misses0 = cache.misses();
+
+    sim::TimingCache::ScopedBypass bypass(true);
+    EXPECT_FALSE(cache.enabled());
+    // Bypassed lookups miss silently: no counter movement, and
+    // inserts are dropped.
+    EXPECT_FALSE(cache.lookup(keyOf(11, 5)).has_value());
+    cache.insert(keyOf(12, 5), sim::TimingEntry{});
+    EXPECT_EQ(cache.hits(), hits0);
+    EXPECT_EQ(cache.misses(), misses0);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // A concurrent thread without a bypass still sees a live cache.
+    bool otherEnabled = false;
+    bool otherHit = false;
+    std::thread other([&] {
+        otherEnabled = cache.enabled();
+        otherHit = cache.lookup(keyOf(11, 5)).has_value();
+    });
+    other.join();
+    EXPECT_TRUE(otherEnabled);
+    EXPECT_TRUE(otherHit);
+    EXPECT_EQ(cache.hits(), hits0 + 1);
+}
+
+TEST(TimingCache, ScopedBypassNestsAndDisengages)
+{
+    sim::TimingCache cache;
+    EXPECT_TRUE(cache.enabled());
+    {
+        sim::TimingCache::ScopedBypass outer(true);
+        EXPECT_FALSE(cache.enabled());
+        {
+            // An unengaged frame must not cancel the outer bypass.
+            sim::TimingCache::ScopedBypass noop(false);
+            EXPECT_FALSE(cache.enabled());
+            sim::TimingCache::ScopedBypass inner(true);
+            EXPECT_FALSE(cache.enabled());
+        }
+        EXPECT_FALSE(cache.enabled());
+    }
+    EXPECT_TRUE(cache.enabled());
+    EXPECT_FALSE(sim::timingCacheThreadBypassed());
 }
 
 } // namespace
