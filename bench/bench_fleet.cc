@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Fleet simulator scaling benchmark: one synthetic capacity campaign
+ * replayed at 64 / 256 / 1000 nodes, the largest at one million jobs.
+ *
+ * Each configuration reports two throughput figures:
+ *
+ *  - sim jobs/s:  campaign jobs per *simulated* second - the
+ *    capacity-planning headline, deterministic and machine-independent;
+ *  - host jobs/s: campaign jobs per host wall second - how fast the
+ *    two-phase simulator itself chews through placements and per-node
+ *    timelines.
+ *
+ * The determinism contract is re-checked end to end: every sharded run
+ * must produce the same digest as a serial-timeline replay, and the
+ * smallest configuration is additionally re-run on explicit 1-, 2-,
+ * and 7-worker pools.  The headline gate is host throughput at the
+ * million-job configuration >= 100k jobs/s; both checks fail the run
+ * loudly (non-zero exit).
+ *
+ * Options (on top of the common --scale/--quick):
+ *   --out <path>   JSON output path (default BENCH_fleet.json).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "cpu/threadpool.hh"
+#include "fleet/fleet.hh"
+#include "fleet/topology.hh"
+
+#include "benchsupport.hh"
+
+namespace
+{
+
+using namespace hetsim;
+
+/** Outcome of one fleet-size configuration. */
+struct ConfigResult
+{
+    u32 nodes = 0;
+    u64 jobs = 0;
+    double wallSeconds = 0.0;
+    double hostJobsPerSec = 0.0;
+    fleet::FleetResult result;
+    bool deterministic = false; ///< sharded digest == serial digest
+};
+
+/** The paper's device mix at @p nodes: half discrete GPUs, a quarter
+ *  APUs, the rest CPU-only nodes (the CLI's built-in topology). */
+fleet::Topology
+paperTopology(u32 nodes)
+{
+    const u32 dgpu = (nodes + 1) / 2;
+    const u32 apu = (nodes - dgpu + 1) / 2;
+    const u32 cpu = nodes - dgpu - apu;
+    fleet::Topology topo;
+    topo.nodes.reserve(nodes);
+    auto group = [&](const char *device, u32 count) {
+        for (u32 i = 0; i < count; ++i) {
+            fleet::NodeSpec node;
+            node.name = std::string(device) + "/" + std::to_string(i);
+            node.device = device;
+            topo.nodes.push_back(std::move(node));
+        }
+    };
+    group("dgpu", dgpu);
+    group("apu", apu);
+    group("cpu", cpu);
+    return topo;
+}
+
+/** The campaign's synthetic class mix: the CLI fleet verb's workload
+ *  shapes with fixed service times, so the benchmark measures the
+ *  fleet simulator alone (no device-simulator probe in the loop). */
+std::vector<fleet::JobClass>
+mixedClasses()
+{
+    auto cls = [](const char *name, double dgpu, double apu,
+                  double cpu, u64 inputMiB, double weight) {
+        fleet::JobClass c;
+        c.name = name;
+        c.secondsByDevice = {{"dgpu", dgpu}, {"apu", apu},
+                             {"cpu", cpu}};
+        c.inputBytes = inputMiB << 20;
+        c.weight = weight;
+        return c;
+    };
+    std::vector<fleet::JobClass> classes;
+    classes.push_back(cls("readmem", 0.004, 0.006, 0.010, 256, 4.0));
+    classes.push_back(cls("xsbench", 0.020, 0.035, 0.060, 64, 2.0));
+    classes.push_back(cls("minife", 0.012, 0.018, 0.030, 128, 2.0));
+    fleet::JobClass gang =
+        cls("lulesh-gang", 0.050, 0.080, 0.130, 16, 0.5);
+    gang.gangNodes = 4;
+    gang.haloIters = 16;
+    gang.haloBytesPerNeighbor = 8ull << 20;
+    gang.reduceBytes = 1ull << 20;
+    classes.push_back(gang);
+    return classes;
+}
+
+fleet::FleetConfig
+campaign(u64 jobs, u32 nodes)
+{
+    fleet::FleetConfig cfg;
+    cfg.jobs = jobs;
+    cfg.seed = 0x5eedULL;
+    cfg.policy = fleet::Policy::LeastLoaded;
+    cfg.arrivalRate = 40.0 * static_cast<double>(nodes);
+    cfg.sloSeconds = 0.25;
+    cfg.nodeFailRate = 0.02;
+    cfg.faults.transferFailRate = 0.01;
+    cfg.faults.launchFailRate = 0.005;
+    cfg.faults.stallRate = 0.002;
+    cfg.classes = mixedClasses();
+    return cfg;
+}
+
+fleet::FleetResult
+runOnce(const fleet::Topology &topo, const fleet::FleetConfig &cfg,
+        cpu::ThreadPool *pool = nullptr)
+{
+    std::string error;
+    auto res = fleet::simulateFleet(topo, cfg, error, pool);
+    if (!res) {
+        std::cerr << "simulateFleet failed: " << error << "\n";
+        std::exit(1);
+    }
+    return *res;
+}
+
+ConfigResult
+runConfig(u32 nodes, u64 jobs)
+{
+    const fleet::Topology topo = paperTopology(nodes);
+    fleet::FleetConfig cfg = campaign(jobs, nodes);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    fleet::FleetResult sharded = runOnce(topo, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    cfg.serialTimeline = true;
+    const fleet::FleetResult serial = runOnce(topo, cfg);
+
+    ConfigResult r;
+    r.nodes = nodes;
+    r.jobs = jobs;
+    r.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    r.hostJobsPerSec =
+        r.wallSeconds > 0.0
+            ? static_cast<double>(jobs) / r.wallSeconds
+            : 0.0;
+    r.result = std::move(sharded);
+    r.deterministic = r.result.digest == serial.digest;
+    return r;
+}
+
+void
+appendJsonConfig(std::ostream &os, const ConfigResult &r, bool last)
+{
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "0x%016llx",
+                  static_cast<unsigned long long>(r.result.digest));
+    os << "    {\n"
+       << "      \"nodes\": " << r.nodes << ",\n"
+       << "      \"jobs\": " << r.jobs << ",\n"
+       << "      \"makespan_s\": " << r.result.makespanSeconds
+       << ",\n"
+       << "      \"sim_jobs_per_s\": "
+       << r.result.throughputJobsPerSec << ",\n"
+       << "      \"utilization\": " << r.result.utilization << ",\n"
+       << "      \"latency_ms_p99\": " << r.result.latencyMs.p99
+       << ",\n"
+       << "      \"slo_violations\": " << r.result.sloViolations
+       << ",\n"
+       << "      \"node_deaths\": " << r.result.nodeDeaths << ",\n"
+       << "      \"faults_injected\": " << r.result.faultsInjected
+       << ",\n"
+       << "      \"wall_s\": " << r.wallSeconds << ",\n"
+       << "      \"host_jobs_per_s\": " << r.hostJobsPerSec << ",\n"
+       << "      \"digest\": \"" << digest << "\",\n"
+       << "      \"deterministic\": "
+       << (r.deterministic ? "true" : "false") << "\n"
+       << "    }" << (last ? "\n" : ",\n");
+}
+
+void
+writeJson(const std::string &path, double scale, bool workersIdentical,
+          const std::vector<ConfigResult> &results)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        std::exit(1);
+    }
+    os << "{\n"
+       << "  \"bench\": \"fleet\",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"gate_host_jobs_per_s\": 100000,\n"
+       << "  \"worker_pools_checked\": [1, 2, 7],\n"
+       << "  \"worker_pools_identical\": "
+       << (workersIdentical ? "true" : "false") << ",\n"
+       << "  \"configs\": [\n";
+    for (size_t i = 0; i < results.size(); ++i)
+        appendJsonConfig(os, results[i], i + 1 == results.size());
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hetsim;
+    setInformEnabled(false);
+    bench::Options opts = bench::parseOptions(argc, argv, 1.0);
+
+    std::string out_path = "BENCH_fleet.json";
+    for (int i = 1; i < opts.argc; ++i) {
+        if (std::strcmp(opts.argv[i], "--out") == 0 &&
+            i + 1 < opts.argc) {
+            out_path = opts.argv[++i];
+        } else {
+            std::cerr << "unknown option " << opts.argv[i] << "\n";
+            return 1;
+        }
+    }
+
+    // 1000 jobs per node, scaled by --scale/--quick; the largest
+    // configuration is the issue's 1000-node / 1M-job target.
+    auto jobsFor = [&](u32 nodes) {
+        const double jobs = 1000.0 * nodes * opts.scale;
+        return std::max<u64>(1000, static_cast<u64>(jobs));
+    };
+
+    std::vector<ConfigResult> results;
+    for (u32 nodes : {64u, 256u, 1000u})
+        results.push_back(runConfig(nodes, jobsFor(nodes)));
+
+    // Worker-count determinism on explicit pools (the global pool is
+    // hardware-sized): 1, 2, and 7 workers must reproduce the
+    // smallest configuration's digest bit for bit.
+    const fleet::Topology topo = paperTopology(64);
+    const fleet::FleetConfig cfg = campaign(jobsFor(64), 64);
+    bool workersIdentical = true;
+    for (unsigned workers : {1u, 2u, 7u}) {
+        cpu::ThreadPool pool(workers);
+        const fleet::FleetResult res = runOnce(topo, cfg, &pool);
+        workersIdentical = workersIdentical &&
+                           res.digest == results[0].result.digest;
+    }
+
+    std::cout << "Fleet simulator: " << cfg.classes.size()
+              << "-class faulted campaign, 1000 jobs/node, "
+              << "least-loaded placement\n"
+              << std::string(79, '=') << "\n";
+    Table table("scale " + Table::num(opts.scale, 2));
+    table.setHeader({"nodes", "jobs", "makespan (s)", "sim jobs/s",
+                     "util", "p99 (ms)", "deaths", "faults",
+                     "wall (s)", "host jobs/s", "deterministic"});
+    for (const auto &r : results) {
+        table.addRow({std::to_string(r.nodes),
+                      std::to_string(r.jobs),
+                      Table::num(r.result.makespanSeconds, 2),
+                      Table::num(r.result.throughputJobsPerSec, 0),
+                      Table::num(r.result.utilization, 3),
+                      Table::num(r.result.latencyMs.p99, 1),
+                      std::to_string(r.result.nodeDeaths),
+                      std::to_string(r.result.faultsInjected),
+                      Table::num(r.wallSeconds, 3),
+                      Table::num(r.hostJobsPerSec, 0),
+                      r.deterministic ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    if (opts.csv)
+        table.printCsv(std::cout);
+    std::cout << "\nworker pools 1/2/7 digest-identical: "
+              << (workersIdentical ? "yes" : "NO") << "\n";
+
+    writeJson(out_path, opts.scale, workersIdentical, results);
+    std::cout << "wrote " << out_path << "\n";
+
+    int failures = 0;
+    for (const auto &r : results) {
+        if (!r.deterministic) {
+            std::cerr << "FAIL: sharded digest differs from serial "
+                         "replay at "
+                      << r.nodes << " nodes\n";
+            ++failures;
+        }
+    }
+    if (!workersIdentical) {
+        std::cerr << "FAIL: digest varies across 1/2/7-worker pools\n";
+        ++failures;
+    }
+    // The host-throughput gate: the two-phase simulator must chew
+    // through the million-job configuration at >= 100k jobs/s.
+    if (results.back().hostJobsPerSec < 100000.0) {
+        std::cerr << "FAIL: host throughput "
+                  << results.back().hostJobsPerSec
+                  << " jobs/s at " << results.back().nodes
+                  << " nodes (need >= 100k)\n";
+        ++failures;
+    }
+    return failures ? 1 : 0;
+}

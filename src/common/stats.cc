@@ -1,9 +1,37 @@
 #include "stats.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 namespace hetsim
 {
+
+Percentiles
+percentiles(std::vector<double> values)
+{
+    Percentiles summary;
+    if (values.empty())
+        return summary;
+    std::sort(values.begin(), values.end());
+    summary.count = values.size();
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    summary.mean = sum / static_cast<double>(values.size());
+    auto rank = [&](double pct) {
+        // Nearest-rank: ceil(p/100 * N), 1-based.
+        size_t r = static_cast<size_t>(std::ceil(
+            pct / 100.0 * static_cast<double>(values.size())));
+        r = std::clamp<size_t>(r, 1, values.size());
+        return values[r - 1];
+    };
+    summary.p50 = rank(50.0);
+    summary.p95 = rank(95.0);
+    summary.p99 = rank(99.0);
+    summary.max = values.back();
+    return summary;
+}
 
 void
 Stats::dump(std::ostream &os) const

@@ -11,9 +11,27 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
+
+#include "common/types.hh"
 
 namespace hetsim
 {
+
+/** Nearest-rank percentile summary of one sample population. */
+struct Percentiles
+{
+    u64 count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** @return nearest-rank percentiles over @p values (order
+ *  irrelevant; the vector is consumed). */
+Percentiles percentiles(std::vector<double> values);
 
 /** An ordered collection of named scalar statistics. */
 class Stats

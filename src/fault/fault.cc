@@ -99,6 +99,16 @@ backoffSeconds(u32 attempt, double base)
     return base * static_cast<double>(1ULL << shift);
 }
 
+u64
+shardSeed(u64 seed, u64 shard)
+{
+    // One splitmix-style Rng warm-up decorrelates neighbouring shard
+    // indices; the golden-ratio stride keeps (seed, shard) injective
+    // over any realistic shard count.
+    Rng rng(seed + 0x9e3779b97f4a7c15ULL * (shard + 1));
+    return rng.next();
+}
+
 bool
 matchesDevice(const sim::DeviceSpec &spec, const std::string &alias)
 {

@@ -104,6 +104,13 @@ std::optional<FaultConfig> parseFaultSpec(const std::string &spec);
 double backoffSeconds(u32 attempt, double base);
 
 /**
+ * @return a decorrelated seed for shard @p shard of a campaign seeded
+ * @p seed, so per-shard (per-node, per-stream) Rng streams are
+ * independent yet fully determined by (seed, shard).
+ */
+u64 shardSeed(u64 seed, u64 shard);
+
+/**
  * @return whether CLI alias @p alias names @p spec.  Matches the
  * device's spec name (case-insensitive) or the aliases cpu, gpu (any
  * GPU type), dgpu, apu, igpu.

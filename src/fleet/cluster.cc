@@ -1,0 +1,32 @@
+#include "cluster.hh"
+
+namespace hetsim::fleet
+{
+
+const char *
+toString(Policy policy)
+{
+    switch (policy) {
+      case Policy::FirstFit:
+        return "first-fit";
+      case Policy::LeastLoaded:
+        return "least-loaded";
+      case Policy::Locality:
+        return "locality";
+    }
+    return "?";
+}
+
+std::optional<Policy>
+policyByName(const std::string &name)
+{
+    if (name == "first-fit")
+        return Policy::FirstFit;
+    if (name == "least-loaded")
+        return Policy::LeastLoaded;
+    if (name == "locality")
+        return Policy::Locality;
+    return std::nullopt;
+}
+
+} // namespace hetsim::fleet

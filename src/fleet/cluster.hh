@@ -1,0 +1,279 @@
+/**
+ * @file
+ * hetsim::fleet - the cluster scheduler.
+ *
+ * A Cluster tracks one availability horizon per node and places jobs
+ * under one of three policies behind a single interface:
+ *
+ *  - least-loaded: the node with the earliest availability (lowest
+ *    index on ties) - exactly the list schedule the serving layer's
+ *    virtual cluster has always used, now shared;
+ *  - first-fit:    the lowest-index node already idle at the job's
+ *    arrival, falling back to least-loaded when every node is busy;
+ *  - locality:     each job names a *home* node holding its input
+ *    data; the scheduler compares finishing at home (no transfer)
+ *    against the least-loaded node (paying the fabric transfer) and
+ *    takes the earlier finish, preferring home on ties.
+ *
+ * Placement is O(log nodes) per job - a lazy min-heap of
+ * (availability, index) entries with stale-entry discard - so a
+ * million jobs over a thousand nodes schedule in well under a second.
+ * Every decision is a pure function of the placement sequence:
+ * ties break on the lowest node index, doubles compare exactly, and
+ * no host state leaks in, so a schedule is bit-reproducible anywhere.
+ *
+ * Gang placement (multi-node jobs) picks the k least-loaded alive
+ * nodes, synchronizes them at the latest member availability, and
+ * commits the same [start, start+cost] interval to each - the caller
+ * prices the collective (halo/all-reduce) portion of the cost via
+ * sim/network.hh.
+ */
+
+#ifndef HETSIM_FLEET_CLUSTER_HH
+#define HETSIM_FLEET_CLUSTER_HH
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hetsim::fleet
+{
+
+/** Placement policy of a cluster scheduler. */
+enum class Policy : u8
+{
+    FirstFit,    ///< lowest-index idle node, else least-loaded
+    LeastLoaded, ///< earliest-available node (lowest index on ties)
+    Locality,    ///< home node vs least-loaded, earlier finish wins
+};
+
+/** @return CLI identifier, e.g. "least-loaded". */
+const char *toString(Policy policy);
+
+/** @return the policy for a CLI alias, if valid. */
+std::optional<Policy> policyByName(const std::string &name);
+
+/** Outcome of one placement. */
+struct Placement
+{
+    u32 node = 0;
+    double start = 0.0;
+    /** Whether the job landed away from its home node (pays the
+     *  fabric transfer). */
+    bool offHome = false;
+};
+
+/** Availability tracker + placement policies (see file comment). */
+class Cluster
+{
+  public:
+    /** Sentinel: the job has no home node (no locality preference). */
+    static constexpr u32 kNoHome = 0xffffffffu;
+
+    Cluster(u32 nodes, Policy policy)
+        : pol(policy), availv(nodes, 0.0), deadv(nodes, false),
+          aliveN(nodes)
+    {
+        for (u32 n = 0; n < nodes; ++n)
+            heap.push(Entry{0.0, n});
+    }
+
+    u32 size() const { return static_cast<u32>(availv.size()); }
+    u32 aliveCount() const { return aliveN; }
+    bool alive(u32 node) const { return !deadv[node]; }
+    double avail(u32 node) const { return availv[node]; }
+
+    /** @return the latest availability over all nodes (the schedule
+     *  estimate's makespan). */
+    double
+    makespan() const
+    {
+        double latest = 0.0;
+        for (double a : availv)
+            latest = std::max(latest, a);
+        return latest;
+    }
+
+    /** Remove @p node from service; placed work is not revoked. */
+    void
+    markDead(u32 node)
+    {
+        if (deadv[node])
+            return;
+        deadv[node] = true;
+        --aliveN;
+        idle.erase(node);
+    }
+
+    /**
+     * Place one job arriving at @p arrival.  @p costOf maps a
+     * candidate node to its service seconds (device kind and perf
+     * differ per node); @p transferSeconds is added to the committed
+     * cost when the job lands away from @p home.  @return nullopt
+     * when every node is dead.
+     */
+    template <typename CostFn>
+    std::optional<Placement>
+    place(double arrival, const CostFn &costOf, u32 home = kNoHome,
+          double transferSeconds = 0.0)
+    {
+        if (aliveN == 0)
+            return std::nullopt;
+        u32 node = 0;
+        switch (pol) {
+          case Policy::FirstFit: {
+            promoteIdle(arrival);
+            auto it = idle.begin();
+            if (it != idle.end() && availv[*it] <= arrival)
+                node = *it;
+            else
+                node = peekMin();
+            break;
+          }
+          case Policy::LeastLoaded:
+            node = peekMin();
+            break;
+          case Policy::Locality: {
+            node = peekMin();
+            if (home != kNoHome && home < size() && !deadv[home]) {
+                const double homeFinish =
+                    std::max(availv[home], arrival) + costOf(home);
+                const double awayFinish =
+                    std::max(availv[node], arrival) + costOf(node) +
+                    transferSeconds;
+                if (homeFinish <= awayFinish)
+                    node = home;
+            }
+            break;
+          }
+        }
+        Placement placed;
+        placed.node = node;
+        placed.offHome = home != kNoHome && node != home;
+        double cost = costOf(node);
+        if (placed.offHome)
+            cost += transferSeconds;
+        placed.start = commit(node, arrival, cost);
+        return placed;
+    }
+
+    /**
+     * Place a @p k -node gang job: the k least-loaded alive nodes,
+     * synchronized at the latest member availability, each committed
+     * for max(costOf(member)) + @p extraCost seconds (the extra part
+     * prices the collectives).  Sets @p start and @p cost; @return the
+     * member nodes (sorted by index), or an empty vector when fewer
+     * than k nodes are alive.
+     */
+    template <typename CostFn>
+    std::vector<u32>
+    placeGang(double arrival, u32 k, const CostFn &costOf,
+              double extraCost, double &start, double &cost)
+    {
+        std::vector<u32> members;
+        if (k == 0 || k > aliveN)
+            return members;
+        members.reserve(k);
+        start = arrival;
+        // Idle nodes (first-fit bookkeeping) left the heap when they
+        // were promoted; they are the least-loaded by construction.
+        for (auto it = idle.begin();
+             it != idle.end() && members.size() < k; ++it) {
+            members.push_back(*it);
+            start = std::max(start, availv[*it]);
+        }
+        std::set<u32> picked(members.begin(), members.end());
+        while (members.size() < k && !heap.empty()) {
+            const Entry top = heap.top();
+            heap.pop();
+            if (deadv[top.node] || availv[top.node] != top.avail ||
+                idle.count(top.node) != 0 ||
+                picked.count(top.node) != 0)
+                continue;
+            picked.insert(top.node);
+            members.push_back(top.node);
+            start = std::max(start, top.avail);
+        }
+        std::sort(members.begin(), members.end());
+        cost = extraCost;
+        for (u32 node : members)
+            cost = std::max(cost, extraCost + costOf(node));
+        for (u32 node : members) {
+            availv[node] = start + cost;
+            heap.push(Entry{availv[node], node});
+            idle.erase(node);
+        }
+        return members;
+    }
+
+    /** Commit @p node from max(availability, @p arrival) for @p cost
+     *  seconds.  @return the start time. */
+    double
+    commit(u32 node, double arrival, double cost)
+    {
+        const double start = std::max(availv[node], arrival);
+        availv[node] = start + cost;
+        heap.push(Entry{availv[node], node});
+        idle.erase(node);
+        return start;
+    }
+
+  private:
+    /** Min-heap entry; stale once the node's availability moved. */
+    struct Entry
+    {
+        double avail;
+        u32 node;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            return avail > other.avail ||
+                   (avail == other.avail && node > other.node);
+        }
+    };
+
+    /** @return the alive node with the earliest availability (lowest
+     *  index on ties), discarding stale heap entries. */
+    u32
+    peekMin()
+    {
+        while (true) {
+            const Entry top = heap.top();
+            if (!deadv[top.node] && availv[top.node] == top.avail &&
+                idle.count(top.node) == 0)
+                return top.node;
+            heap.pop();
+        }
+    }
+
+    /** Move nodes whose availability passed @p arrival into the idle
+     *  set (first-fit candidates, ordered by index). */
+    void
+    promoteIdle(double arrival)
+    {
+        while (!heap.empty() && heap.top().avail <= arrival) {
+            const Entry top = heap.top();
+            heap.pop();
+            if (!deadv[top.node] && availv[top.node] == top.avail)
+                idle.insert(top.node);
+        }
+    }
+
+    Policy pol;
+    std::vector<double> availv;
+    std::vector<bool> deadv;
+    std::set<u32> idle; ///< first-fit candidates, by index
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap;
+    u32 aliveN;
+};
+
+} // namespace hetsim::fleet
+
+#endif // HETSIM_FLEET_CLUSTER_HH

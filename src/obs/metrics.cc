@@ -88,6 +88,24 @@ Metrics::observe(const std::string &name, double value)
     recordInto(it->second, value);
 }
 
+void
+Metrics::observeMany(const std::string &name,
+                     const std::vector<double> &values)
+{
+    if (!enabled() || values.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+        Histogram hist;
+        hist.bounds = defaultBounds();
+        hist.counts.assign(hist.bounds.size() + 1, 0);
+        it = histograms.emplace(name, std::move(hist)).first;
+    }
+    for (double value : values)
+        recordInto(it->second, value);
+}
+
 double
 Metrics::counterValue(const std::string &name) const
 {

@@ -79,6 +79,11 @@ class Metrics
     /** Record @p value into the histogram @p name. */
     void observe(const std::string &name, double value);
 
+    /** Record a whole sample batch into @p name under one lock (bulk
+     *  producers like the fleet simulator's per-job latencies). */
+    void observeMany(const std::string &name,
+                     const std::vector<double> &values);
+
     /** @return the counter's value, or 0 when never touched. */
     double counterValue(const std::string &name) const;
 

@@ -1,7 +1,6 @@
 #include "jobspec.hh"
 
 #include <cctype>
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +8,8 @@
 #include <map>
 #include <ostream>
 #include <set>
+
+#include "common/flatjson.hh"
 
 namespace hetsim::serve
 {
@@ -33,222 +34,6 @@ toString(JobStatus status)
 
 namespace
 {
-
-/** One scalar JSON value: a string, a number, or a boolean. */
-struct JsonValue
-{
-    enum class Kind
-    {
-        String,
-        Number,
-        Boolean,
-    };
-
-    Kind kind = Kind::String;
-    std::string text;   ///< string contents or raw number token
-    double number = 0.0;
-    bool boolean = false;
-};
-
-/**
- * Minimal strict parser for one flat JSON object ({"key": scalar,
- * ...}).  Nested objects/arrays and null are rejected: a JobSpec is a
- * flat record, and rejecting structure we would ignore keeps bad grid
- * files loud.
- */
-class FlatJsonParser
-{
-  public:
-    explicit FlatJsonParser(const std::string &text) : s(text) {}
-
-    std::optional<std::map<std::string, JsonValue>>
-    parse(std::string &error)
-    {
-        std::map<std::string, JsonValue> object;
-        skipSpace();
-        if (!eat('{')) {
-            error = "expected '{'";
-            return std::nullopt;
-        }
-        skipSpace();
-        if (eat('}'))
-            return finish(object, error);
-        while (true) {
-            skipSpace();
-            std::string key;
-            if (!parseString(key, error))
-                return std::nullopt;
-            skipSpace();
-            if (!eat(':')) {
-                error = "expected ':' after key \"" + key + "\"";
-                return std::nullopt;
-            }
-            skipSpace();
-            JsonValue value;
-            if (!parseValue(value, key, error))
-                return std::nullopt;
-            if (!object.emplace(key, std::move(value)).second) {
-                error = "duplicate key \"" + key + "\"";
-                return std::nullopt;
-            }
-            skipSpace();
-            if (eat(','))
-                continue;
-            if (eat('}'))
-                return finish(object, error);
-            error = "expected ',' or '}' after value of \"" + key + "\"";
-            return std::nullopt;
-        }
-    }
-
-  private:
-    std::optional<std::map<std::string, JsonValue>>
-    finish(std::map<std::string, JsonValue> &object, std::string &error)
-    {
-        skipSpace();
-        if (pos != s.size()) {
-            error = "trailing characters after object";
-            return std::nullopt;
-        }
-        return std::move(object);
-    }
-
-    void
-    skipSpace()
-    {
-        while (pos < s.size() &&
-               std::isspace(static_cast<unsigned char>(s[pos])))
-            ++pos;
-    }
-
-    bool
-    eat(char c)
-    {
-        if (pos < s.size() && s[pos] == c) {
-            ++pos;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    parseString(std::string &out, std::string &error)
-    {
-        if (!eat('"')) {
-            error = "expected '\"'";
-            return false;
-        }
-        out.clear();
-        while (pos < s.size()) {
-            char c = s[pos++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (pos >= s.size())
-                    break;
-                char esc = s[pos++];
-                switch (esc) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'b': out += '\b'; break;
-                  case 'f': out += '\f'; break;
-                  case 'n': out += '\n'; break;
-                  case 'r': out += '\r'; break;
-                  case 't': out += '\t'; break;
-                  default:
-                    error = std::string("unsupported escape '\\") +
-                            esc + "'";
-                    return false;
-                }
-            } else {
-                out += c;
-            }
-        }
-        error = "unterminated string";
-        return false;
-    }
-
-    bool
-    parseValue(JsonValue &value, const std::string &key,
-               std::string &error)
-    {
-        if (pos >= s.size()) {
-            error = "missing value for \"" + key + "\"";
-            return false;
-        }
-        char c = s[pos];
-        if (c == '"') {
-            value.kind = JsonValue::Kind::String;
-            return parseString(value.text, error);
-        }
-        if (s.compare(pos, 4, "true") == 0) {
-            value.kind = JsonValue::Kind::Boolean;
-            value.boolean = true;
-            pos += 4;
-            return true;
-        }
-        if (s.compare(pos, 5, "false") == 0) {
-            value.kind = JsonValue::Kind::Boolean;
-            value.boolean = false;
-            pos += 5;
-            return true;
-        }
-        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
-            size_t start = pos;
-            while (pos < s.size() &&
-                   (std::isdigit(static_cast<unsigned char>(s[pos])) ||
-                    s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
-                    s[pos] == 'e' || s[pos] == 'E'))
-                ++pos;
-            value.kind = JsonValue::Kind::Number;
-            value.text = s.substr(start, pos - start);
-            char *end = nullptr;
-            value.number = std::strtod(value.text.c_str(), &end);
-            if (end != value.text.c_str() + value.text.size()) {
-                error = "malformed number '" + value.text + "' for \"" +
-                        key + "\"";
-                return false;
-            }
-            return true;
-        }
-        error = "unsupported value for \"" + key +
-                "\" (want string, number, or boolean)";
-        return false;
-    }
-
-    const std::string &s;
-    size_t pos = 0;
-};
-
-/** Strictly parse digits-only text into a u64 (no sign, no junk). */
-std::optional<u64>
-parseU64(const std::string &text)
-{
-    if (text.empty() ||
-        !std::isdigit(static_cast<unsigned char>(text[0])))
-        return std::nullopt;
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-    if (errno == ERANGE || end != text.c_str() + text.size())
-        return std::nullopt;
-    return static_cast<u64>(v);
-}
-
-/** Strictly parse an (optionally negative) integer. */
-std::optional<long>
-parseLong(const std::string &text)
-{
-    if (text.empty())
-        return std::nullopt;
-    errno = 0;
-    char *end = nullptr;
-    const long v = std::strtol(text.c_str(), &end, 10);
-    if (errno == ERANGE || end != text.c_str() + text.size())
-        return std::nullopt;
-    return v;
-}
 
 /** Parse a positive "core:mem" MHz pair. */
 std::optional<sim::FreqDomain>
@@ -318,9 +103,8 @@ parseJobLine(const std::string &line, size_t lineno, std::string &error)
         return std::nullopt;
     };
 
-    FlatJsonParser parser(line);
     std::string parse_error;
-    auto object = parser.parse(parse_error);
+    auto object = json::parseFlatObject(line, parse_error);
     if (!object)
         return fail(parse_error);
 
@@ -328,21 +112,21 @@ parseJobLine(const std::string &line, size_t lineno, std::string &error)
     bool idGiven = false;
     for (const auto &[key, value] : *object) {
         auto wantString = [&](std::string &dst) {
-            if (value.kind != JsonValue::Kind::String)
+            if (value.kind != json::Value::Kind::String)
                 return false;
             dst = value.text;
             return true;
         };
         auto wantBool = [&](bool &dst) {
-            if (value.kind != JsonValue::Kind::Boolean)
+            if (value.kind != json::Value::Kind::Boolean)
                 return false;
             dst = value.boolean;
             return true;
         };
         bool ok = true;
         if (key == "id") {
-            auto v = value.kind == JsonValue::Kind::Number
-                         ? parseU64(value.text)
+            auto v = value.kind == json::Value::Kind::Number
+                         ? json::parseU64(value.text)
                          : std::nullopt;
             if (!v)
                 return fail("\"id\" wants a non-negative integer");
@@ -359,7 +143,7 @@ parseJobLine(const std::string &line, size_t lineno, std::string &error)
         } else if (key == "policy") {
             ok = wantString(spec.policy);
         } else if (key == "scale") {
-            if (value.kind != JsonValue::Kind::Number ||
+            if (value.kind != json::Value::Kind::Number ||
                 value.number <= 0.0)
                 return fail("\"scale\" wants a positive number");
             spec.scale = value.number;
@@ -392,16 +176,16 @@ parseJobLine(const std::string &line, size_t lineno, std::string &error)
             spec.faultConfig.stallRate = cfg->stallRate;
             spec.faultsGiven = true;
         } else if (key == "fault_seed") {
-            auto v = value.kind == JsonValue::Kind::Number
-                         ? parseU64(value.text)
+            auto v = value.kind == json::Value::Kind::Number
+                         ? json::parseU64(value.text)
                          : std::nullopt;
             if (!v)
                 return fail("\"fault_seed\" wants a non-negative "
                             "integer");
             spec.faultConfig.seed = *v;
         } else if (key == "retry_max") {
-            auto v = value.kind == JsonValue::Kind::Number
-                         ? parseU64(value.text)
+            auto v = value.kind == json::Value::Kind::Number
+                         ? json::parseU64(value.text)
                          : std::nullopt;
             if (!v || *v > 64)
                 return fail("\"retry_max\" wants an integer in "
@@ -414,14 +198,14 @@ parseJobLine(const std::string &line, size_t lineno, std::string &error)
             spec.faultConfig.failDevice = text;
             spec.faultsGiven = true;
         } else if (key == "deadline_ms") {
-            if (value.kind != JsonValue::Kind::Number ||
+            if (value.kind != json::Value::Kind::Number ||
                 value.number < 0.0)
                 return fail("\"deadline_ms\" wants a non-negative "
                             "number");
             spec.deadlineMs = value.number;
         } else if (key == "priority") {
-            auto v = value.kind == JsonValue::Kind::Number
-                         ? parseLong(value.text)
+            auto v = value.kind == json::Value::Kind::Number
+                         ? json::parseLong(value.text)
                          : std::nullopt;
             if (!v)
                 return fail("\"priority\" wants an integer");

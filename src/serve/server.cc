@@ -7,6 +7,7 @@
 #include "apps/coexec_kernels.hh"
 #include "coexec/coexec.hh"
 #include "core/workload.hh"
+#include "fleet/cluster.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
 #include "runtime/context.hh"
@@ -67,27 +68,7 @@ admissionByName(const std::string &name)
 LatencySummary
 summarizeLatencies(std::vector<double> values)
 {
-    LatencySummary summary;
-    if (values.empty())
-        return summary;
-    std::sort(values.begin(), values.end());
-    summary.count = values.size();
-    double sum = 0.0;
-    for (double v : values)
-        sum += v;
-    summary.mean = sum / static_cast<double>(values.size());
-    auto rank = [&](double pct) {
-        // Nearest-rank: ceil(p/100 * N), 1-based.
-        size_t r = static_cast<size_t>(
-            std::ceil(pct / 100.0 * static_cast<double>(values.size())));
-        r = std::clamp<size_t>(r, 1, values.size());
-        return values[r - 1];
-    };
-    summary.p50 = rank(50.0);
-    summary.p95 = rank(95.0);
-    summary.p99 = rank(99.0);
-    summary.max = values.back();
-    return summary;
+    return percentiles(std::move(values));
 }
 
 u64
@@ -246,23 +227,19 @@ applyVirtualSchedule(std::vector<JobResult> &results, u32 workers)
               [](const JobResult *a, const JobResult *b) {
                   return a->serviceSeq < b->serviceSeq;
               });
-    std::vector<double> avail(workers, 0.0);
-    double makespan = 0.0;
+    // Deterministic list schedule: the next job in dequeue order
+    // starts on the earliest-free virtual worker (lowest index on
+    // ties, so the assignment is a pure function of the results).
+    // The fleet cluster scheduler's least-loaded policy is exactly
+    // that rule, so the virtual cluster is a W-node fleet.
+    fleet::Cluster cluster(workers, fleet::Policy::LeastLoaded);
     for (JobResult *res : ran) {
-        // Deterministic list schedule: the next job in dequeue order
-        // starts on the earliest-free virtual worker (lowest index on
-        // ties, so the assignment is a pure function of the results).
-        size_t w = 0;
-        for (size_t i = 1; i < avail.size(); ++i) {
-            if (avail[i] < avail[w])
-                w = i;
-        }
-        res->simQueueWaitSeconds = avail[w];
-        avail[w] += res->simSeconds;
-        res->simFinishSeconds = avail[w];
-        makespan = std::max(makespan, avail[w]);
+        const auto placed = cluster.place(
+            0.0, [&](u32) { return res->simSeconds; });
+        res->simQueueWaitSeconds = placed->start;
+        res->simFinishSeconds = placed->start + res->simSeconds;
     }
-    return makespan;
+    return cluster.makespan();
 }
 
 // --- Server ------------------------------------------------------------

@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.hh"
 #include "serve/jobspec.hh"
 
 namespace hetsim::serve
@@ -78,15 +79,7 @@ struct ServerConfig
 };
 
 /** Percentile summary of one latency population (milliseconds). */
-struct LatencySummary
-{
-    u64 count = 0;
-    double mean = 0.0;
-    double p50 = 0.0;
-    double p95 = 0.0;
-    double p99 = 0.0;
-    double max = 0.0;
-};
+using LatencySummary = Percentiles;
 
 /** Nearest-rank percentiles over @p values (order irrelevant). */
 LatencySummary summarizeLatencies(std::vector<double> values);

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Inter-node network model for the fleet simulator.
+ *
+ * NetLink sits beside PcieLink: where the PCIe model covers the
+ * host <-> discrete-GPU staging hop *inside* one node, NetLink covers
+ * the node <-> node hop of a simulated cluster.  The cost shape is the
+ * same latency-plus-bandwidth affine model SimGrid's flow-level
+ * networks use: a fixed per-message latency (NIC + switch traversal)
+ * plus bytes over effective bandwidth.
+ *
+ * On top of the point-to-point primitive, this header provides the
+ * collective cost formulas multi-node workloads are built from:
+ * nearest-neighbour halo exchange, binomial-tree broadcast, and
+ * recursive-doubling all-reduce.  They are pure functions of the link
+ * and the participant count, so schedulers can price a gang placement
+ * without running anything.
+ */
+
+#ifndef HETSIM_SIM_NETWORK_HH
+#define HETSIM_SIM_NETWORK_HH
+
+#include <cmath>
+
+#include "common/types.hh"
+
+namespace hetsim::sim
+{
+
+/** A full-duplex inter-node link (one hop of a flat cluster fabric). */
+struct NetLink
+{
+    /** Raw link bandwidth, GB/s (100 GbE ~ 12.5). */
+    double rawGBs = 12.5;
+    /** Achievable fraction of raw bandwidth (protocol + congestion). */
+    double efficiency = 0.9;
+    /** Per-message fixed latency, microseconds (NIC + switch). */
+    double latencyUs = 5.0;
+
+    /** @return effective bandwidth in bytes/s. */
+    double
+    effectiveBytesPerSec() const
+    {
+        return rawGBs * GB * efficiency;
+    }
+
+    /** @return seconds to move @p bytes between two nodes. */
+    double
+    transferSeconds(u64 bytes) const
+    {
+        if (bytes == 0)
+            return 0.0;
+        return latencyUs * 1e-6 +
+               static_cast<double>(bytes) / effectiveBytesPerSec();
+    }
+};
+
+/**
+ * @return seconds for one halo exchange among @p nodes ring-ordered
+ * peers, each sending @p bytesPerNeighbor to both neighbours.  The two
+ * directions overlap on a full-duplex link, so the cost per step is
+ * one transfer; a single node exchanges nothing.
+ */
+inline double
+haloExchangeSeconds(const NetLink &link, u32 nodes, u64 bytesPerNeighbor)
+{
+    if (nodes < 2)
+        return 0.0;
+    return link.transferSeconds(bytesPerNeighbor);
+}
+
+/**
+ * @return seconds for a binomial-tree broadcast of @p bytes from one
+ * root to @p nodes participants: ceil(log2(n)) sequential stages.
+ */
+inline double
+broadcastSeconds(const NetLink &link, u32 nodes, u64 bytes)
+{
+    if (nodes < 2)
+        return 0.0;
+    const double stages =
+        std::ceil(std::log2(static_cast<double>(nodes)));
+    return stages * link.transferSeconds(bytes);
+}
+
+/**
+ * @return seconds for a recursive-doubling all-reduce of @p bytes over
+ * @p nodes participants: ceil(log2(n)) stages, each exchanging the
+ * full payload pairwise.
+ */
+inline double
+allReduceSeconds(const NetLink &link, u32 nodes, u64 bytes)
+{
+    if (nodes < 2)
+        return 0.0;
+    const double stages =
+        std::ceil(std::log2(static_cast<double>(nodes)));
+    return stages * link.transferSeconds(bytes);
+}
+
+} // namespace hetsim::sim
+
+#endif // HETSIM_SIM_NETWORK_HH

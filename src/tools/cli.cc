@@ -15,6 +15,7 @@
 #include "coexec/coexec.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
+#include "fleet/fleet.hh"
 #include "obs/crashdump.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
@@ -96,7 +97,8 @@ parse(const std::vector<std::string> &argv)
     if (args.command != "list" && args.command != "run" &&
         args.command != "compare" && args.command != "sweep" &&
         args.command != "coexec" && args.command != "breakdown" &&
-        args.command != "batch" && args.command != "serve") {
+        args.command != "batch" && args.command != "serve" &&
+        args.command != "fleet") {
         args.error = "unknown command '" + args.command + "'";
         return args;
     }
@@ -297,6 +299,90 @@ parse(const std::vector<std::string> &argv)
                     args.admission = *v;
                 }
             }
+        } else if (arg == "--topology") {
+            if (auto v = value("--topology")) {
+                if (v->empty())
+                    args.error = "--topology wants a file path";
+                else
+                    args.topology = *v;
+            }
+        } else if (arg == "--nodes") {
+            if (auto v = value("--nodes")) {
+                auto n = parseCount(*v);
+                if (!n || *n == 0) {
+                    args.error = "--nodes wants a positive node "
+                                 "count, got '" + *v + "'";
+                } else {
+                    args.nodes = *n;
+                }
+            }
+        } else if (arg == "--njobs") {
+            if (auto v = value("--njobs")) {
+                auto n = parseCount(*v);
+                if (!n || *n == 0) {
+                    args.error = "--njobs wants a positive job "
+                                 "count, got '" + *v + "'";
+                } else {
+                    args.njobs = *n;
+                }
+            }
+        } else if (arg == "--placement") {
+            if (auto v = value("--placement")) {
+                if (!fleet::policyByName(*v)) {
+                    args.error = "--placement wants first-fit, "
+                                 "least-loaded, or locality, got '" +
+                                 *v + "'";
+                } else {
+                    args.placement = *v;
+                }
+            }
+        } else if (arg == "--rate") {
+            if (auto v = value("--rate")) {
+                auto f = parsePositive(*v);
+                if (!f) {
+                    args.error = "--rate wants a positive jobs/sec "
+                                 "arrival rate, got '" + *v + "'";
+                } else {
+                    args.rate = *f;
+                }
+            }
+        } else if (arg == "--slo-ms") {
+            if (auto v = value("--slo-ms")) {
+                auto n = parseCount(*v);
+                if (!n) {
+                    args.error = "--slo-ms wants milliseconds "
+                                 "(0 = none), got '" + *v + "'";
+                } else {
+                    args.sloMs = *n;
+                }
+            }
+        } else if (arg == "--node-fail-rate") {
+            if (auto v = value("--node-fail-rate")) {
+                char *end = nullptr;
+                const double f =
+                    v->empty() ? -1.0
+                               : std::strtod(v->c_str(), &end);
+                if (v->empty() ||
+                    end != v->c_str() + v->size() || f < 0.0 ||
+                    f > 1.0) {
+                    args.error = "--node-fail-rate wants a fraction "
+                                 "in [0, 1], got '" + *v + "'";
+                } else {
+                    args.nodeFailRate = f;
+                }
+            }
+        } else if (arg == "--seed") {
+            if (auto v = value("--seed")) {
+                auto n = parseCount(*v);
+                if (!n) {
+                    args.error = "--seed wants an unsigned integer, "
+                                 "got '" + *v + "'";
+                } else {
+                    args.seed = *n;
+                }
+            }
+        } else if (arg == "--sweep") {
+            args.fleetSweep = true;
         } else if (arg == "--dp") {
             args.doublePrecision = true;
         } else if (arg == "--functional") {
@@ -344,7 +430,13 @@ usage(std::ostream &os)
           "  hetsim serve --shots n [--workers n] [--queue-cap n]\n"
           "             [--deadline-ms n] [--admission "
           "reject|shed|block]\n"
-          "             [--scale f] [--results-out FILE]\n\n"
+          "             [--scale f] [--results-out FILE]\n"
+          "  hetsim fleet [--topology FILE | --nodes n] [--njobs n]\n"
+          "             [--placement first-fit|least-loaded|locality]\n"
+          "             [--rate jobs/s] [--slo-ms n] "
+          "[--node-fail-rate f]\n"
+          "             [--seed n] [--sweep] [--inject-faults spec] "
+          "[--scale f]\n\n"
           "serving layer (batch / serve):\n"
           "  --jobs FILE         JSONL job file, one JSON object per "
           "line; keys:\n"
@@ -369,6 +461,33 @@ usage(std::ostream &os)
           "without one\n"
           "  --shots N           serve: closed-loop jobs to generate "
           "(default 16)\n\n"
+          "fleet simulator (fleet):\n"
+          "  --topology FILE     cluster topology JSONL: node groups\n"
+          "                      {\"device\": \"dgpu\", \"count\": 32, "
+          "\"name\": \"rack0\",\n"
+          "                      \"perf\": 1.0} plus at most one "
+          "fabric line\n"
+          "                      {\"net_gbs\": 12.5, \"net_latency_us\""
+          ": 5,\n"
+          "                      \"net_efficiency\": 0.9}\n"
+          "  --nodes N           built-in mixed topology size when no "
+          "--topology\n"
+          "                      (half dgpu, quarter apu, quarter cpu; "
+          "default 64)\n"
+          "  --njobs N           jobs to simulate (default 10000)\n"
+          "  --placement P       first-fit | least-loaded (default) | "
+          "locality\n"
+          "  --rate R            arrival rate in jobs per simulated "
+          "second\n"
+          "                      (default: all jobs arrive at t=0)\n"
+          "  --slo-ms N          per-job end-to-end latency SLO "
+          "(0 = none)\n"
+          "  --node-fail-rate F  probability each node dies mid-"
+          "campaign\n"
+          "  --seed N            campaign seed (class draws, homes, "
+          "deaths, faults)\n"
+          "  --sweep             capacity sweep: rerun at 1x 2x 4x 8x "
+          "the topology\n\n"
           "observability (any verb):\n"
           "  --trace-out FILE    Chrome trace-event JSON "
           "(chrome://tracing)\n"
@@ -974,6 +1093,235 @@ cmdServe(const Args &args, std::ostream &os)
     return 0;
 }
 
+/** The fleet verb's job-class mix.  Service times come from the real
+ *  simulator (one probe per class x device kind); the byte payloads
+ *  are the fleet-level data sets the fabric moves. */
+struct FleetClassDef
+{
+    const char *name;
+    const char *app;
+    const char *model;
+    double weight;
+    u64 inputBytes;
+    u32 gangNodes;
+    u32 haloIters;
+    u64 haloBytes;
+    u64 reduceBytes;
+};
+
+const FleetClassDef kFleetMix[] = {
+    {"readmem", "readmem", "opencl", 4.0, 256ull << 20, 1, 0, 0, 0},
+    {"xsbench", "xsbench", "opencl", 2.0, 64ull << 20, 1, 0, 0, 0},
+    {"minife", "minife", "opencl", 2.0, 128ull << 20, 1, 0, 0, 0},
+    {"lulesh-gang", "lulesh", "opencl", 0.5, 32ull << 20, 4, 16,
+     8ull << 20, 1ull << 20},
+};
+
+/** Built-in topology when no --topology file is given: the paper's
+ *  device mix as a cluster (half dgpu, quarter apu, quarter cpu). */
+fleet::Topology
+defaultFleetTopology(u64 nodes)
+{
+    const u64 dgpu = (nodes + 1) / 2;
+    const u64 apu = (nodes - dgpu + 1) / 2;
+    const u64 cpu = nodes - dgpu - apu;
+    fleet::Topology topo;
+    topo.nodes.reserve(nodes);
+    auto group = [&](const char *device, u64 count) {
+        for (u64 i = 0; i < count; ++i) {
+            fleet::NodeSpec node;
+            node.name = std::string(device) + "/" + std::to_string(i);
+            node.device = device;
+            topo.nodes.push_back(std::move(node));
+        }
+    };
+    group("dgpu", dgpu);
+    group("apu", apu);
+    group("cpu", cpu);
+    return topo;
+}
+
+/**
+ * Measure every (class, device kind) service time through the real
+ * simulator - a one-job-per-cell batch over the serving layer, so the
+ * fleet model's costs are the paper's simulated numbers rather than
+ * made-up constants.  @return nullopt (with the error printed) when a
+ * probe cannot run on some kind.
+ */
+std::optional<std::vector<fleet::JobClass>>
+probeFleetClasses(const Args &args, const fleet::Topology &topo,
+                  std::ostream &os)
+{
+    const std::vector<std::string> kinds = topo.deviceKinds();
+    std::vector<serve::JobSpec> probes;
+    u64 id = 0;
+    for (const FleetClassDef &def : kFleetMix) {
+        for (const std::string &kind : kinds) {
+            serve::JobSpec spec;
+            spec.id = ++id;
+            spec.app = def.app;
+            spec.model = def.model;
+            spec.device = kind;
+            spec.scale = args.scale;
+            spec.timingCache = args.timingCache;
+            probes.push_back(std::move(spec));
+        }
+    }
+    serve::ServerConfig cfg;
+    std::string error;
+    auto outcome = serve::runBatch(probes, cfg, error);
+    if (!outcome) {
+        os << "error: fleet class probe: " << error << "\n";
+        return std::nullopt;
+    }
+    std::map<u64, const serve::JobResult *> byId;
+    for (const auto &res : outcome->results)
+        byId[res.id] = &res;
+    std::vector<fleet::JobClass> classes;
+    id = 0;
+    for (const FleetClassDef &def : kFleetMix) {
+        fleet::JobClass cls;
+        cls.name = def.name;
+        cls.weight = def.weight;
+        cls.inputBytes = def.inputBytes;
+        cls.gangNodes = def.gangNodes;
+        cls.haloIters = def.haloIters;
+        cls.haloBytesPerNeighbor = def.haloBytes;
+        cls.reduceBytes = def.reduceBytes;
+        for (const std::string &kind : kinds) {
+            const serve::JobResult *res = byId[++id];
+            if (res == nullptr ||
+                res->status != serve::JobStatus::Ok) {
+                os << "error: fleet class probe: " << def.app << "/"
+                   << def.model << " cannot run on device '" << kind
+                   << "'"
+                   << (res != nullptr && !res->error.empty()
+                           ? ": " + res->error
+                           : "")
+                   << "\n";
+                return std::nullopt;
+            }
+            cls.secondsByDevice[kind] = res->simSeconds;
+        }
+        classes.push_back(std::move(cls));
+    }
+    return classes;
+}
+
+int
+cmdFleet(const Args &args, std::ostream &os)
+{
+    fleet::Topology topo;
+    if (!args.topology.empty()) {
+        std::string error;
+        auto loaded = fleet::loadTopology(args.topology, error);
+        if (!loaded) {
+            os << "error: " << error << "\n";
+            return 2;
+        }
+        topo = std::move(*loaded);
+    } else {
+        topo = defaultFleetTopology(args.nodes);
+    }
+
+    auto classes = probeFleetClasses(args, topo, os);
+    if (!classes)
+        return 2;
+
+    fleet::FleetConfig cfg;
+    cfg.jobs = args.njobs;
+    cfg.seed = args.seed;
+    cfg.policy = *fleet::policyByName(args.placement);
+    cfg.arrivalRate = args.rate;
+    cfg.sloSeconds = static_cast<double>(args.sloMs) / 1e3;
+    cfg.nodeFailRate = args.nodeFailRate;
+    if (args.faultsGiven)
+        cfg.faults = args.faultConfig;
+    cfg.classes = std::move(*classes);
+
+    // Gang classes cannot span more nodes than the smallest fleet in
+    // the run; clamp rather than reject so tiny topologies still work.
+    for (fleet::JobClass &cls : cfg.classes)
+        cls.gangNodes = std::min<u32>(
+            cls.gangNodes, std::max<u32>(topo.size(), 1));
+
+    const std::vector<u32> factors =
+        args.fleetSweep ? std::vector<u32>{1, 2, 4, 8}
+                        : std::vector<u32>{1};
+
+    Table table("Fleet capacity (" + std::string(fleet::toString(
+                    cfg.policy)) + " placement, " +
+                std::to_string(cfg.jobs) + " jobs, seed " +
+                std::to_string(cfg.seed) + ")");
+    table.setHeader({"nodes", "makespan s", "jobs/s", "util",
+                     "p50 ms", "p99 ms", "slo miss", "off-home",
+                     "deaths", "retries", "faults", "digest"});
+    std::optional<fleet::FleetResult> single;
+    for (u32 factor : factors) {
+        const fleet::Topology scaled =
+            factor == 1 ? topo : topo.scaled(factor);
+        std::string error;
+        auto res = fleet::simulateFleet(scaled, cfg, error);
+        if (!res) {
+            os << "error: " << error << "\n";
+            return 2;
+        }
+        if (!args.fleetSweep)
+            single = *res;
+        char digest[32];
+        std::snprintf(digest, sizeof(digest), "0x%016llx",
+                      static_cast<unsigned long long>(res->digest));
+        table.addRow({std::to_string(scaled.size()),
+                      Table::num(res->makespanSeconds, 3),
+                      Table::num(res->throughputJobsPerSec, 1),
+                      Table::num(res->utilization, 3),
+                      Table::num(res->latencyMs.p50, 2),
+                      Table::num(res->latencyMs.p99, 2),
+                      std::to_string(res->sloViolations),
+                      std::to_string(res->offHome),
+                      std::to_string(res->nodeDeaths),
+                      std::to_string(res->retries),
+                      std::to_string(res->faultsInjected),
+                      digest});
+    }
+    table.print(os);
+
+    if (single) {
+        // Per-device-kind rollup of the single run.
+        std::map<std::string, std::pair<u64, double>> byKind;
+        u64 deadNodes = 0;
+        for (const auto &node : single->nodes) {
+            auto &[jobs, busy] = byKind[node.device];
+            jobs += node.jobs;
+            busy += node.busySeconds;
+            if (node.died)
+                ++deadNodes;
+        }
+        Table rollup("Per-device-kind rollup");
+        rollup.setHeader(
+            {"device", "nodes", "jobs", "busy s", "busy share"});
+        for (const std::string &kind : topo.deviceKinds()) {
+            u64 count = 0;
+            for (const auto &node : topo.nodes)
+                count += node.device == kind ? 1 : 0;
+            const auto &[jobs, busy] = byKind[kind];
+            rollup.addRow(
+                {kind, std::to_string(count), std::to_string(jobs),
+                 Table::num(busy, 3),
+                 Table::num(single->busySeconds > 0.0
+                                ? busy / single->busySeconds
+                                : 0.0,
+                            3)});
+        }
+        os << "\n";
+        rollup.print(os);
+        if (deadNodes > 0)
+            os << "\nnode deaths: " << deadNodes << " of "
+               << topo.size() << " nodes died mid-campaign\n";
+    }
+    return 0;
+}
+
 /**
  * Writes --trace-out / --metrics-out files; a path that cannot be
  * opened or written produces a clear error and exit code 2.
@@ -1104,6 +1452,8 @@ execute(const Args &args, std::ostream &os)
         rc = cmdBatch(args, os);
     else if (args.command == "serve")
         rc = cmdServe(args, os);
+    else if (args.command == "fleet")
+        rc = cmdFleet(args, os);
     else {
         usage(os);
         return 2;

@@ -19,6 +19,10 @@
  *   hetsim serve --shots 16 [--workers 4] [--queue-cap N]
  *                 [--deadline-ms N] [--admission reject|shed|block]
  *                 [--scale 1.0] [--results-out results.jsonl]
+ *   hetsim fleet [--topology FILE | --nodes N] [--njobs N]
+ *                 [--placement first-fit|least-loaded|locality]
+ *                 [--rate J/S] [--slo-ms N] [--node-fail-rate F]
+ *                 [--seed N] [--sweep] [--inject-faults spec]
  *
  * Every verb accepts --trace-out FILE (Chrome trace-event JSON for
  * chrome://tracing / Perfetto) and --metrics-out FILE (metrics
@@ -47,7 +51,7 @@ namespace hetsim::cli
 struct Args
 {
     /** list | run | compare | sweep | coexec | breakdown | batch |
-     *  serve */
+     *  serve | fleet */
     std::string command;
     std::string app = "readmem";
     std::string model = "opencl";
@@ -81,6 +85,16 @@ struct Args
     u64 deadlineMs = 0;     ///< default queue-wait deadline (0 = none)
     u64 shots = 16;         ///< serve: closed-loop job count
     std::string admission = "reject"; ///< reject | shed | block
+    // --- fleet simulator (fleet verb) -------------------------------
+    std::string topology;   ///< topology JSONL path ("" = built-in)
+    u64 nodes = 64;         ///< built-in topology size (no --topology)
+    u64 njobs = 10000;      ///< fleet: jobs to simulate
+    std::string placement = "least-loaded"; ///< placement policy
+    double rate = 0.0;      ///< arrival rate, jobs/sim-sec (0 = t=0)
+    u64 sloMs = 0;          ///< per-job latency SLO, ms (0 = none)
+    double nodeFailRate = 0.0; ///< per-node death probability
+    u64 seed = 0x5eedULL;   ///< fleet campaign seed
+    bool fleetSweep = false; ///< capacity sweep over x{1,2,4,8}
     std::string error; ///< non-empty on parse failure
 };
 

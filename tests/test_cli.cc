@@ -474,5 +474,112 @@ TEST(CliExecute, ServeRunsAClosedLoopAndSummarizes)
     EXPECT_NE(os.str().find("sim throughput"), std::string::npos);
 }
 
+// --- Fleet simulator (fleet verb) --------------------------------------
+
+TEST(CliParse, FleetFlagsParseAndValidate)
+{
+    Args args = parse({"fleet", "--nodes", "12", "--njobs", "500",
+                       "--placement", "locality", "--rate", "250",
+                       "--slo-ms", "40", "--node-fail-rate", "0.25",
+                       "--seed", "7", "--sweep"});
+    EXPECT_TRUE(args.error.empty()) << args.error;
+    EXPECT_EQ(args.nodes, 12u);
+    EXPECT_EQ(args.njobs, 500u);
+    EXPECT_EQ(args.placement, "locality");
+    EXPECT_DOUBLE_EQ(args.rate, 250.0);
+    EXPECT_EQ(args.sloMs, 40u);
+    EXPECT_DOUBLE_EQ(args.nodeFailRate, 0.25);
+    EXPECT_EQ(args.seed, 7u);
+    EXPECT_TRUE(args.fleetSweep);
+
+    Args topo = parse({"fleet", "--topology", "cluster.jsonl"});
+    EXPECT_TRUE(topo.error.empty()) << topo.error;
+    EXPECT_EQ(topo.topology, "cluster.jsonl");
+    EXPECT_FALSE(topo.fleetSweep);
+}
+
+TEST(CliParse, FleetFlagsRejectJunk)
+{
+    struct FlagCase
+    {
+        const char *flag;
+        const char *bad;
+    };
+    const FlagCase cases[] = {
+        {"--nodes", "0"},          {"--nodes", "3x"},
+        {"--njobs", "0"},          {"--njobs", "lots"},
+        {"--placement", "greedy"}, {"--rate", "-5"},
+        {"--rate", "fast"},        {"--slo-ms", "-1"},
+        {"--node-fail-rate", "1.5"},
+        {"--node-fail-rate", "often"},
+        {"--seed", "-2"},          {"--topology", ""},
+    };
+    for (const FlagCase &c : cases) {
+        Args args = parse({"fleet", c.flag, c.bad});
+        EXPECT_FALSE(args.error.empty()) << c.flag << " " << c.bad;
+        EXPECT_NE(args.error.find(c.flag), std::string::npos)
+            << c.flag << " " << c.bad;
+    }
+}
+
+TEST(CliExecute, FleetMissingTopologyFileFailsLoudly)
+{
+    std::ostringstream os;
+    Args args = parse(
+        {"fleet", "--topology", "/nonexistent-dir/topo.jsonl"});
+    EXPECT_EQ(execute(args, os), 2);
+    EXPECT_NE(os.str().find("cannot open topology file"),
+              std::string::npos)
+        << os.str();
+}
+
+TEST(CliExecute, FleetTopologyErrorsCarryPathAndLine)
+{
+    TempJobsFile topo("{\"device\": \"warp9\"}\n");
+    std::ostringstream os;
+    Args args = parse({"fleet", "--topology", topo.path()});
+    EXPECT_EQ(execute(args, os), 2);
+    EXPECT_NE(os.str().find(topo.path()), std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("line 1"), std::string::npos);
+    EXPECT_NE(os.str().find("unknown device"), std::string::npos);
+}
+
+TEST(CliExecute, FleetRunsACapacityTableAndRollup)
+{
+    std::ostringstream os;
+    Args args = parse({"fleet", "--nodes", "4", "--njobs", "200",
+                       "--scale", "0.02", "--node-fail-rate", "0.5",
+                       "--seed", "3"});
+    EXPECT_EQ(execute(args, os), 0);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Fleet capacity"), std::string::npos) << out;
+    EXPECT_NE(out.find("digest"), std::string::npos);
+    EXPECT_NE(out.find("0x"), std::string::npos);
+    EXPECT_NE(out.find("Per-device-kind rollup"), std::string::npos);
+    EXPECT_NE(out.find("dgpu"), std::string::npos);
+
+    // Same invocation, byte-identical report: the whole pipeline -
+    // class probe, placement, sharded timelines - is deterministic.
+    std::ostringstream os2;
+    EXPECT_EQ(execute(args, os2), 0);
+    EXPECT_EQ(out, os2.str());
+}
+
+TEST(CliExecute, FleetRunsFromATopologyFile)
+{
+    TempJobsFile topo(
+        "{\"device\": \"apu\", \"count\": 2, \"name\": \"r0\"}\n"
+        "{\"net_gbs\": 25, \"net_latency_us\": 2}\n");
+    std::ostringstream os;
+    Args args = parse({"fleet", "--topology", topo.path(), "--njobs",
+                       "100", "--scale", "0.02", "--placement",
+                       "first-fit"});
+    EXPECT_EQ(execute(args, os), 0);
+    EXPECT_NE(os.str().find("first-fit"), std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("apu"), std::string::npos);
+}
+
 } // namespace
 } // namespace hetsim::cli
