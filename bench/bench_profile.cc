@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Profiling-layer benchmark: critical-path extraction throughput on
+ * synthetic span timelines of 10k / 100k / 1M spans.
+ *
+ * Each configuration reports how fast the analyzer chews through a
+ * recorded timeline (spans per host wall second) and re-checks the
+ * two contracts the profile report stands on:
+ *
+ *  - the attribution invariant: the {device, link, wait} buckets must
+ *    sum to the makespan within 1e-9 relative error;
+ *  - determinism: analyzing the same events twice - once in recorded
+ *    order, once reversed - must produce byte-identical reports.
+ *
+ * The headline gate is analyzer throughput at the largest
+ * configuration >= 100k spans/s; any contract violation or gate miss
+ * fails the run loudly (non-zero exit).
+ *
+ * Options (on top of the common --scale/--quick):
+ *   --out <path>   JSON output path (default BENCH_profile.json).
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "obs/analyzer.hh"
+#include "obs/flightrec.hh"
+#include "obs/profile.hh"
+#include "obs/tracer.hh"
+
+#include "benchsupport.hh"
+
+namespace
+{
+
+using namespace hetsim;
+
+/** One synthetic timeline: chained spans over a few device queues. */
+struct Timeline
+{
+    std::vector<obs::TraceEvent> events;
+    std::vector<std::string> tracks;
+};
+
+/** Deterministic xorshift - the bench must not depend on wall clock. */
+struct XorShift
+{
+    u64 state = 0x9e3779b97f4a7c15ull;
+
+    u64 next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+};
+
+Timeline
+synthesize(u64 spans)
+{
+    Timeline tl;
+    tl.tracks = {"gpu0/compute", "gpu0/dma-h2d", "gpu0/dma-d2h",
+                 "gpu1/compute", "cpu/compute"};
+    // Per-track in-order queues: each span starts when the queue's
+    // previous span finished, with an occasional gap - the structure
+    // the analyzer's backward walk is built for.
+    std::vector<double> horizon(tl.tracks.size(), 0.0);
+    XorShift rng;
+    tl.events.reserve(spans);
+    for (u64 i = 0; i < spans; ++i) {
+        const u32 track =
+            static_cast<u32>(rng.next() % tl.tracks.size());
+        const double dur = 1e-6 + (rng.next() % 1000) * 1e-6;
+        if (rng.next() % 16 == 0) // occasional queue bubble
+            horizon[track] += (rng.next() % 100) * 1e-6;
+        obs::TraceEvent event;
+        event.kind = obs::TraceEvent::Kind::Span;
+        event.track = track;
+        event.tsUs = horizon[track] * 1e6;
+        event.durUs = dur * 1e6;
+        event.name = "s";
+        event.cat = track == 1 || track == 2 ? "transfer" : "compute";
+        horizon[track] += dur;
+        tl.events.push_back(std::move(event));
+    }
+    return tl;
+}
+
+/** Outcome of one timeline size. */
+struct ConfigResult
+{
+    u64 spans = 0;
+    double wallSeconds = 0.0;
+    double spansPerSec = 0.0;
+    double attributionError = 0.0;
+    u64 pathSteps = 0;
+    bool deterministic = false;
+};
+
+std::string
+reportBytes(const obs::TraceAnalysis &analysis)
+{
+    obs::ProfileReport report;
+    report.analysis = analysis;
+    report.bottleneck = obs::classifyRun(analysis, {});
+    std::ostringstream os;
+    obs::writeProfileJson(os, report);
+    return os.str();
+}
+
+ConfigResult
+runConfig(u64 spans)
+{
+    const Timeline tl = synthesize(spans);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const obs::TraceAnalysis analysis =
+        obs::analyzeSpans(tl.events, tl.tracks);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Recording order must not matter: reverse and re-analyze.
+    std::vector<obs::TraceEvent> reversed(tl.events.rbegin(),
+                                          tl.events.rend());
+    const obs::TraceAnalysis again =
+        obs::analyzeSpans(reversed, tl.tracks);
+
+    ConfigResult r;
+    r.spans = spans;
+    r.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    r.spansPerSec = r.wallSeconds > 0.0
+                        ? static_cast<double>(spans) / r.wallSeconds
+                        : 0.0;
+    r.attributionError = analysis.attributionError();
+    r.pathSteps = analysis.path.size();
+    r.deterministic = reportBytes(analysis) == reportBytes(again);
+    return r;
+}
+
+void
+writeJson(const std::string &path, double scale,
+          const std::vector<ConfigResult> &results)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        std::exit(1);
+    }
+    os << "{\n"
+       << "  \"bench\": \"profile\",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"gate_spans_per_s\": 100000,\n"
+       << "  \"configs\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ConfigResult &r = results[i];
+        os << "    {\n"
+           << "      \"spans\": " << r.spans << ",\n"
+           << "      \"wall_s\": " << r.wallSeconds << ",\n"
+           << "      \"spans_per_s\": " << r.spansPerSec << ",\n"
+           << "      \"attribution_error_rel\": "
+           << r.attributionError << ",\n"
+           << "      \"path_steps\": " << r.pathSteps << ",\n"
+           << "      \"deterministic\": "
+           << (r.deterministic ? "true" : "false") << "\n"
+           << "    }" << (i + 1 == results.size() ? "\n" : ",\n");
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hetsim;
+    setInformEnabled(false);
+    bench::Options opts = bench::parseOptions(argc, argv, 1.0);
+
+    std::string out_path = "BENCH_profile.json";
+    for (int i = 1; i < opts.argc; ++i) {
+        if (std::strcmp(opts.argv[i], "--out") == 0 &&
+            i + 1 < opts.argc) {
+            out_path = opts.argv[++i];
+        } else {
+            std::cerr << "unknown option " << opts.argv[i] << "\n";
+            return 1;
+        }
+    }
+
+    std::vector<ConfigResult> results;
+    for (u64 spans : {10000ull, 100000ull, 1000000ull}) {
+        const u64 scaled = std::max<u64>(
+            1000, static_cast<u64>(spans * opts.scale));
+        results.push_back(runConfig(scaled));
+    }
+
+    Table table("critical-path analyzer throughput");
+    table.setHeader({"spans", "wall (s)", "spans/s", "attr error",
+                     "path steps", "deterministic"});
+    bool ok = true;
+    for (const ConfigResult &r : results) {
+        table.addRow({std::to_string(r.spans),
+                      Table::num(r.wallSeconds, 4),
+                      Table::num(r.spansPerSec, 0),
+                      Table::num(r.attributionError, 12),
+                      std::to_string(r.pathSteps),
+                      r.deterministic ? "yes" : "NO"});
+        ok = ok && r.deterministic && r.attributionError <= 1e-9;
+    }
+    table.print(std::cout);
+
+    const double largest = results.back().spansPerSec;
+    if (largest < 100000.0) {
+        std::cerr << "analyzer throughput gate failed: " << largest
+                  << " spans/s < 100000\n";
+        ok = false;
+    }
+    if (!ok) {
+        std::cerr << "profile bench FAILED (determinism or "
+                     "attribution contract)\n";
+    }
+
+    writeJson(out_path, opts.scale, results);
+    std::cout << "\nwrote " << out_path << "\n";
+    return ok ? 0 : 1;
+}

@@ -13,6 +13,7 @@
 #include "fault/fault.hh"
 #include "kernelir/signature.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
 #include "obs/tracer.hh"
 
 namespace hetsim::coexec
@@ -388,6 +389,32 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
                                take, kernel.hints.workgroupSize, slot.cg)
                 .timing;
         const double kernel_secs = timing.seconds;
+
+        obs::Profiler &profiler = obs::Profiler::global();
+        if (profiler.enabled()) {
+            const sim::FreqDomain stock = slot.spec->stockFreq();
+            obs::ObsRecord obsRec;
+            obsRec.kernel = kernel.desc.name;
+            obsRec.device = slot.spec->name;
+            obsRec.model = ir::toString(
+                slot.spec->type == sim::DeviceType::Cpu
+                    ? ir::ModelKind::OpenMp
+                    : ir::ModelKind::Hc);
+            obsRec.precisionBits = prec == Precision::Double ? 64 : 32;
+            obsRec.items = take;
+            obsRec.coreMhz = stock.coreMhz;
+            obsRec.memMhz = stock.memMhz;
+            obsRec.workgroup = kernel.hints.workgroupSize;
+            obsRec.launches = 1;
+            obsRec.seconds = timing.seconds;
+            obsRec.issueSeconds = timing.issueSeconds;
+            obsRec.memSeconds = timing.memSeconds;
+            obsRec.ldsSeconds = timing.ldsSeconds;
+            obsRec.latencySeconds = timing.latencySeconds;
+            obsRec.launchSeconds = timing.launchSeconds;
+            obsRec.bound = sim::boundedness(timing);
+            profiler.observe(obsRec);
+        }
 
         // Injected stall: the chunk hangs and the straggler watchdog
         // declares the device dead after the stall timeout.

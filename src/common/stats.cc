@@ -27,9 +27,47 @@ percentiles(std::vector<double> values)
         return values[r - 1];
     };
     summary.p50 = rank(50.0);
+    summary.p90 = rank(90.0);
     summary.p95 = rank(95.0);
     summary.p99 = rank(99.0);
     summary.max = values.back();
+    return summary;
+}
+
+Percentiles
+percentilesFromBuckets(const std::vector<double> &bounds,
+                       const std::vector<u64> &counts, double min,
+                       double max, double sum)
+{
+    Percentiles summary;
+    u64 total = 0;
+    for (u64 c : counts)
+        total += c;
+    if (total == 0)
+        return summary;
+    summary.count = total;
+    summary.mean = sum / static_cast<double>(total);
+    summary.max = max;
+    auto rank = [&](double pct) {
+        // Nearest-rank over the cumulative bucket counts; the value
+        // is the bucket's upper bound (bucket resolution).
+        const u64 target = std::max<u64>(
+            1, static_cast<u64>(std::ceil(
+                   pct / 100.0 * static_cast<double>(total))));
+        u64 seen = 0;
+        for (size_t b = 0; b < counts.size(); ++b) {
+            seen += counts[b];
+            if (seen >= target) {
+                double v = b < bounds.size() ? bounds[b] : max;
+                return std::clamp(v, min, max);
+            }
+        }
+        return max;
+    };
+    summary.p50 = rank(50.0);
+    summary.p90 = rank(90.0);
+    summary.p95 = rank(95.0);
+    summary.p99 = rank(99.0);
     return summary;
 }
 

@@ -24,6 +24,7 @@ struct Percentiles
     u64 count = 0;
     double mean = 0.0;
     double p50 = 0.0;
+    double p90 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
     double max = 0.0;
@@ -32,6 +33,19 @@ struct Percentiles
 /** @return nearest-rank percentiles over @p values (order
  *  irrelevant; the vector is consumed). */
 Percentiles percentiles(std::vector<double> values);
+
+/**
+ * Nearest-rank percentiles reconstructed from fixed bucket counts
+ * (the shape obs::Histogram stores): the value reported for a rank is
+ * the upper bound of the bucket holding it, clamped to [@p min,
+ * @p max] so single-bucket populations still report sane numbers.
+ * @p counts holds bounds.size() + 1 slots, the last one counting
+ * observations above every bound.  Bucket-resolution summary only -
+ * exact sample percentiles need the raw population.
+ */
+Percentiles percentilesFromBuckets(const std::vector<double> &bounds,
+                                   const std::vector<u64> &counts,
+                                   double min, double max, double sum);
 
 /** An ordered collection of named scalar statistics. */
 class Stats

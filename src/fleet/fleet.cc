@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "cpu/threadpool.hh"
+#include "obs/flightrec.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
 #include "obs/tracer.hh"
 #include "sim/timing_cache.hh"
 
@@ -45,7 +47,17 @@ struct NodeAcc
 constexpr u64 kSeedClasses = 1;
 constexpr u64 kSeedHomes = 2;
 constexpr u64 kSeedDeaths = 3;
+constexpr u64 kSeedTraceSample = 4;
 constexpr u64 kSeedNodeFaults = 0x10000;
+
+/** Bucket bounds of the per-node latency rollup histograms, ms. */
+const std::vector<double> &
+fleetLatencyBoundsMs()
+{
+    static const std::vector<double> bounds{
+        1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000};
+    return bounds;
+}
 
 bool
 validate(const Topology &topo, const FleetConfig &cfg,
@@ -392,9 +404,115 @@ simulateFleet(const Topology &topo, const FleetConfig &cfg,
         metrics.set("fleet.utilization", res.utilization);
         metrics.observeMany("fleet.latency_ms", latenciesMs);
     }
+
+    // Per-node rollup shards for the profile report: one bounded
+    // summary per node, merged deterministically by the Rollup.
+    obs::Profiler &profiler = obs::Profiler::global();
+    if (profiler.enabled()) {
+        std::vector<obs::Histogram> nodeLatency(
+            nNodes, obs::makeHistogram(fleetLatencyBoundsMs()));
+        for (const JobRec &job : jobs)
+            obs::histogramObserve(nodeLatency[job.node],
+                                  (job.finish - job.arrival) * 1e3);
+        for (u32 n = 0; n < nNodes; ++n) {
+            obs::ShardSummary shard;
+            shard.jobs = acc[n].jobs;
+            shard.faults = acc[n].faults;
+            shard.busySeconds = acc[n].busySeconds;
+            shard.netSeconds = acc[n].netSeconds;
+            shard.finishSeconds = acc[n].finishSeconds;
+            shard.latencyMs = std::move(nodeLatency[n]);
+            profiler.addRollupShard("fleet/" + topo.nodes[n].name,
+                                    std::move(shard));
+        }
+    }
+
+    // Flight recorder: keep the black box only for jobs that went
+    // wrong - SLO misses and jobs re-placed after a node death.
+    obs::FlightRecorder &recorder = obs::FlightRecorder::global();
+    if (recorder.enabled()) {
+        for (u64 j = 0; j < cfg.jobs; ++j) {
+            const JobRec &job = jobs[j];
+            const double latency = job.finish - job.arrival;
+            const bool sloMiss = cfg.sloSeconds > 0.0 &&
+                                 latency > cfg.sloSeconds;
+            const bool retried = (job.flags & JobRec::kRetried) != 0;
+            if (!sloMiss && !retried)
+                continue;
+            obs::FlightRecord rec;
+            rec.jobId = j + 1;
+            rec.what = cfg.classes[job.cls].name;
+            rec.where = topo.nodes[job.node].name;
+            rec.arrivalSeconds = job.arrival;
+            rec.startSeconds = job.start;
+            rec.finishSeconds = job.finish;
+            rec.deadlineMs = cfg.sloSeconds * 1e3;
+            rec.queueDepth = acc[job.node].jobs;
+            if (job.start > job.ready) {
+                obs::TraceEvent wait;
+                wait.name = "wait";
+                wait.cat = "fleet";
+                wait.tsUs = job.ready * 1e6;
+                wait.durUs = (job.start - job.ready) * 1e6;
+                rec.spans.push_back(wait);
+            }
+            obs::TraceEvent service;
+            service.name = cfg.classes[job.cls].name;
+            service.cat = "fleet";
+            service.tsUs = job.start * 1e6;
+            service.durUs = (job.finish - job.start) * 1e6;
+            rec.spans.push_back(std::move(service));
+            if (sloMiss) {
+                obs::FlightRecord miss = rec;
+                miss.kind = "slo_miss";
+                miss.detail =
+                    "latency " + std::to_string(latency * 1e3) +
+                    " ms > slo " +
+                    std::to_string(cfg.sloSeconds * 1e3) + " ms";
+                recorder.record(std::move(miss));
+            }
+            if (retried) {
+                rec.kind = "retry_after_node_death";
+                rec.detail = "re-placed after its first node's death";
+                recorder.record(std::move(rec));
+            }
+        }
+    }
+
     obs::Tracer &tracer = obs::Tracer::global();
     if (tracer.enabled()) {
+        // --trace-sample: bound trace memory by emitting spans for a
+        // seed-drawn reservoir sample of the nodes.
+        std::vector<bool> sampled(nNodes, true);
+        u64 sampledCount = nNodes;
+        if (cfg.traceSampleNodes > 0 &&
+            cfg.traceSampleNodes < nNodes) {
+            const u32 k = static_cast<u32>(cfg.traceSampleNodes);
+            std::vector<u32> picked;
+            picked.reserve(k);
+            Rng sampleRng(
+                fault::shardSeed(cfg.seed, kSeedTraceSample));
+            for (u32 n = 0; n < nNodes; ++n) {
+                if (n < k) {
+                    picked.push_back(n);
+                    continue;
+                }
+                const u64 slot = sampleRng.below(n + 1);
+                if (slot < k)
+                    picked[slot] = n;
+            }
+            sampled.assign(nNodes, false);
+            for (u32 n : picked)
+                sampled[n] = true;
+            sampledCount = k;
+        }
+        if (metrics.enabled()) {
+            metrics.set("fleet.trace_sampled_nodes",
+                        static_cast<double>(sampledCount));
+        }
         for (u32 n = 0; n < nNodes; ++n) {
+            if (!sampled[n])
+                continue;
             const obs::TrackId track =
                 tracer.track("fleet/" + topo.nodes[n].name);
             for (u32 idx : items[n]) {

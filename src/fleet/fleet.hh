@@ -94,6 +94,12 @@ struct FleetConfig
     std::vector<JobClass> classes;
     /** Run phase 2 on the calling thread (reference timeline). */
     bool serialTimeline = false;
+    /** Trace spans for only this many seed-sampled nodes (0 = every
+     *  node).  Bounds trace memory on large campaigns: 1000 nodes of
+     *  spans would evict each other out of the ring buffer anyway.
+     *  The sample is drawn from (seed, kSeedTraceSample), so it is
+     *  the same set at any worker count. */
+    u64 traceSampleNodes = 0;
 };
 
 /** Per-node accounting after a campaign. */

@@ -1,0 +1,71 @@
+#include "flightrec.hh"
+
+namespace hetsim::obs
+{
+
+void
+FlightRecorder::setCapacity(size_t cap)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    capacity = cap;
+    while (records.size() > capacity) {
+        records.erase(std::prev(records.end()));
+        droppedRecords += 1;
+    }
+}
+
+void
+FlightRecorder::record(FlightRecord rec)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto key = std::make_pair(rec.jobId, rec.kind);
+    auto it = records.find(key);
+    if (it != records.end()) {
+        it->second = std::move(rec); // latest offer for a key wins
+        return;
+    }
+    records.emplace(std::move(key), std::move(rec));
+    // Deterministic retention: the surviving set is the `capacity`
+    // lowest (jobId, kind) keys regardless of arrival order.
+    if (records.size() > capacity) {
+        records.erase(std::prev(records.end()));
+        droppedRecords += 1;
+    }
+}
+
+std::vector<FlightRecord>
+FlightRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::vector<FlightRecord> out;
+    out.reserve(records.size());
+    for (const auto &[key, rec] : records)
+        out.push_back(rec);
+    return out;
+}
+
+u64
+FlightRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return droppedRecords;
+}
+
+void
+FlightRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    records.clear();
+    droppedRecords = 0;
+}
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+} // namespace hetsim::obs

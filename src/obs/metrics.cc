@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iomanip>
 
+#include "common/stats.hh"
+
 namespace hetsim::obs
 {
 
@@ -194,9 +196,13 @@ Metrics::dumpJson(std::ostream &os) const
         if (!first)
             os << ',';
         first = false;
+        const Percentiles pct = percentilesFromBuckets(
+            hist.bounds, hist.counts, hist.min, hist.max, hist.sum);
         os << '"' << name << "\":{\"count\":" << hist.count
            << ",\"sum\":" << hist.sum << ",\"min\":" << hist.min
-           << ",\"max\":" << hist.max << ",\"buckets\":[";
+           << ",\"max\":" << hist.max << ",\"p50\":" << pct.p50
+           << ",\"p90\":" << pct.p90 << ",\"p99\":" << pct.p99
+           << ",\"buckets\":[";
         for (size_t b = 0; b < hist.counts.size(); ++b) {
             if (b)
                 os << ',';

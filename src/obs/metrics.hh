@@ -99,7 +99,12 @@ class Metrics
     /** Dump all metrics as aligned "name value" plain text. */
     void dumpText(std::ostream &os) const;
 
-    /** Dump all metrics as one JSON object. */
+    /**
+     * Dump all metrics as one JSON object.  Keys are emitted in
+     * sorted order (the registry maps are ordered), so metric files
+     * diff cleanly across runs; histograms carry p50/p90/p99 summary
+     * fields at bucket resolution (common/stats).
+     */
     void dumpJson(std::ostream &os) const;
 
     /** @return the process-wide registry (disabled until configured). */

@@ -7,6 +7,7 @@
 #include "fault/fault.hh"
 #include "kernelir/signature.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
 
 namespace hetsim::rt
 {
@@ -369,6 +370,28 @@ RuntimeContext::launch(const ir::KernelDescriptor &desc, u64 items,
     metrics.add("kernel.seconds", timing.seconds);
     metrics.add("kernel.launch_overhead_seconds", timing.launchSeconds);
     metrics.add("kernel.items", static_cast<double>(items));
+
+    obs::Profiler &profiler = obs::Profiler::global();
+    if (profiler.enabled()) {
+        obs::ObsRecord obsRec;
+        obsRec.kernel = desc.name;
+        obsRec.device = spec.name;
+        obsRec.model = ir::toString(modelKind);
+        obsRec.precisionBits = prec == Precision::Double ? 64 : 32;
+        obsRec.items = items;
+        obsRec.coreMhz = clocks.coreMhz;
+        obsRec.memMhz = clocks.memMhz;
+        obsRec.workgroup = hints.workgroupSize;
+        obsRec.launches = 1;
+        obsRec.seconds = timing.seconds;
+        obsRec.issueSeconds = timing.issueSeconds;
+        obsRec.memSeconds = timing.memSeconds;
+        obsRec.ldsSeconds = timing.ldsSeconds;
+        obsRec.latencySeconds = timing.latencySeconds;
+        obsRec.launchSeconds = timing.launchSeconds;
+        obsRec.bound = sim::boundedness(timing);
+        profiler.observe(obsRec);
+    }
     return task;
 }
 

@@ -116,6 +116,13 @@ struct JobResult
     u64 serviceSeq = 0;
     /** Worker session that ran the job (-1 = never ran). */
     int worker = -1;
+    /** Queue depth observed at submit (flight-recorder context). */
+    u64 queueDepthAtSubmit = 0;
+    /** Effective queue-wait deadline (after the server default). */
+    double deadlineMs = 0.0;
+    /** Injected fault events the job saw, "<kind> <device> <seq>";
+     *  filled only while the flight recorder is enabled. */
+    std::vector<std::string> faultEvents;
 
     // --- Virtual-cluster accounting (computed post-hoc) -------------
     double simQueueWaitSeconds = 0.0; ///< start on the virtual cluster

@@ -8,6 +8,7 @@
 #include "coexec/coexec.hh"
 #include "core/workload.hh"
 #include "fleet/cluster.hh"
+#include "obs/flightrec.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
 #include "runtime/context.hh"
@@ -172,6 +173,16 @@ runCoexecJob(const JobSpec &spec, JobResult &res)
 
     coexec::CoExecutor executor(*pool, prec);
     auto run = executor.execute(*kernel, opts);
+    // Black-box context for the flight recorder: the injected
+    // schedule this job was exposed to, in injection order.  Filled
+    // before the failure return - failed jobs are the ones recorded.
+    if (spec.faultsGiven && obs::FlightRecorder::global().enabled()) {
+        for (const fault::FaultEvent &event : plan.schedule()) {
+            res.faultEvents.push_back(
+                std::string(fault::toString(event.kind)) + " " +
+                event.device + " " + std::to_string(event.sequence));
+        }
+    }
     if (!run.ok) {
         res.error = run.error;
         return;
@@ -214,7 +225,8 @@ runJob(const JobSpec &spec)
 }
 
 double
-applyVirtualSchedule(std::vector<JobResult> &results, u32 workers)
+applyVirtualSchedule(std::vector<JobResult> &results, u32 workers,
+                     bool trace)
 {
     if (workers == 0)
         return 0.0;
@@ -233,11 +245,26 @@ applyVirtualSchedule(std::vector<JobResult> &results, u32 workers)
     // The fleet cluster scheduler's least-loaded policy is exactly
     // that rule, so the virtual cluster is a W-node fleet.
     fleet::Cluster cluster(workers, fleet::Policy::LeastLoaded);
+    obs::Tracer &tracer = obs::Tracer::global();
+    const bool tracing = trace && tracer.enabled();
+    std::vector<obs::TrackId> tracks;
+    if (tracing) {
+        tracks.reserve(workers);
+        for (u32 w = 0; w < workers; ++w)
+            tracks.push_back(
+                tracer.track("vcluster/v" + std::to_string(w)));
+    }
     for (JobResult *res : ran) {
         const auto placed = cluster.place(
             0.0, [&](u32) { return res->simSeconds; });
         res->simQueueWaitSeconds = placed->start;
         res->simFinishSeconds = placed->start + res->simSeconds;
+        if (tracing && res->simSeconds > 0.0) {
+            tracer.span(tracks[placed->node],
+                        "job " + std::to_string(res->id) + " " +
+                            res->app,
+                        "vserve", placed->start, res->simSeconds);
+        }
     }
     return cluster.makespan();
 }
@@ -346,6 +373,42 @@ Server::recordResult(JobResult result)
         metrics.add("serve.expired");
         break;
     }
+    // Every non-Ok terminal is a flight-recorder candidate: this is
+    // the single funnel all statuses pass through, so nothing that
+    // went wrong can slip past the recorder.
+    obs::FlightRecorder &recorder = obs::FlightRecorder::global();
+    if (recorder.enabled() && result.status != JobStatus::Ok) {
+        obs::FlightRecord rec;
+        rec.jobId = result.id;
+        switch (result.status) {
+          case JobStatus::Error:
+            rec.kind = "error";
+            break;
+          case JobStatus::Rejected:
+            rec.kind = "rejected";
+            break;
+          case JobStatus::Shed:
+            rec.kind = "shed";
+            break;
+          case JobStatus::Expired:
+            rec.kind = "expired";
+            break;
+          case JobStatus::Ok:
+            break;
+        }
+        rec.what = result.app;
+        rec.where = result.worker >= 0
+                        ? "w" + std::to_string(result.worker)
+                        : "serve";
+        rec.detail = result.error;
+        rec.startSeconds = result.hostQueueWaitMs * 1e-3;
+        rec.finishSeconds =
+            (result.hostQueueWaitMs + result.hostServiceMs) * 1e-3;
+        rec.deadlineMs = result.deadlineMs;
+        rec.queueDepth = result.queueDepthAtSubmit;
+        rec.faultEvents = result.faultEvents;
+        recorder.record(std::move(rec));
+    }
     results.push_back(std::move(result));
 }
 
@@ -370,6 +433,8 @@ Server::submit(JobSpec spec)
             res.status = JobStatus::Rejected;
             res.error = "queue full (cap " +
                         std::to_string(cfg.queueCap) + ")";
+            res.deadlineMs = spec.deadlineMs;
+            res.queueDepthAtSubmit = queue.size();
             recordResult(std::move(res));
             idleCv.notify_all();
             return;
@@ -402,6 +467,8 @@ Server::submit(JobSpec spec)
             res.status = JobStatus::Shed;
             res.error = "shed at admission (queue cap " +
                         std::to_string(cfg.queueCap) + ")";
+            res.deadlineMs = shedSpec->deadlineMs;
+            res.queueDepthAtSubmit = queue.size();
             if (shedSpec == &spec) {
                 recordResult(std::move(res));
                 idleCv.notify_all();
@@ -422,8 +489,9 @@ Server::submit(JobSpec spec)
             break;
         }
     }
+    const u64 depth = queue.size();
     queue.push_back(QueuedJob{std::move(spec), nowSeconds(),
-                              submitSeq++});
+                              submitSeq++, depth});
     lk.unlock();
     workCv.notify_one();
 }
@@ -472,6 +540,8 @@ Server::workerLoop(u32 index)
                         std::to_string(waitMs) + " ms > " +
                         std::to_string(job.spec.deadlineMs) + " ms)";
             res.hostQueueWaitMs = waitMs;
+            res.deadlineMs = job.spec.deadlineMs;
+            res.queueDepthAtSubmit = job.depthAtSubmit;
             lk.lock();
             recordResult(std::move(res));
             --busyWorkers;
@@ -493,6 +563,8 @@ Server::workerLoop(u32 index)
         res.hostServiceMs = (doneSec - dequeueSec) * 1e3;
         res.serviceSeq = seq;
         res.worker = static_cast<int>(index);
+        res.deadlineMs = job.spec.deadlineMs;
+        res.queueDepthAtSubmit = job.depthAtSubmit;
 
         obs::Metrics &metrics = obs::Metrics::global();
         metrics.observe("serve.queue_wait_ms", res.hostQueueWaitMs);
@@ -633,8 +705,9 @@ runBatch(const std::vector<JobSpec> &jobs, const ServerConfig &config,
     outcome.results = server.takeResults();
     server.shutdown();
     // report() scheduled the virtual cluster on the server's copy;
-    // re-derive the per-job virtual fields on the moved-out results.
-    applyVirtualSchedule(outcome.results, config.workers);
+    // re-derive the per-job virtual fields on the moved-out results,
+    // this time emitting the deterministic vcluster timeline spans.
+    applyVirtualSchedule(outcome.results, config.workers, true);
     return outcome;
 }
 

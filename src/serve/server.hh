@@ -140,10 +140,13 @@ u64 faultScheduleHash(const std::vector<fault::FaultEvent> &schedule);
  * List-schedule the jobs that ran (worker >= 0), in serviceSeq order,
  * onto @p workers virtual workers using simSeconds as service time;
  * fills simQueueWaitSeconds / simFinishSeconds.  @return the virtual
- * makespan.
+ * makespan.  With @p trace set, each placed job additionally emits a
+ * simulated-time span on its virtual worker's "vcluster/v<i>" track
+ * (cat "vserve") - the deterministic timeline the profile analyzer
+ * attributes instead of the host wall-clock serve spans.
  */
 double applyVirtualSchedule(std::vector<JobResult> &results,
-                            u32 workers);
+                            u32 workers, bool trace = false);
 
 /** The in-process job server (see file comment). */
 class Server
@@ -200,6 +203,7 @@ class Server
         JobSpec spec;
         double submitSec = 0.0; ///< host seconds (monotonic)
         u64 submitSeq = 0;      ///< admission order
+        u64 depthAtSubmit = 0;  ///< queue depth seen at submit
     };
 
     void workerLoop(u32 index);

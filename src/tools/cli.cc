@@ -17,7 +17,9 @@
 #include "core/harness.hh"
 #include "fleet/fleet.hh"
 #include "obs/crashdump.hh"
+#include "obs/flightrec.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
 #include "obs/report.hh"
 #include "obs/tracer.hh"
 #include "serve/server.hh"
@@ -97,8 +99,8 @@ parse(const std::vector<std::string> &argv)
     if (args.command != "list" && args.command != "run" &&
         args.command != "compare" && args.command != "sweep" &&
         args.command != "coexec" && args.command != "breakdown" &&
-        args.command != "batch" && args.command != "serve" &&
-        args.command != "fleet") {
+        args.command != "profile" && args.command != "batch" &&
+        args.command != "serve" && args.command != "fleet") {
         args.error = "unknown command '" + args.command + "'";
         return args;
     }
@@ -149,6 +151,31 @@ parse(const std::vector<std::string> &argv)
                     args.error = "--metrics-out wants a file path";
                 else
                     args.metricsOut = *v;
+            }
+        } else if (arg == "--profile-out") {
+            if (auto v = value("--profile-out")) {
+                if (v->empty())
+                    args.error = "--profile-out wants a file path";
+                else
+                    args.profileOut = *v;
+            }
+        } else if (arg == "--observations-out") {
+            if (auto v = value("--observations-out")) {
+                if (v->empty())
+                    args.error = "--observations-out wants a file "
+                                 "path";
+                else
+                    args.observationsOut = *v;
+            }
+        } else if (arg == "--trace-sample") {
+            if (auto v = value("--trace-sample")) {
+                auto n = parseCount(*v);
+                if (!n || *n == 0) {
+                    args.error = "--trace-sample wants a positive "
+                                 "node count, got '" + *v + "'";
+                } else {
+                    args.traceSample = *n;
+                }
             }
         } else if (arg == "--policy") {
             if (auto v = value("--policy"))
@@ -423,6 +450,10 @@ usage(std::ostream &os)
           "             [--retry-max n] [--fail-device dev]\n"
           "  hetsim breakdown --app <app> --device <dev> [--model m]\n"
           "             [--devices <d1+d2[+..]>] [--scale f] [--dp]\n"
+          "  hetsim profile --app <app> --device <dev> [--model m]\n"
+          "             [--devices <d1+d2[+..]>] [--scale f] [--dp]\n"
+          "             [--profile-out FILE] [--observations-out "
+          "FILE]\n"
           "  hetsim batch --jobs FILE [--results-out FILE] "
           "[--workers n]\n"
           "             [--queue-cap n] [--deadline-ms n]\n"
@@ -487,11 +518,25 @@ usage(std::ostream &os)
           "  --seed N            campaign seed (class draws, homes, "
           "deaths, faults)\n"
           "  --sweep             capacity sweep: rerun at 1x 2x 4x 8x "
-          "the topology\n\n"
+          "the topology\n"
+          "  --trace-sample K    trace only K seed-sampled nodes "
+          "(bounds trace\n"
+          "                      memory on large fleets; default: all "
+          "nodes)\n\n"
           "observability (any verb):\n"
           "  --trace-out FILE    Chrome trace-event JSON "
           "(chrome://tracing)\n"
-          "  --metrics-out FILE  metrics registry dump as JSON\n\n"
+          "  --metrics-out FILE  metrics registry dump as JSON\n"
+          "  --profile-out FILE  profile report JSON: critical-path "
+          "attribution,\n"
+          "                      bottleneck label, observation "
+          "records, fleet\n"
+          "                      rollups, failed-job flight records\n"
+          "  --observations-out FILE\n"
+          "                      per-signature observation records as "
+          "JSONL\n"
+          "                      (kernel timing terms for surrogate "
+          "fitting)\n\n"
           "fault injection (coexec):\n"
           "  --inject-faults S   comma-separated kind:rate pairs with\n"
           "                      kind in {transfer, launch, stall} and\n"
@@ -915,6 +960,56 @@ cmdBreakdown(const Args &args, std::ostream &os)
     return worst > 0.01 ? 1 : 0;
 }
 
+int
+cmdProfile(const Args &args, std::ostream &os)
+{
+    std::string title;
+    double endToEnd = runForBreakdown(args, os, title);
+    if (endToEnd < 0.0)
+        return 2;
+
+    const obs::ProfileReport report = obs::buildProfile(
+        obs::Tracer::global(), obs::Profiler::global(),
+        obs::FlightRecorder::global());
+    const obs::TraceAnalysis &analysis = report.analysis;
+    if (analysis.spansAnalyzed == 0) {
+        os << "error: no spans recorded - nothing to profile\n";
+        return 2;
+    }
+
+    Table table("makespan attribution: " + title);
+    table.setHeader({"kind", "key", "phase", "seconds", "share"});
+    for (const auto &bucket : analysis.buckets) {
+        table.addRow({bucket.kind, bucket.key, bucket.phase,
+                      Table::num(bucket.seconds, 6),
+                      Table::num(100.0 * bucket.seconds /
+                                     analysis.makespanSeconds,
+                                 1) +
+                          "%"});
+    }
+    table.print(os);
+
+    Table summary("\nsummary");
+    summary.setHeader({"metric", "value"});
+    summary.addRow({"makespan (s)",
+                    Table::num(analysis.makespanSeconds, 6)});
+    summary.addRow({"attributed (s)",
+                    Table::num(analysis.attributedSeconds, 6)});
+    summary.addRow({"attribution error",
+                    Table::num(analysis.attributionError(), 12)});
+    summary.addRow({"bottleneck", report.bottleneck});
+    summary.addRow({"spans analyzed",
+                    std::to_string(analysis.spansAnalyzed)});
+    summary.addRow({"critical-path steps",
+                    std::to_string(analysis.path.size())});
+    summary.addRow({"observation records",
+                    std::to_string(report.observations.size())});
+    summary.print(os);
+    // The attribution tiles [0, makespan] by construction; a larger
+    // error means the walk missed time and the report is wrong.
+    return analysis.attributionError() > 1e-9 ? 1 : 0;
+}
+
 /** Assemble the serving config shared by the batch and serve verbs. */
 serve::ServerConfig
 serveConfig(const Args &args)
@@ -1237,6 +1332,7 @@ cmdFleet(const Args &args, std::ostream &os)
     cfg.nodeFailRate = args.nodeFailRate;
     if (args.faultsGiven)
         cfg.faults = args.faultConfig;
+    cfg.traceSampleNodes = args.traceSample;
     cfg.classes = std::move(*classes);
 
     // Gang classes cannot span more nodes than the smallest fleet in
@@ -1323,12 +1419,24 @@ cmdFleet(const Args &args, std::ostream &os)
 }
 
 /**
- * Writes --trace-out / --metrics-out files; a path that cannot be
- * opened or written produces a clear error and exit code 2.
+ * Writes --trace-out / --metrics-out / --profile-out /
+ * --observations-out files; a path that cannot be opened or written
+ * produces a clear error and exit code 2.
  */
 int
 writeObsOutputs(const Args &args, std::ostream &os)
 {
+    // Ring-buffer overflow is silent at record time (by design: the
+    // hot path never blocks), so it must be loud at dump time - a
+    // truncated trace skews every downstream attribution.
+    const u64 droppedSpans = obs::Tracer::global().dropped();
+    if (droppedSpans > 0) {
+        obs::Metrics::global().add("obs.trace.dropped_spans",
+                                   static_cast<double>(droppedSpans));
+        os << "warning: trace ring buffer dropped " << droppedSpans
+           << " events (oldest first); raise the tracer capacity or "
+              "use --trace-sample to bound span volume\n";
+    }
     if (!args.traceOut.empty()) {
         std::ofstream out(args.traceOut);
         if (!out.is_open()) {
@@ -1360,6 +1468,42 @@ writeObsOutputs(const Args &args, std::ostream &os)
             return 2;
         }
     }
+    if (!args.profileOut.empty()) {
+        std::ofstream out(args.profileOut);
+        if (!out.is_open()) {
+            os << "error: cannot open profile output '"
+               << args.profileOut << "': " << std::strerror(errno)
+               << "\n";
+            return 2;
+        }
+        const obs::ProfileReport report = obs::buildProfile(
+            obs::Tracer::global(), obs::Profiler::global(),
+            obs::FlightRecorder::global());
+        obs::writeProfileJson(out, report);
+        out.flush();
+        if (!out) {
+            os << "error: failed writing profile output '"
+               << args.profileOut << "'\n";
+            return 2;
+        }
+    }
+    if (!args.observationsOut.empty()) {
+        std::ofstream out(args.observationsOut);
+        if (!out.is_open()) {
+            os << "error: cannot open observations output '"
+               << args.observationsOut << "': "
+               << std::strerror(errno) << "\n";
+            return 2;
+        }
+        obs::writeObservationsJsonl(
+            out, obs::Profiler::global().observations());
+        out.flush();
+        if (!out) {
+            os << "error: failed writing observations output '"
+               << args.observationsOut << "'\n";
+            return 2;
+        }
+    }
     return 0;
 }
 
@@ -1380,6 +1524,10 @@ struct ObsSession
         obs::Tracer::global().setEnabled(true);
         obs::Metrics::global().clear();
         obs::Metrics::global().setEnabled(true);
+        obs::Profiler::global().clear();
+        obs::Profiler::global().setEnabled(true);
+        obs::FlightRecorder::global().clear();
+        obs::FlightRecorder::global().setEnabled(true);
         // Crash-path flush: a panic()/fatal() mid-run still leaves
         // parseable --trace-out/--metrics-out files behind.
         obs::installCrashDump(trace_path, metrics_path);
@@ -1392,6 +1540,8 @@ struct ObsSession
         obs::removeCrashDump();
         obs::Tracer::global().setEnabled(false);
         obs::Metrics::global().setEnabled(false);
+        obs::Profiler::global().setEnabled(false);
+        obs::FlightRecorder::global().setEnabled(false);
     }
 
     bool active;
@@ -1431,7 +1581,10 @@ execute(const Args &args, std::ostream &os)
 
     ObsSession obs_session(!args.traceOut.empty() ||
                                !args.metricsOut.empty() ||
-                               args.command == "breakdown",
+                               !args.profileOut.empty() ||
+                               !args.observationsOut.empty() ||
+                               args.command == "breakdown" ||
+                               args.command == "profile",
                            args.traceOut, args.metricsOut);
     TimingCacheSession cache_session(args.timingCache);
 
@@ -1448,6 +1601,8 @@ execute(const Args &args, std::ostream &os)
         rc = cmdCoexec(args, os);
     else if (args.command == "breakdown")
         rc = cmdBreakdown(args, os);
+    else if (args.command == "profile")
+        rc = cmdProfile(args, os);
     else if (args.command == "batch")
         rc = cmdBatch(args, os);
     else if (args.command == "serve")

@@ -13,6 +13,10 @@
  *                 [--dp] [--functional]
  *   hetsim breakdown --app xsbench --device dgpu [--model opencl]
  *                 [--devices cpu+dgpu] [--scale 1.0] [--dp]
+ *   hetsim profile --app xsbench --device dgpu [--model opencl]
+ *                 [--devices cpu+dgpu] [--scale 1.0] [--dp]
+ *                 [--profile-out report.json]
+ *                 [--observations-out obs.jsonl]
  *   hetsim batch --jobs jobs.jsonl [--results-out results.jsonl]
  *                 [--workers 4] [--queue-cap N] [--deadline-ms N]
  *                 [--admission reject|shed|block]
@@ -25,8 +29,12 @@
  *                 [--seed N] [--sweep] [--inject-faults spec]
  *
  * Every verb accepts --trace-out FILE (Chrome trace-event JSON for
- * chrome://tracing / Perfetto) and --metrics-out FILE (metrics
- * registry dump as JSON).
+ * chrome://tracing / Perfetto), --metrics-out FILE (metrics registry
+ * dump as JSON), --profile-out FILE (self-contained profile report:
+ * critical-path attribution, bottleneck label, observation records,
+ * rollups, flight records), and --observations-out FILE
+ * (per-signature observation records as JSONL).  The fleet verb
+ * additionally accepts --trace-sample K to bound trace memory.
  *
  * The parsing and command logic live here (unit-testable); main.cc is
  * a thin wrapper.
@@ -50,8 +58,8 @@ namespace hetsim::cli
 /** Parsed command line. */
 struct Args
 {
-    /** list | run | compare | sweep | coexec | breakdown | batch |
-     *  serve | fleet */
+    /** list | run | compare | sweep | coexec | breakdown | profile |
+     *  batch | serve | fleet */
     std::string command;
     std::string app = "readmem";
     std::string model = "opencl";
@@ -76,6 +84,9 @@ struct Args
     bool timingCache = true;
     std::string traceOut;   ///< Chrome trace JSON path ("" = off)
     std::string metricsOut; ///< metrics JSON path ("" = off)
+    std::string profileOut; ///< profile report JSON path ("" = off)
+    /** per-signature observation JSONL path ("" = off). */
+    std::string observationsOut;
     sim::FreqDomain freq{0.0, 0.0};
     // --- serving layer (batch / serve verbs) ------------------------
     std::string jobs;       ///< JSONL job file (batch)
@@ -95,6 +106,7 @@ struct Args
     double nodeFailRate = 0.0; ///< per-node death probability
     u64 seed = 0x5eedULL;   ///< fleet campaign seed
     bool fleetSweep = false; ///< capacity sweep over x{1,2,4,8}
+    u64 traceSample = 0;    ///< fleet: traced-node sample (0 = all)
     std::string error; ///< non-empty on parse failure
 };
 

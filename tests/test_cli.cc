@@ -268,6 +268,50 @@ TEST(CliParse, ObservabilityFlags)
     EXPECT_FALSE(parse({"run", "--metrics-out", ""}).error.empty());
 }
 
+TEST(CliParse, ProfilingFlags)
+{
+    Args args = parse({"profile", "--app", "xsbench", "--device",
+                       "dgpu", "--profile-out", "/tmp/p.json",
+                       "--observations-out", "/tmp/o.jsonl"});
+    EXPECT_TRUE(args.error.empty()) << args.error;
+    EXPECT_EQ(args.command, "profile");
+    EXPECT_EQ(args.profileOut, "/tmp/p.json");
+    EXPECT_EQ(args.observationsOut, "/tmp/o.jsonl");
+
+    Args fleet = parse({"fleet", "--trace-sample", "8"});
+    EXPECT_TRUE(fleet.error.empty()) << fleet.error;
+    EXPECT_EQ(fleet.traceSample, 8u);
+
+    // Strict validation with line-tested messages.
+    Args bad = parse({"run", "--profile-out", ""});
+    EXPECT_EQ(bad.error, "--profile-out wants a file path");
+    bad = parse({"run", "--observations-out", ""});
+    EXPECT_EQ(bad.error, "--observations-out wants a file path");
+    bad = parse({"fleet", "--trace-sample", "0"});
+    EXPECT_EQ(bad.error,
+              "--trace-sample wants a positive node count, got '0'");
+    bad = parse({"fleet", "--trace-sample", "nope"});
+    EXPECT_EQ(bad.error,
+              "--trace-sample wants a positive node count, got "
+              "'nope'");
+    EXPECT_FALSE(parse({"run", "--profile-out"}).error.empty());
+    EXPECT_FALSE(parse({"fleet", "--trace-sample"}).error.empty());
+}
+
+TEST(CliExecute, ProfileVerbAttributesTheRun)
+{
+    std::ostringstream os;
+    Args args = parse({"profile", "--app", "xsbench", "--device",
+                       "dgpu", "--scale", "0.1"});
+    // Exit code 1 would mean an attribution error above 1e-9.
+    EXPECT_EQ(execute(args, os), 0);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("makespan attribution"), std::string::npos);
+    EXPECT_NE(out.find("bottleneck"), std::string::npos);
+    EXPECT_NE(out.find("attribution error"), std::string::npos);
+    EXPECT_NE(out.find("observation records"), std::string::npos);
+}
+
 TEST(CliExecute, BreakdownPhaseSumsMatchMakespan)
 {
     std::ostringstream os;
