@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace hetsim::json
@@ -158,10 +159,20 @@ class Parser
             value.kind = Value::Kind::Number;
             value.text = s.substr(start, pos - start);
             char *end = nullptr;
+            errno = 0;
             value.number = std::strtod(value.text.c_str(), &end);
             if (end != value.text.c_str() + value.text.size()) {
                 error = "malformed number '" + value.text + "' for \"" +
                         key + "\"";
+                return false;
+            }
+            // Overflow to +/-inf is a loud error; underflow to a
+            // denormal or zero (ERANGE with a tiny result) is accepted
+            // as the nearest representable value.
+            if (errno == ERANGE &&
+                std::fabs(value.number) == HUGE_VAL) {
+                error = "number out of range '" + value.text +
+                        "' for \"" + key + "\"";
                 return false;
             }
             return true;

@@ -40,14 +40,21 @@ percentilesFromBuckets(const std::vector<double> &bounds,
                        double max, double sum)
 {
     Percentiles summary;
+    if (counts.empty())
+        return summary;
     u64 total = 0;
     for (u64 c : counts)
         total += c;
     if (total == 0)
         return summary;
+    // An inconsistent caller can hand min > max (e.g. a histogram
+    // merged from empty shards); collapse to an ordered range instead
+    // of feeding std::clamp undefined bounds.
+    const double lo = std::min(min, max);
+    const double hi = std::max(min, max);
     summary.count = total;
     summary.mean = sum / static_cast<double>(total);
-    summary.max = max;
+    summary.max = hi;
     auto rank = [&](double pct) {
         // Nearest-rank over the cumulative bucket counts; the value
         // is the bucket's upper bound (bucket resolution).
@@ -58,11 +65,11 @@ percentilesFromBuckets(const std::vector<double> &bounds,
         for (size_t b = 0; b < counts.size(); ++b) {
             seen += counts[b];
             if (seen >= target) {
-                double v = b < bounds.size() ? bounds[b] : max;
-                return std::clamp(v, min, max);
+                double v = b < bounds.size() ? bounds[b] : hi;
+                return std::clamp(v, lo, hi);
             }
         }
-        return max;
+        return hi;
     };
     summary.p50 = rank(50.0);
     summary.p90 = rank(90.0);

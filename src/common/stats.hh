@@ -31,7 +31,8 @@ struct Percentiles
 };
 
 /** @return nearest-rank percentiles over @p values (order
- *  irrelevant; the vector is consumed). */
+ *  irrelevant; the vector is consumed).  An empty vector yields the
+ *  all-zero summary. */
 Percentiles percentiles(std::vector<double> values);
 
 /**
@@ -41,7 +42,10 @@ Percentiles percentiles(std::vector<double> values);
  * @p max] so single-bucket populations still report sane numbers.
  * @p counts holds bounds.size() + 1 slots, the last one counting
  * observations above every bound.  Bucket-resolution summary only -
- * exact sample percentiles need the raw population.
+ * exact sample percentiles need the raw population.  Empty or
+ * all-zero @p counts yield the all-zero summary, and an inverted
+ * [@p min, @p max] range is reordered instead of hitting undefined
+ * std::clamp behavior.
  */
 Percentiles percentilesFromBuckets(const std::vector<double> &bounds,
                                    const std::vector<u64> &counts,

@@ -1,0 +1,94 @@
+#include "fleet/costing.hh"
+
+#include "model/surrogate.hh"
+
+namespace hetsim::fleet
+{
+
+std::vector<ClassDef> paperClassMix()
+{
+    return {
+        {"readmem", "readmem", "opencl", 4.0, 256ull << 20, 1, 0, 0,
+         0, ""},
+        {"xsbench", "xsbench", "opencl", 2.0, 64ull << 20, 1, 0, 0, 0,
+         ""},
+        {"minife", "minife", "opencl", 2.0, 128ull << 20, 1, 0, 0, 0,
+         ""},
+        {"lulesh-gang", "lulesh", "opencl", 0.5, 32ull << 20, 4, 16,
+         8ull << 20, 1ull << 20, ""},
+    };
+}
+
+std::optional<CostingOutcome>
+costClasses(const std::vector<ClassDef> &defs,
+            const std::vector<std::string> &kinds,
+            model::Surrogate *surrogate, const ProbeFn &probe,
+            std::string &error)
+{
+    CostingOutcome out;
+    out.classes.reserve(defs.size());
+
+    // First pass: answer what the surrogate knows, collect the rest.
+    struct Missing
+    {
+        size_t classIndex;
+        std::string kind;
+    };
+    std::vector<ProbeCell> cells;
+    std::vector<Missing> missing;
+    for (size_t c = 0; c < defs.size(); ++c) {
+        const ClassDef &def = defs[c];
+        JobClass cls;
+        cls.name = def.name;
+        cls.weight = def.weight;
+        cls.inputBytes = def.inputBytes;
+        cls.gangNodes = def.gangNodes;
+        cls.haloIters = def.haloIters;
+        cls.haloBytesPerNeighbor = def.haloBytes;
+        cls.reduceBytes = def.reduceBytes;
+        const std::string &key =
+            def.costKey.empty() ? def.name : def.costKey;
+        for (const std::string &kind : kinds) {
+            const auto known =
+                surrogate != nullptr ? surrogate->jobCost(key, kind)
+                                     : std::nullopt;
+            if (known) {
+                cls.secondsByDevice[kind] = *known;
+                ++out.surrogateHits;
+            } else {
+                missing.push_back({c, kind});
+                cells.push_back({def.app, def.model, kind});
+            }
+        }
+        out.classes.push_back(std::move(cls));
+    }
+
+    // Second pass: one batched probe for every unknown cell.
+    if (!cells.empty()) {
+        const auto seconds = probe(cells, error);
+        if (!seconds)
+            return std::nullopt;
+        if (seconds->size() != cells.size()) {
+            error = "fleet class probe returned " +
+                    std::to_string(seconds->size()) + " costs for " +
+                    std::to_string(cells.size()) + " cells";
+            return std::nullopt;
+        }
+        for (size_t i = 0; i < missing.size(); ++i) {
+            const Missing &m = missing[i];
+            out.classes[m.classIndex].secondsByDevice[m.kind] =
+                (*seconds)[i];
+            if (surrogate != nullptr) {
+                const ClassDef &def = defs[m.classIndex];
+                surrogate->setJobCost(def.costKey.empty()
+                                          ? def.name
+                                          : def.costKey,
+                                      m.kind, (*seconds)[i]);
+            }
+            ++out.probed;
+        }
+    }
+    return out;
+}
+
+} // namespace hetsim::fleet

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * hetsim::fleet - job-class costing with a surrogate fast path.
+ *
+ * A fleet campaign needs one simulated service time per (job class,
+ * device kind) cell before any placement can happen.  Historically
+ * every cell was probed through the device simulator (one job per
+ * cell over the serving layer); with a model::Surrogate carrying
+ * exact job-cost anchors, already-known cells are answered from the
+ * model file in microseconds and only the missing cells are probed -
+ * in one batched call, same as the probe-everything path.
+ *
+ * Costs served from the surrogate are the *exact* doubles an earlier
+ * probe produced (they round-trip through the model file at 17
+ * significant digits), so a campaign costed from the surrogate is
+ * bitwise-identical to one costed by probing: the surrogate changes
+ * where the numbers come from, never what they are.  Probed cells are
+ * written back into the surrogate so a `--model-out` after costing
+ * persists the complete table.
+ */
+
+#ifndef HETSIM_FLEET_COSTING_HH
+#define HETSIM_FLEET_COSTING_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "fleet/fleet.hh"
+
+namespace hetsim::model
+{
+class Surrogate;
+}
+
+namespace hetsim::fleet
+{
+
+/** One job class of the built-in fleet mix, before costing. */
+struct ClassDef
+{
+    std::string name;
+    std::string app;
+    std::string model;
+    double weight = 1.0;
+    u64 inputBytes = 0;
+    u32 gangNodes = 1;
+    u32 haloIters = 0;
+    u64 haloBytes = 0;
+    u64 reduceBytes = 0;
+    /** Surrogate job-cost key ("" = name).  The caller appends the
+     *  run parameters the cost depends on (e.g. "|scale=0.5") so a
+     *  model recorded under one configuration never answers for
+     *  another. */
+    std::string costKey;
+};
+
+/** The paper's default fleet job mix (weights + fabric payloads). */
+std::vector<ClassDef> paperClassMix();
+
+/** One (class, device kind) cell that still needs the simulator. */
+struct ProbeCell
+{
+    std::string app;
+    std::string model;
+    std::string device;
+};
+
+/**
+ * Probe callback: simulate every cell (one batched run) and return
+ * the per-cell service times in order, or nullopt with @p error set.
+ */
+using ProbeFn = std::function<std::optional<std::vector<double>>(
+    const std::vector<ProbeCell> &cells, std::string &error)>;
+
+/** What costClasses produced, plus where the numbers came from. */
+struct CostingOutcome
+{
+    std::vector<JobClass> classes;
+    /** Cells answered from the surrogate's job-cost anchors. */
+    u64 surrogateHits = 0;
+    /** Cells that went through the simulator probe. */
+    u64 probed = 0;
+};
+
+/**
+ * Cost every class over @p kinds.  Cells found in @p surrogate (keyed
+ * by class name x device kind) are served from its exact job-cost
+ * anchors; the rest go through @p probe in one batched call and are
+ * recorded back into the surrogate (when non-null) for later
+ * `--model-out`.  Pass surrogate == nullptr (`--no-surrogate`) to
+ * probe every cell.  @return nullopt with @p error set when the probe
+ * fails.
+ */
+std::optional<CostingOutcome>
+costClasses(const std::vector<ClassDef> &defs,
+            const std::vector<std::string> &kinds,
+            model::Surrogate *surrogate, const ProbeFn &probe,
+            std::string &error);
+
+} // namespace hetsim::fleet
+
+#endif // HETSIM_FLEET_COSTING_HH

@@ -1,0 +1,314 @@
+#include "model/fit.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace hetsim::model
+{
+
+namespace
+{
+
+/** Relative-error floor: terms that are exactly zero everywhere
+ *  (e.g. LDS time on a cache-less CPU) score 0 against a zero fit. */
+constexpr double kRelErrFloor = 1e-18;
+
+/** Near-tie margin for first-wins hypothesis selection. */
+constexpr double kTieMargin = 1e-15;
+
+double basisValue(const FitPoint &p, int column)
+{
+    switch (column) {
+    case 0:
+        return 1.0;
+    case 1:
+        return p.items;
+    case 2:
+        return p.coreMhz > 0.0 ? p.items / p.coreMhz : 0.0;
+    default:
+        return p.memMhz > 0.0 ? p.items / p.memMhz : 0.0;
+    }
+}
+
+double relErr(double predicted, double actual)
+{
+    const double denom = std::max(std::fabs(actual), kRelErrFloor);
+    return std::fabs(predicted - actual) / denom;
+}
+
+/**
+ * Weighted *relative* least squares over the hypothesis's active
+ * columns via scaled normal equations + partial-pivot Gaussian
+ * elimination: each point's residual is divided by its observed value
+ * (floored to stay finite near zero), so the solver minimizes the
+ * same relative-error metric selection scores and serving consumers
+ * care about.  Absolute least squares would let large-item points
+ * dominate and concentrate double-digit relative error at the small
+ * end of a scale grid whenever a term is not exactly representable
+ * (e.g. cache-simulated miss ratios drifting with working-set size).
+ * @p skip, when >= 0, leaves that point out (LOOCV fold).
+ * @return false when the normal matrix is singular on the data.
+ */
+bool solveLs(const std::vector<FitPoint> &points, const Hypothesis &hyp,
+             int skip, double coefOut[kBasisTerms])
+{
+    std::array<int, kBasisTerms> cols{};
+    int k = 0;
+    for (int j = 0; j < kBasisTerms; ++j)
+        if (hyp.terms[j])
+            cols[static_cast<size_t>(k++)] = j;
+
+    // Relative row weights: launches / value^2, floored at a fraction
+    // of the group's magnitude so near-zero outliers cannot dominate,
+    // then normalized so the matrix scale (and the singularity
+    // threshold below) is independent of the term's units.
+    double vmax = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (static_cast<int>(i) == skip)
+            continue;
+        vmax = std::max(vmax, std::fabs(points[i].value));
+    }
+    std::vector<double> weights(points.size(), 0.0);
+    double wsum = 0.0;
+    size_t used = 0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (static_cast<int>(i) == skip)
+            continue;
+        const double denom = std::max(
+            {std::fabs(points[i].value), 1e-6 * vmax, kRelErrFloor});
+        const double launches =
+            points[i].weight > 0.0 ? points[i].weight : 1.0;
+        weights[i] = launches / (denom * denom);
+        wsum += weights[i];
+        ++used;
+    }
+    if (used == 0 || wsum <= 0.0)
+        return false;
+    const double wnorm = static_cast<double>(used) / wsum;
+
+    // Column scaling keeps items^2 ~ 1e16 entries conditioned next to
+    // the constant column.
+    std::array<double, kBasisTerms> scale{};
+    for (int a = 0; a < k; ++a) {
+        double mx = 0.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+            if (static_cast<int>(i) == skip)
+                continue;
+            mx = std::max(
+                mx, std::fabs(basisValue(points[i], cols[static_cast<size_t>(a)])));
+        }
+        scale[static_cast<size_t>(a)] = mx > 0.0 ? mx : 1.0;
+    }
+
+    double m[kBasisTerms][kBasisTerms + 1] = {};
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (static_cast<int>(i) == skip)
+            continue;
+        const FitPoint &p = points[i];
+        const double w = weights[i] * wnorm;
+        std::array<double, kBasisTerms> phi{};
+        for (int a = 0; a < k; ++a)
+            phi[static_cast<size_t>(a)] =
+                basisValue(p, cols[static_cast<size_t>(a)]) /
+                scale[static_cast<size_t>(a)];
+        for (int a = 0; a < k; ++a) {
+            for (int b = 0; b < k; ++b)
+                m[a][b] += w * phi[static_cast<size_t>(a)] *
+                           phi[static_cast<size_t>(b)];
+            m[a][k] += w * phi[static_cast<size_t>(a)] * p.value;
+        }
+    }
+
+    // Partial-pivot elimination; a tiny pivot on the scaled matrix
+    // means the data cannot distinguish this hypothesis's columns.
+    for (int col = 0; col < k; ++col) {
+        int pivot = col;
+        for (int row = col + 1; row < k; ++row)
+            if (std::fabs(m[row][col]) > std::fabs(m[pivot][col]))
+                pivot = row;
+        if (std::fabs(m[pivot][col]) < 1e-12)
+            return false;
+        if (pivot != col)
+            for (int c = col; c <= k; ++c)
+                std::swap(m[pivot][c], m[col][c]);
+        for (int row = col + 1; row < k; ++row) {
+            const double f = m[row][col] / m[col][col];
+            for (int c = col; c <= k; ++c)
+                m[row][c] -= f * m[col][c];
+        }
+    }
+
+    std::array<double, kBasisTerms> x{};
+    for (int row = k - 1; row >= 0; --row) {
+        double acc = m[row][k];
+        for (int c = row + 1; c < k; ++c)
+            acc -= m[row][c] * x[static_cast<size_t>(c)];
+        x[static_cast<size_t>(row)] = acc / m[row][row];
+    }
+
+    for (int j = 0; j < kBasisTerms; ++j)
+        coefOut[j] = 0.0;
+    for (int a = 0; a < k; ++a)
+        coefOut[cols[static_cast<size_t>(a)]] =
+            x[static_cast<size_t>(a)] / scale[static_cast<size_t>(a)];
+    return true;
+}
+
+double evalCoefs(const double coef[kBasisTerms], const FitPoint &p)
+{
+    double v = 0.0;
+    for (int j = 0; j < kBasisTerms; ++j)
+        v += coef[j] * basisValue(p, j);
+    return std::max(v, 0.0);
+}
+
+double evalEnvelope(const double coef[kBasisTerms], const FitPoint &p)
+{
+    double v = 0.0;
+    for (int j = 0; j < kBasisTerms; ++j)
+        v = std::max(v, coef[j] * basisValue(p, j));
+    return v;
+}
+
+/**
+ * Exact lower-envelope estimator for a max-of-planes hypothesis: each
+ * active coefficient is the minimum over points of value/column.  On
+ * data generated by such a max this recovers every plane that is
+ * binding somewhere, reproducing the points exactly; it never
+ * overpredicts a training point.  Deterministic, no iteration.
+ * @return false when no point has every active column positive.
+ */
+bool solveEnvelope(const std::vector<FitPoint> &points,
+                   const Hypothesis &hyp, int skip,
+                   double coefOut[kBasisTerms])
+{
+    for (int j = 0; j < kBasisTerms; ++j)
+        coefOut[j] = 0.0;
+    bool any = false;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (static_cast<int>(i) == skip)
+            continue;
+        const FitPoint &p = points[i];
+        const double value = std::max(p.value, 0.0);
+        bool usable = true;
+        for (int j = 0; j < kBasisTerms && usable; ++j)
+            usable = !hyp.terms[j] || basisValue(p, j) > 0.0;
+        if (!usable)
+            continue;
+        for (int j = 0; j < kBasisTerms; ++j) {
+            if (!hyp.terms[j])
+                continue;
+            const double plane = value / basisValue(p, j);
+            coefOut[j] = any ? std::min(coefOut[j], plane) : plane;
+        }
+        any = true;
+    }
+    return any;
+}
+
+} // namespace
+
+const std::vector<Hypothesis> &hypothesisGrid()
+{
+    static const std::vector<Hypothesis> grid = {
+        {"1", {true, false, false, false}, 1},
+        {"n", {false, true, false, false}, 1},
+        {"n/fc", {false, false, true, false}, 1},
+        {"n/fm", {false, false, false, true}, 1},
+        {"1+n", {true, true, false, false}, 2},
+        {"1+n/fc", {true, false, true, false}, 2},
+        {"1+n/fm", {true, false, false, true}, 2},
+        {"1+n+n/fc", {true, true, true, false}, 3},
+        {"1+n+n/fm", {true, true, false, true}, 3},
+        {"n/fc+n/fm", {false, false, true, true}, 2},
+        {"1+n/fc+n/fm", {true, false, true, true}, 3},
+        {"1+n+n/fc+n/fm", {true, true, true, true}, 4},
+        {"max(n/fc,n/fm)", {false, false, true, true}, 2, true},
+    };
+    return grid;
+}
+
+int hypothesisIndexByName(const std::string &name)
+{
+    const auto &grid = hypothesisGrid();
+    for (size_t i = 0; i < grid.size(); ++i)
+        if (name == grid[i].name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+double TermFit::eval(double items, double coreMhz, double memMhz) const
+{
+    FitPoint p;
+    p.items = items;
+    p.coreMhz = coreMhz;
+    p.memMhz = memMhz;
+    const auto &grid = hypothesisGrid();
+    if (grid[static_cast<size_t>(hypothesis)].envelope)
+        return evalEnvelope(coef, p);
+    return evalCoefs(coef, p);
+}
+
+TermFit fitTerm(const std::vector<FitPoint> &points)
+{
+    const auto &grid = hypothesisGrid();
+    TermFit best;
+    double bestCv = -1.0;
+
+    for (size_t h = 0; h < grid.size(); ++h) {
+        const Hypothesis &hyp = grid[h];
+        if (points.size() < static_cast<size_t>(hyp.arity))
+            continue;
+
+        const auto solve = [&](int skip, double out[kBasisTerms]) {
+            return hyp.envelope ? solveEnvelope(points, hyp, skip, out)
+                                : solveLs(points, hyp, skip, out);
+        };
+        const auto eval = [&](const double c[kBasisTerms],
+                              const FitPoint &p) {
+            return hyp.envelope ? evalEnvelope(c, p) : evalCoefs(c, p);
+        };
+
+        double coef[kBasisTerms];
+        if (!solve(-1, coef))
+            continue;
+
+        double trainMax = 0.0;
+        for (const FitPoint &p : points)
+            trainMax = std::max(trainMax, relErr(eval(coef, p), p.value));
+
+        double cv = trainMax;
+        if (points.size() > static_cast<size_t>(hyp.arity)) {
+            double acc = 0.0;
+            double wsum = 0.0;
+            bool folded = true;
+            for (size_t i = 0; i < points.size(); ++i) {
+                double foldCoef[kBasisTerms];
+                if (!solve(static_cast<int>(i), foldCoef)) {
+                    folded = false;
+                    break;
+                }
+                const double w =
+                    points[i].weight > 0.0 ? points[i].weight : 1.0;
+                acc += w * relErr(eval(foldCoef, points[i]),
+                                  points[i].value);
+                wsum += w;
+            }
+            if (folded && wsum > 0.0)
+                cv = acc / wsum;
+        }
+
+        if (bestCv < 0.0 || cv < bestCv - kTieMargin) {
+            bestCv = cv;
+            for (int j = 0; j < kBasisTerms; ++j)
+                best.coef[j] = coef[j];
+            best.hypothesis = static_cast<int>(h);
+            best.cvRelErr = cv;
+            best.trainRelErr = trainMax;
+        }
+    }
+    return best;
+}
+
+} // namespace hetsim::model

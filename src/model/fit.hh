@@ -1,0 +1,119 @@
+/**
+ * @file
+ * hetsim::model - closed-form term fitting for the surrogate layer.
+ *
+ * Each roofline term of a kernel signature (issue, memory, LDS,
+ * latency, launch) is fitted independently against a small grid of
+ * roofline-shaped hypotheses over the basis
+ *
+ *   { 1, items, items/coreMhz, items/memMhz }
+ *
+ * mirroring how the simulator actually composes time: issue and
+ * memory terms scale with work over a clock, launch overhead is a
+ * constant, and latency terms mix a clock-independent DRAM component
+ * with clock-scaled cache components.  Sum hypotheses combine their
+ * columns additively; the trailing roofline hypothesis
+ * "max(n/fc,n/fm)" combines two planes by max, capturing terms whose
+ * binding constraint switches with the clock pair (a memory term that
+ * is issue-limited at low core clock and DRAM-limited elsewhere).
+ * The grid is ordered simple to complex and the winner is chosen by
+ * leave-one-out cross-validated mean relative error with a
+ * first-wins tie-break, so fits are deterministic and prefer the
+ * simplest adequate form (Extra-P's model-selection discipline on a
+ * roofline basis).
+ *
+ * Fitting is weighted *relative* least squares - residuals are
+ * divided by the observed values, so the solver minimizes the same
+ * relative-error metric the selection scores - on the normal
+ * equations with column scaling and partial-pivot elimination;
+ * hypotheses whose normal matrix is singular on the data (for example
+ * items/coreMhz when every point shares one clock) are skipped, which
+ * keeps the selection well-posed without special cases.
+ */
+
+#ifndef HETSIM_MODEL_FIT_HH
+#define HETSIM_MODEL_FIT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hetsim::model
+{
+
+/** Basis size: 1, items, items/coreMhz, items/memMhz. */
+inline constexpr int kBasisTerms = 4;
+
+/** One training observation for a single roofline term. */
+struct FitPoint
+{
+    double items = 0.0;
+    double coreMhz = 0.0;
+    double memMhz = 0.0;
+    /** Per-launch mean of the term, seconds. */
+    double value = 0.0;
+    /** Fit weight (launch count folded into the observation). */
+    double weight = 1.0;
+};
+
+/** One hypothesis: a subset of the basis, named canonically. */
+struct Hypothesis
+{
+    /** Canonical name, e.g. "1+n/fc" (n=items, fc/fm=core/mem MHz). */
+    const char *name;
+    /** Which basis columns participate. */
+    bool terms[kBasisTerms];
+    /** Number of participating columns. */
+    int arity;
+    /**
+     * Roofline form: the participating columns combine by max, not
+     * sum, and are fitted by the exact lower-envelope estimator
+     * (coef = min over points of value/column) instead of least
+     * squares.  Captures regime switches like a bandwidth term that
+     * is issue-limited at one clock corner and DRAM-limited at
+     * another - a max of planes through the origin that no linear
+     * basis can express.
+     */
+    bool envelope = false;
+};
+
+/**
+ * The fixed hypothesis grid, ordered simple to complex so near-tie
+ * selection prefers the simplest form.  Index 0 is the constant
+ * hypothesis "1", which is fittable from a single point and
+ * guarantees fitTerm always returns a model.
+ */
+const std::vector<Hypothesis> &hypothesisGrid();
+
+/** @return grid index for a canonical name, or -1 if unknown. */
+int hypothesisIndexByName(const std::string &name);
+
+/** A fitted term: basis coefficients plus selection diagnostics. */
+struct TermFit
+{
+    /** Coefficients for {1, n, n/fc, n/fm}; unused columns are 0. */
+    double coef[kBasisTerms] = {0.0, 0.0, 0.0, 0.0};
+    /** Index of the selected hypothesis in hypothesisGrid(). */
+    int hypothesis = 0;
+    /** Weighted-mean LOOCV relative error of the selected form. */
+    double cvRelErr = 0.0;
+    /** Max training relative error of the selected form. */
+    double trainRelErr = 0.0;
+
+    /** Evaluate the fitted form, clamped to be non-negative. */
+    double eval(double items, double coreMhz, double memMhz) const;
+};
+
+/**
+ * Fit one roofline term: try every eligible hypothesis, score each by
+ * leave-one-out cross-validated weighted-mean relative error (training
+ * error when the point count equals the arity), and keep the first
+ * grid entry within 1e-15 of the best score.  Deterministic for a
+ * given point sequence.  @p points must be non-empty.
+ */
+TermFit fitTerm(const std::vector<FitPoint> &points);
+
+} // namespace hetsim::model
+
+#endif // HETSIM_MODEL_FIT_HH

@@ -82,6 +82,11 @@ putObsRecord(std::ostream &os, const ObsRecord &rec)
        << ",\"workgroup\":" << rec.workgroup
        << ",\"launches\":" << rec.launches
        << ",\"seconds\":" << rec.seconds
+       << ",\"mean_seconds\":" << rec.meanSeconds
+       << ",\"var_seconds\":"
+       << (rec.launches > 0
+               ? rec.m2Seconds / static_cast<double>(rec.launches)
+               : 0.0)
        << ",\"issue_seconds\":" << rec.issueSeconds
        << ",\"mem_seconds\":" << rec.memSeconds
        << ",\"lds_seconds\":" << rec.ldsSeconds
@@ -120,12 +125,30 @@ Profiler::observe(const ObsRecord &rec)
     std::lock_guard<std::mutex> lock(mtx);
     Key key{rec.kernel,  rec.device, rec.model,  rec.precisionBits,
             rec.items,   rec.coreMhz, rec.memMhz, rec.workgroup};
+    const double inMean =
+        rec.launches > 0
+            ? rec.seconds / static_cast<double>(rec.launches)
+            : 0.0;
     auto it = records.find(key);
     if (it == records.end()) {
         it = records.emplace(std::move(key), rec).first;
+        it->second.meanSeconds = inMean;
+        it->second.m2Seconds = rec.m2Seconds;
         return;
     }
     ObsRecord &acc = it->second;
+    // Chan's parallel merge keeps the mean bit-exact when every
+    // launch of a signature times identically (delta == 0), so the
+    // folded mean never depends on observation order.
+    const double accN = static_cast<double>(acc.launches);
+    const double inN = static_cast<double>(rec.launches);
+    const double total = accN + inN;
+    if (total > 0.0) {
+        const double delta = inMean - acc.meanSeconds;
+        acc.m2Seconds += rec.m2Seconds +
+                         delta * delta * accN * inN / total;
+        acc.meanSeconds += delta * inN / total;
+    }
     acc.launches += rec.launches;
     acc.seconds += rec.seconds;
     acc.issueSeconds += rec.issueSeconds;

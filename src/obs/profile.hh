@@ -64,6 +64,12 @@ struct ObsRecord
     u64 launches = 0;
     /** Summed roofline terms across the launches, seconds. */
     double seconds = 0.0;
+    /** Count-weighted mean of per-launch seconds (Chan merge, so it
+     *  stays bit-exact when every launch times identically). */
+    double meanSeconds = 0.0;
+    /** Sum of squared deviations from the mean (population variance
+     *  is m2Seconds / launches). */
+    double m2Seconds = 0.0;
     double issueSeconds = 0.0;
     double memSeconds = 0.0;
     double ldsSeconds = 0.0;
@@ -172,7 +178,8 @@ void writeProfileJson(std::ostream &os, const ProfileReport &report);
  *
  *   {"kernel":str,"device":str,"model":str,"precision_bits":int,
  *    "items":int,"core_mhz":num,"mem_mhz":num,"workgroup":int,
- *    "launches":int,"seconds":num,"issue_seconds":num,
+ *    "launches":int,"seconds":num,"mean_seconds":num,
+ *    "var_seconds":num,"issue_seconds":num,
  *    "mem_seconds":num,"lds_seconds":num,"latency_seconds":num,
  *    "launch_seconds":num,"bound":str}
  */

@@ -252,6 +252,44 @@ parseJobs(std::istream &is, std::string &error)
     return jobs;
 }
 
+std::string
+jobClassKey(const JobSpec &spec)
+{
+    std::string key = spec.app + "|";
+    if (spec.coexec())
+        key += "coexec:" + spec.policy;
+    else
+        key += spec.model;
+    key += spec.doublePrecision ? "|dp" : "|sp";
+    key += "|scale=" + formatDouble(spec.scale);
+    if (spec.freq.coreMhz > 0.0 || spec.freq.memMhz > 0.0)
+        key += "|freq=" + formatDouble(spec.freq.coreMhz) + ":" +
+               formatDouble(spec.freq.memMhz);
+    if (spec.functional)
+        key += "|fn";
+    if (spec.faultsGiven) {
+        char seed[32];
+        std::snprintf(seed, sizeof(seed), "0x%llx",
+                      static_cast<unsigned long long>(
+                          spec.faultConfig.seed));
+        key += "|faults=" + std::string(seed) + ":" +
+               formatDouble(spec.faultConfig.transferFailRate) + ":" +
+               formatDouble(spec.faultConfig.launchFailRate) + ":" +
+               formatDouble(spec.faultConfig.stallRate) + ":" +
+               std::to_string(spec.faultConfig.retryMax) + ":" +
+               formatDouble(spec.faultConfig.backoffSeconds) + ":" +
+               spec.faultConfig.failDevice + ":" +
+               std::to_string(spec.faultConfig.failAfterChunks);
+    }
+    return key;
+}
+
+std::string
+jobDeviceKey(const JobSpec &spec)
+{
+    return spec.coexec() ? spec.devices : spec.device;
+}
+
 void
 writeResultsJsonl(std::ostream &os, const std::vector<JobResult> &results)
 {

@@ -70,6 +70,20 @@ struct JobSpec
     bool coexec() const { return !devices.empty(); }
 };
 
+/**
+ * Canonical surrogate job-cost class of a spec: every field the
+ * simulated seconds depend on except the device half, e.g.
+ * "readmem|opencl|sp|scale=1" or "xsbench|coexec:adaptive|dp|
+ * scale=0.5|freq=925:1375|faults=0x5eed:...".  Equal keys imply
+ * bit-equal simulated seconds (the simulator is deterministic), which
+ * is what lets a recorded cost stand in for a probe at admission
+ * time.  Doubles are rendered round-trip exact.
+ */
+std::string jobClassKey(const JobSpec &spec);
+
+/** Device half of the job-cost key: device alias or '+'-pool. */
+std::string jobDeviceKey(const JobSpec &spec);
+
 /** Terminal state of a job. */
 enum class JobStatus : u8
 {

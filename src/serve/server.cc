@@ -8,6 +8,7 @@
 #include "coexec/coexec.hh"
 #include "core/workload.hh"
 #include "fleet/cluster.hh"
+#include "model/surrogate.hh"
 #include "obs/flightrec.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
@@ -420,6 +421,51 @@ Server::submit(JobSpec spec)
     obs::Metrics::global().add("serve.submitted");
 
     std::unique_lock<std::mutex> lk(mtx);
+
+    // Predict-admission: consult the surrogate's recorded cost before
+    // any queue-cap policy.  Everything here is simulated quantities
+    // folded in submit order, so the decision (and the result line it
+    // may produce) is deterministic at any worker count.
+    double predictedSeconds = 0.0;
+    if (cfg.predictAdmission && cfg.surrogate != nullptr) {
+        obs::Metrics &metrics = obs::Metrics::global();
+        const auto cost = cfg.surrogate->jobCost(jobClassKey(spec),
+                                                 jobDeviceKey(spec));
+        if (cost) {
+            metrics.add("serve.predict.known");
+            predictedSeconds = *cost;
+            const double waitSeconds =
+                cfg.workers > 0 ? predictedBacklogSeconds /
+                                      static_cast<double>(cfg.workers)
+                                : predictedBacklogSeconds;
+            const double predictedMs =
+                (waitSeconds + predictedSeconds) * 1e3;
+            if (spec.deadlineMs > 0.0 &&
+                predictedMs > spec.deadlineMs) {
+                metrics.add("serve.predict.rejected");
+                JobResult res = JobResult();
+                res.id = spec.id;
+                res.app = spec.app;
+                res.model = spec.model;
+                res.device = spec.device;
+                res.devices = spec.devices;
+                res.policy = spec.policy;
+                res.status = JobStatus::Rejected;
+                res.error =
+                    "predict-admission: predicted completion " +
+                    std::to_string(predictedMs) + " ms > deadline " +
+                    std::to_string(spec.deadlineMs) + " ms";
+                res.deadlineMs = spec.deadlineMs;
+                res.queueDepthAtSubmit = queue.size();
+                recordResult(std::move(res));
+                idleCv.notify_all();
+                return;
+            }
+        } else {
+            metrics.add("serve.predict.unknown");
+        }
+    }
+
     if (cfg.queueCap != 0 && queue.size() >= cfg.queueCap) {
         switch (cfg.admission) {
           case Admission::Reject: {
@@ -475,6 +521,8 @@ Server::submit(JobSpec spec)
                 return;
             }
             recordResult(std::move(res));
+            predictedBacklogSeconds -=
+                queue[victim].predictedSeconds;
             queue.erase(queue.begin() +
                         static_cast<ptrdiff_t>(victim));
             break;
@@ -490,8 +538,9 @@ Server::submit(JobSpec spec)
         }
     }
     const u64 depth = queue.size();
+    predictedBacklogSeconds += predictedSeconds;
     queue.push_back(QueuedJob{std::move(spec), nowSeconds(),
-                              submitSeq++, depth});
+                              submitSeq++, depth, predictedSeconds});
     lk.unlock();
     workCv.notify_one();
 }
@@ -517,6 +566,7 @@ Server::workerLoop(u32 index)
         const size_t idx = bestQueuedIndex();
         QueuedJob job = std::move(queue[idx]);
         queue.erase(queue.begin() + static_cast<ptrdiff_t>(idx));
+        predictedBacklogSeconds -= job.predictedSeconds;
         ++busyWorkers;
         const u64 seq = serviceSeq++;
         const double epochSec = startWallSec;

@@ -48,6 +48,11 @@
 #include "common/stats.hh"
 #include "serve/jobspec.hh"
 
+namespace hetsim::model
+{
+class Surrogate;
+}
+
 namespace hetsim::serve
 {
 
@@ -76,6 +81,23 @@ struct ServerConfig
     /** Default queue-wait deadline applied to jobs that carry none
      *  (0 = no default). */
     double defaultDeadlineMs = 0.0;
+    /**
+     * Predict-admission (`--predict-admission`): at submit, ask the
+     * surrogate for the job's recorded cost (jobClassKey x
+     * jobDeviceKey); when known and the job carries a deadline, the
+     * deadline is additionally read as a *virtual-latency* SLO - a job
+     * whose predicted completion (queued predicted backlog spread over
+     * the workers, plus its own predicted service time, in simulated
+     * milliseconds) exceeds the deadline is Rejected at admission
+     * instead of wasting a worker.  Jobs with unknown costs or no
+     * deadline admit as before (fail open).  Decisions are made in
+     * deterministic submit order from simulated quantities only, so
+     * batch results stay byte-identical at any worker count; the
+     * simulated seconds of jobs that do run are untouched.
+     */
+    bool predictAdmission = false;
+    /** Cost oracle consulted by predict-admission (borrowed). */
+    const model::Surrogate *surrogate = nullptr;
 };
 
 /** Percentile summary of one latency population (milliseconds). */
@@ -204,6 +226,9 @@ class Server
         double submitSec = 0.0; ///< host seconds (monotonic)
         u64 submitSeq = 0;      ///< admission order
         u64 depthAtSubmit = 0;  ///< queue depth seen at submit
+        /** Predicted service seconds this job contributes to the
+         *  predicted backlog (0 = cost unknown). */
+        double predictedSeconds = 0.0;
     };
 
     void workerLoop(u32 index);
@@ -221,6 +246,9 @@ class Server
     std::condition_variable idleCv;  ///< drain() wakeups
     std::vector<QueuedJob> queue;
     std::vector<JobResult> results;
+    /** Sum of predictedSeconds over queued jobs (predict-admission
+     *  backlog estimate; falls as jobs dequeue or are shed). */
+    double predictedBacklogSeconds = 0.0;
     u64 submitSeq = 0;
     u64 serviceSeq = 0;
     u32 busyWorkers = 0;

@@ -171,6 +171,32 @@ TimingCache::size() const
     return entries.size();
 }
 
+u64
+TimingCache::contentDigest() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    u64 folded = entries.size();
+    for (const auto &[key, entry] : entries) {
+        HashMix h;
+        h.mix(key.kernelSig);
+        h.mix(key.deviceSig);
+        h.mix(key.codegenSig);
+        h.mix(key.items);
+        h.mix(key.coreBits);
+        h.mix(key.memBits);
+        h.mix(key.precision);
+        h.mix(key.workgroup);
+        h.mixDouble(entry.timing.seconds);
+        h.mixDouble(entry.timing.issueSeconds);
+        h.mixDouble(entry.timing.memSeconds);
+        h.mixDouble(entry.timing.ldsSeconds);
+        h.mixDouble(entry.timing.latencySeconds);
+        h.mixDouble(entry.timing.launchSeconds);
+        folded ^= h.digest();
+    }
+    return folded;
+}
+
 void
 TimingCache::clear()
 {

@@ -177,6 +177,15 @@ class TimingCache
     /** @return number of resident entries. */
     u64 size() const;
 
+    /**
+     * Order-independent digest of the resident entries (per-entry
+     * HashMix digests XOR-folded, so the unordered_map's iteration
+     * order is irrelevant).  Taken before and after a stretch of
+     * surrogate predictions, an unchanged digest proves the
+     * predictions never touched the simulator.
+     */
+    u64 contentDigest() const;
+
     /** Drop all entries and zero the counters. */
     void clear();
 

@@ -3,19 +3,23 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <map>
 #include <sstream>
 
 #include "apps/coexec_kernels.hh"
 #include "coexec/coexec.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
+#include "fleet/costing.hh"
 #include "fleet/fleet.hh"
+#include "model/surrogate.hh"
 #include "obs/crashdump.hh"
 #include "obs/flightrec.hh"
 #include "obs/metrics.hh"
@@ -100,7 +104,8 @@ parse(const std::vector<std::string> &argv)
         args.command != "compare" && args.command != "sweep" &&
         args.command != "coexec" && args.command != "breakdown" &&
         args.command != "profile" && args.command != "batch" &&
-        args.command != "serve" && args.command != "fleet") {
+        args.command != "serve" && args.command != "fleet" &&
+        args.command != "predict") {
         args.error = "unknown command '" + args.command + "'";
         return args;
     }
@@ -408,6 +413,49 @@ parse(const std::vector<std::string> &argv)
                     args.seed = *n;
                 }
             }
+        } else if (arg == "--model-in") {
+            if (auto v = value("--model-in")) {
+                if (v->empty())
+                    args.error = "--model-in wants a file path";
+                else
+                    args.modelIn = *v;
+            }
+        } else if (arg == "--model-out") {
+            if (auto v = value("--model-out")) {
+                if (v->empty())
+                    args.error = "--model-out wants a file path";
+                else
+                    args.modelOut = *v;
+            }
+        } else if (arg == "--fit") {
+            if (auto v = value("--fit")) {
+                if (v->empty())
+                    args.error = "--fit wants an observation JSONL "
+                                 "file path";
+                else
+                    args.fitObs = *v;
+            }
+        } else if (arg == "--kernel") {
+            if (auto v = value("--kernel")) {
+                if (v->empty())
+                    args.error = "--kernel wants a kernel name";
+                else
+                    args.kernel = *v;
+            }
+        } else if (arg == "--items") {
+            if (auto v = value("--items")) {
+                auto n = parseCount(*v);
+                if (!n || *n == 0) {
+                    args.error = "--items wants a positive item "
+                                 "count, got '" + *v + "'";
+                } else {
+                    args.items = *n;
+                }
+            }
+        } else if (arg == "--predict-admission") {
+            args.predictAdmission = true;
+        } else if (arg == "--no-surrogate") {
+            args.surrogate = false;
         } else if (arg == "--sweep") {
             args.fleetSweep = true;
         } else if (arg == "--dp") {
@@ -425,6 +473,17 @@ parse(const std::vector<std::string> &argv)
         }
         if (!args.error.empty())
             return args;
+    }
+    if (args.predictAdmission && args.modelIn.empty()) {
+        args.error = "--predict-admission needs --model-in FILE "
+                     "(recorded job costs to predict from)";
+        return args;
+    }
+    if (args.command == "predict" && args.fitObs.empty() &&
+        args.modelIn.empty()) {
+        args.error = "predict needs --fit OBS_JSONL or --model-in "
+                     "FILE";
+        return args;
     }
     return args;
 }
@@ -467,7 +526,15 @@ usage(std::ostream &os)
           "             [--rate jobs/s] [--slo-ms n] "
           "[--node-fail-rate f]\n"
           "             [--seed n] [--sweep] [--inject-faults spec] "
-          "[--scale f]\n\n"
+          "[--scale f]\n"
+          "             [--model-in FILE] [--model-out FILE] "
+          "[--no-surrogate]\n"
+          "  hetsim predict --fit obs.jsonl | --model-in model.json\n"
+          "             [--model-out model.json] [--kernel K "
+          "--items n]\n"
+          "             [--device d] [--model m] [--freq core:mem] "
+          "[--dp]\n"
+          "             [--sweep] [--devices d1+d2]\n\n"
           "serving layer (batch / serve):\n"
           "  --jobs FILE         JSONL job file, one JSON object per "
           "line; keys:\n"
@@ -558,6 +625,34 @@ usage(std::ostream &os)
           "miss ratios and\n"
           "                      kernel timing on every launch (A/B "
           "validation)\n\n"
+          "surrogate models (predict; fleet/batch/serve wiring):\n"
+          "  --fit FILE          fit closed-form kernel models from "
+          "observation\n"
+          "                      JSONL (--observations-out output)\n"
+          "  --model-in FILE     load a hetsim.model.v1 model file; "
+          "fleet costs\n"
+          "                      known job classes from its exact "
+          "recorded costs\n"
+          "                      instead of probing the simulator\n"
+          "  --model-out FILE    write fitted models + exact anchors "
+          "+ recorded\n"
+          "                      job costs as hetsim.model.v1 JSONL\n"
+          "  --kernel K --items n\n"
+          "                      predict one launch (seconds, "
+          "boundedness);\n"
+          "                      --sweep prints a frequency sweep, "
+          "--devices a+b\n"
+          "                      a coexec split ratio\n"
+          "  --predict-admission batch/serve: reject jobs whose "
+          "predicted\n"
+          "                      completion (recorded cost + predicted "
+          "backlog)\n"
+          "                      exceeds their deadline (needs "
+          "--model-in)\n"
+          "  --no-surrogate      ignore loaded models: probe/simulate "
+          "every cost\n"
+          "                      (A/B escape hatch; disables "
+          "predict-admission)\n\n"
           "apps:    readmem lulesh comd xsbench minife\n"
           "         (coexec: readmem xsbench minife)\n"
           "models:  serial openmp opencl cppamp openacc hc\n"
@@ -1022,6 +1117,81 @@ serveConfig(const Args &args)
     return cfg;
 }
 
+/**
+ * Loads --model-in into @p surrogate.  @return 0, or 2 with the error
+ * printed (missing file, wrong schema, malformed record).
+ */
+int
+loadModelIn(const Args &args, model::Surrogate &surrogate,
+            std::ostream &os)
+{
+    if (args.modelIn.empty())
+        return 0;
+    std::ifstream is(args.modelIn);
+    if (!is.is_open()) {
+        os << "error: cannot open model file '" << args.modelIn
+           << "': " << std::strerror(errno) << "\n";
+        return 2;
+    }
+    std::string error;
+    if (!surrogate.load(is, args.modelIn, error)) {
+        os << "error: " << error << "\n";
+        return 2;
+    }
+    return 0;
+}
+
+/** Writes @p surrogate to --model-out.  @return 0, or 2 on failure. */
+int
+writeModelOut(const Args &args, const model::Surrogate &surrogate,
+              std::ostream &os)
+{
+    if (args.modelOut.empty())
+        return 0;
+    std::ofstream out(args.modelOut);
+    if (!out.is_open()) {
+        os << "error: cannot open model output '" << args.modelOut
+           << "': " << std::strerror(errno) << "\n";
+        return 2;
+    }
+    surrogate.save(out);
+    out.flush();
+    if (!out) {
+        os << "error: failed writing model output '" << args.modelOut
+           << "'\n";
+        return 2;
+    }
+    return 0;
+}
+
+/**
+ * Folds a finished serving run into @p surrogate for --model-out:
+ * fits kernel models from the profiler's observation records and
+ * stores every Ok job's simulated seconds as an exact
+ * (class key, device key) cost anchor for later predict-admission.
+ */
+void
+absorbServeRun(const std::vector<serve::JobSpec> &jobs,
+               const std::vector<serve::JobResult> &results,
+               model::Surrogate &surrogate)
+{
+    surrogate.fitFromObservations(
+        obs::Profiler::global().observations());
+    std::map<u64, const serve::JobSpec *> byId;
+    for (const serve::JobSpec &spec : jobs)
+        byId[spec.id] = &spec;
+    for (const serve::JobResult &res : results) {
+        if (res.status != serve::JobStatus::Ok)
+            continue;
+        const auto it = byId.find(res.id);
+        if (it == byId.end())
+            continue;
+        surrogate.setJobCost(serve::jobClassKey(*it->second),
+                             serve::jobDeviceKey(*it->second),
+                             res.simSeconds);
+    }
+}
+
 /** Print the serving summary table shared by batch and serve. */
 void
 printServeSummary(const serve::ServerReport &report, std::ostream &os)
@@ -1107,8 +1277,17 @@ cmdBatch(const Args &args, std::ostream &os)
         return 2;
     }
 
+    model::Surrogate surrogate;
+    if (int model_rc = loadModelIn(args, surrogate, os))
+        return model_rc;
+
+    serve::ServerConfig cfg = serveConfig(args);
+    if (args.predictAdmission && args.surrogate) {
+        cfg.predictAdmission = true;
+        cfg.surrogate = &surrogate;
+    }
     std::string error;
-    auto outcome = serve::runBatch(*jobs, serveConfig(args), error);
+    auto outcome = serve::runBatch(*jobs, cfg, error);
     if (!outcome) {
         os << "error: " << error << "\n";
         return 2;
@@ -1116,6 +1295,11 @@ cmdBatch(const Args &args, std::ostream &os)
     int rc = writeServeResults(args, outcome->results, os);
     if (rc != 0)
         return rc;
+    if (!args.modelOut.empty()) {
+        absorbServeRun(*jobs, outcome->results, surrogate);
+        if (int out_rc = writeModelOut(args, surrogate, os))
+            return out_rc;
+    }
     // With the JSONL going to a file, the summary goes to the
     // console; with JSONL on stdout, stdout stays machine-readable.
     if (!args.resultsOut.empty())
@@ -1163,7 +1347,15 @@ cmdServe(const Args &args, std::ostream &os)
         jobs.push_back(std::move(spec));
     }
 
+    model::Surrogate surrogate;
+    if (int model_rc = loadModelIn(args, surrogate, os))
+        return model_rc;
+
     serve::ServerConfig cfg = serveConfig(args);
+    if (args.predictAdmission && args.surrogate) {
+        cfg.predictAdmission = true;
+        cfg.surrogate = &surrogate;
+    }
     if (auto err = serve::Server::validateConfig(cfg)) {
         os << "error: " << *err << "\n";
         return 2;
@@ -1183,34 +1375,15 @@ cmdServe(const Args &args, std::ostream &os)
     server.shutdown();
 
     printServeSummary(report, os);
+    if (!args.modelOut.empty()) {
+        absorbServeRun(jobs, results, surrogate);
+        if (int out_rc = writeModelOut(args, surrogate, os))
+            return out_rc;
+    }
     if (!args.resultsOut.empty())
         return writeServeResults(args, results, os);
     return 0;
 }
-
-/** The fleet verb's job-class mix.  Service times come from the real
- *  simulator (one probe per class x device kind); the byte payloads
- *  are the fleet-level data sets the fabric moves. */
-struct FleetClassDef
-{
-    const char *name;
-    const char *app;
-    const char *model;
-    double weight;
-    u64 inputBytes;
-    u32 gangNodes;
-    u32 haloIters;
-    u64 haloBytes;
-    u64 reduceBytes;
-};
-
-const FleetClassDef kFleetMix[] = {
-    {"readmem", "readmem", "opencl", 4.0, 256ull << 20, 1, 0, 0, 0},
-    {"xsbench", "xsbench", "opencl", 2.0, 64ull << 20, 1, 0, 0, 0},
-    {"minife", "minife", "opencl", 2.0, 128ull << 20, 1, 0, 0, 0},
-    {"lulesh-gang", "lulesh", "opencl", 0.5, 32ull << 20, 4, 16,
-     8ull << 20, 1ull << 20},
-};
 
 /** Built-in topology when no --topology file is given: the paper's
  *  device mix as a cluster (half dgpu, quarter apu, quarter cpu). */
@@ -1237,70 +1410,90 @@ defaultFleetTopology(u64 nodes)
 }
 
 /**
- * Measure every (class, device kind) service time through the real
- * simulator - a one-job-per-cell batch over the serving layer, so the
- * fleet model's costs are the paper's simulated numbers rather than
- * made-up constants.  @return nullopt (with the error printed) when a
- * probe cannot run on some kind.
+ * Costs every (class, device kind) cell: exact job-cost anchors from
+ * --model-in first, the real simulator for the rest - a
+ * one-job-per-missing-cell batch over the serving layer, so the fleet
+ * model's costs are the paper's simulated numbers rather than made-up
+ * constants.  Costs depend on --scale, so the surrogate keys carry a
+ * scale suffix and a model recorded at one scale never answers for
+ * another.  Costing wall time and hit counts go to the metrics
+ * registry only: stdout must stay byte-identical between the
+ * surrogate and probe paths (`--no-surrogate` A/B).  @return nullopt
+ * (with the error printed) when a probe cannot run on some kind.
  */
 std::optional<std::vector<fleet::JobClass>>
-probeFleetClasses(const Args &args, const fleet::Topology &topo,
-                  std::ostream &os)
+costFleetClasses(const Args &args, const fleet::Topology &topo,
+                 model::Surrogate *surrogate, std::ostream &os)
 {
-    const std::vector<std::string> kinds = topo.deviceKinds();
-    std::vector<serve::JobSpec> probes;
-    u64 id = 0;
-    for (const FleetClassDef &def : kFleetMix) {
-        for (const std::string &kind : kinds) {
+    std::vector<fleet::ClassDef> defs = fleet::paperClassMix();
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), "|scale=%.17g", args.scale);
+    for (fleet::ClassDef &def : defs)
+        def.costKey = def.name + suffix;
+
+    const auto probe =
+        [&args](const std::vector<fleet::ProbeCell> &cells,
+                std::string &error)
+        -> std::optional<std::vector<double>> {
+        std::vector<serve::JobSpec> probes;
+        probes.reserve(cells.size());
+        u64 id = 0;
+        for (const fleet::ProbeCell &cell : cells) {
             serve::JobSpec spec;
             spec.id = ++id;
-            spec.app = def.app;
-            spec.model = def.model;
-            spec.device = kind;
+            spec.app = cell.app;
+            spec.model = cell.model;
+            spec.device = cell.device;
             spec.scale = args.scale;
             spec.timingCache = args.timingCache;
             probes.push_back(std::move(spec));
         }
-    }
-    serve::ServerConfig cfg;
+        serve::ServerConfig cfg;
+        auto outcome = serve::runBatch(probes, cfg, error);
+        if (!outcome)
+            return std::nullopt;
+        std::map<u64, const serve::JobResult *> byId;
+        for (const auto &res : outcome->results)
+            byId[res.id] = &res;
+        std::vector<double> seconds;
+        seconds.reserve(cells.size());
+        id = 0;
+        for (const fleet::ProbeCell &cell : cells) {
+            const serve::JobResult *res = byId[++id];
+            if (res == nullptr ||
+                res->status != serve::JobStatus::Ok) {
+                error = cell.app + "/" + cell.model +
+                        " cannot run on device '" + cell.device +
+                        "'" +
+                        (res != nullptr && !res->error.empty()
+                             ? ": " + res->error
+                             : "");
+                return std::nullopt;
+            }
+            seconds.push_back(res->simSeconds);
+        }
+        return seconds;
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
     std::string error;
-    auto outcome = serve::runBatch(probes, cfg, error);
+    auto outcome = fleet::costClasses(defs, topo.deviceKinds(),
+                                      surrogate, probe, error);
+    const double costSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
     if (!outcome) {
         os << "error: fleet class probe: " << error << "\n";
         return std::nullopt;
     }
-    std::map<u64, const serve::JobResult *> byId;
-    for (const auto &res : outcome->results)
-        byId[res.id] = &res;
-    std::vector<fleet::JobClass> classes;
-    id = 0;
-    for (const FleetClassDef &def : kFleetMix) {
-        fleet::JobClass cls;
-        cls.name = def.name;
-        cls.weight = def.weight;
-        cls.inputBytes = def.inputBytes;
-        cls.gangNodes = def.gangNodes;
-        cls.haloIters = def.haloIters;
-        cls.haloBytesPerNeighbor = def.haloBytes;
-        cls.reduceBytes = def.reduceBytes;
-        for (const std::string &kind : kinds) {
-            const serve::JobResult *res = byId[++id];
-            if (res == nullptr ||
-                res->status != serve::JobStatus::Ok) {
-                os << "error: fleet class probe: " << def.app << "/"
-                   << def.model << " cannot run on device '" << kind
-                   << "'"
-                   << (res != nullptr && !res->error.empty()
-                           ? ": " + res->error
-                           : "")
-                   << "\n";
-                return std::nullopt;
-            }
-            cls.secondsByDevice[kind] = res->simSeconds;
-        }
-        classes.push_back(std::move(cls));
-    }
-    return classes;
+    obs::Metrics::global().add("fleet.cost.wall_seconds", costSeconds);
+    obs::Metrics::global().add(
+        "fleet.cost.surrogate_hits",
+        static_cast<double>(outcome->surrogateHits));
+    obs::Metrics::global().add("fleet.cost.probed",
+                               static_cast<double>(outcome->probed));
+    return std::move(outcome->classes);
 }
 
 int
@@ -1319,7 +1512,14 @@ cmdFleet(const Args &args, std::ostream &os)
         topo = defaultFleetTopology(args.nodes);
     }
 
-    auto classes = probeFleetClasses(args, topo, os);
+    model::Surrogate surrogate;
+    if (int model_rc = loadModelIn(args, surrogate, os))
+        return model_rc;
+
+    // --no-surrogate probes every cell (and skips the write-back), so
+    // an A/B against the surrogate path compares full stdout.
+    auto classes = costFleetClasses(
+        args, topo, args.surrogate ? &surrogate : nullptr, os);
     if (!classes)
         return 2;
 
@@ -1415,7 +1615,240 @@ cmdFleet(const Args &args, std::ostream &os)
             os << "\nnode deaths: " << deadNodes << " of "
                << topo.size() << " nodes died mid-campaign\n";
     }
+
+    if (!args.modelOut.empty()) {
+        // Probed cells were recorded back into the surrogate by
+        // costClasses; fold in any kernel observations the probes
+        // produced and persist the complete table.
+        surrogate.fitFromObservations(
+            obs::Profiler::global().observations());
+        if (int out_rc = writeModelOut(args, surrogate, os))
+            return out_rc;
+    }
     return 0;
+}
+
+/**
+ * findGroup with a model-alias fallback: an exact --model match is
+ * preferred, but when the fit never saw that alias (e.g. coexec
+ * observations carry only openmp/hc) the best group of any model
+ * answers instead - predictions degrade gracefully rather than
+ * erroring on the CLI's default --model.
+ */
+const model::KernelModel *
+findPredictGroup(const model::Surrogate &surrogate,
+                 const std::string &kernel, const std::string &device,
+                 u32 precisionBits, const std::string &modelAlias,
+                 model::GroupKey *keyOut)
+{
+    const model::KernelModel *group = surrogate.findGroup(
+        kernel, device, precisionBits, modelAlias, keyOut);
+    if (group == nullptr && !modelAlias.empty())
+        group = surrogate.findGroup(kernel, device, precisionBits, "",
+                                    keyOut);
+    return group;
+}
+
+/** Adds the per-term rows of one composed prediction to @p table. */
+void
+addPredictionRows(Table &table, const model::Prediction &pred)
+{
+    table.addRow({"predicted (s)", Table::num(pred.seconds, 9)});
+    table.addRow({"issue (s)", Table::num(pred.issueSeconds, 9)});
+    table.addRow({"memory (s)", Table::num(pred.memSeconds, 9)});
+    table.addRow({"lds (s)", Table::num(pred.ldsSeconds, 9)});
+    table.addRow({"latency (s)", Table::num(pred.latencySeconds, 9)});
+    table.addRow({"launch (s)", Table::num(pred.launchSeconds, 9)});
+    table.addRow({"bound", pred.bound});
+}
+
+int
+cmdPredict(const Args &args, std::ostream &os)
+{
+    model::Surrogate surrogate;
+    if (int model_rc = loadModelIn(args, surrogate, os))
+        return model_rc;
+    if (!args.fitObs.empty()) {
+        std::ifstream is(args.fitObs);
+        if (!is.is_open()) {
+            os << "error: cannot open observations file '"
+               << args.fitObs << "': " << std::strerror(errno)
+               << "\n";
+            return 2;
+        }
+        std::string error;
+        auto records =
+            model::loadObservations(is, args.fitObs, error);
+        if (!records) {
+            os << "error: " << error << "\n";
+            return 2;
+        }
+        if (records->empty()) {
+            os << "error: " << args.fitObs
+               << ": no observation records\n";
+            return 2;
+        }
+        surrogate.fitFromObservations(*records);
+    }
+    if (surrogate.groupCount() == 0) {
+        os << "error: model has no fitted kernel groups - nothing to "
+              "predict from\n";
+        return 2;
+    }
+
+    char digest[32];
+    std::snprintf(
+        digest, sizeof(digest), "0x%016llx",
+        static_cast<unsigned long long>(surrogate.fitDigest()));
+    Table table("surrogate model (" +
+                std::to_string(surrogate.groupCount()) + " groups, " +
+                std::to_string(surrogate.anchorCount()) +
+                " anchors, " +
+                std::to_string(surrogate.jobCostCount()) +
+                " job costs, fit digest " + digest + ")");
+    table.setHeader({"kernel", "device", "model", "prec", "wg",
+                     "points", "launches", "issue form", "mem form",
+                     "cv err", "train err"});
+    const auto &grid = model::hypothesisGrid();
+    for (const auto &[key, km] : surrogate.groups()) {
+        table.addRow({key.kernel, key.device, key.model,
+                      std::to_string(key.precisionBits),
+                      std::to_string(key.workgroup),
+                      std::to_string(km.points),
+                      std::to_string(km.launches),
+                      grid[km.issue.hypothesis].name,
+                      grid[km.mem.hypothesis].name,
+                      Table::num(100.0 * km.cvRelErr, 3) + "%",
+                      Table::num(100.0 * km.trainRelErr, 3) + "%"});
+    }
+    table.print(os);
+
+    const u32 prec = args.doublePrecision ? 64 : 32;
+    if (!args.kernel.empty() || args.items != 0) {
+        if (args.kernel.empty() || args.items == 0) {
+            os << "error: predict wants both --kernel K and "
+                  "--items n\n";
+            return 2;
+        }
+        const double items = static_cast<double>(args.items);
+
+        if (args.devicesGiven) {
+            // Two-device co-execution: the optimal static split.
+            auto pool = coexec::DevicePool::parse(args.devices);
+            if (!pool || pool->size() != 2) {
+                os << "error: predict --devices wants exactly two "
+                      "devices (e.g. cpu+dgpu)\n";
+                return 2;
+            }
+            model::GroupKey keys[2];
+            for (size_t d = 0; d < 2; ++d) {
+                const sim::DeviceSpec &spec = pool->spec(d);
+                if (findPredictGroup(surrogate, args.kernel,
+                                     spec.name, prec,
+                                     ir::toString(pool->model(d)),
+                                     &keys[d]) == nullptr) {
+                    os << "error: no fitted group for kernel '"
+                       << args.kernel << "' on device '" << spec.name
+                       << "' (" << prec << "-bit)\n";
+                    return 2;
+                }
+            }
+            const sim::FreqDomain fa = pool->spec(0).stockFreq();
+            const sim::FreqDomain fb = pool->spec(1).stockFreq();
+            const auto split = surrogate.splitRatio(
+                keys[0], fa.coreMhz, fa.memMhz, keys[1], fb.coreMhz,
+                fb.memMhz, items);
+            if (!split) {
+                os << "error: split-ratio search failed\n";
+                return 2;
+            }
+            os << "\n";
+            Table splitTable(
+                "predicted split: " + args.kernel + " x " +
+                std::to_string(args.items) + " items on " +
+                pool->name());
+            splitTable.setHeader({"metric", "value"});
+            splitTable.addRow({pool->spec(0).name + " share",
+                               Table::num(split->firstShare, 6)});
+            splitTable.addRow({pool->spec(1).name + " share",
+                               Table::num(1.0 - split->firstShare,
+                                          6)});
+            splitTable.addRow({pool->spec(0).name + " (s)",
+                               Table::num(split->first.seconds, 9)});
+            splitTable.addRow({pool->spec(1).name + " (s)",
+                               Table::num(split->second.seconds, 9)});
+            splitTable.addRow({"co-executed (s)",
+                               Table::num(split->seconds, 9)});
+            splitTable.print(os);
+            return writeModelOut(args, surrogate, os);
+        }
+
+        auto device = deviceByName(args.device);
+        if (!device) {
+            os << "error: unknown device '" << args.device
+               << "' (dgpu, apu, cpu)\n";
+            return 2;
+        }
+        model::GroupKey key;
+        const model::KernelModel *group =
+            findPredictGroup(surrogate, args.kernel, device->name,
+                             prec, args.model, &key);
+        if (group == nullptr) {
+            os << "error: no fitted group for kernel '" << args.kernel
+               << "' on device '" << device->name << "' (" << prec
+               << "-bit)\n";
+            return 2;
+        }
+        const sim::FreqDomain freq = args.freq.coreMhz > 0.0
+                                         ? args.freq
+                                         : device->stockFreq();
+        const model::Prediction pred =
+            group->predict(items, freq.coreMhz, freq.memMhz);
+        os << "\n";
+        Table one("prediction: " + key.kernel + " x " +
+                  std::to_string(args.items) + " items | " +
+                  key.model + " | " + key.device + " @ " +
+                  Table::num(freq.coreMhz, 0) + ":" +
+                  Table::num(freq.memMhz, 0) + " MHz");
+        one.setHeader({"metric", "value"});
+        addPredictionRows(one, pred);
+        if (const auto anchor = surrogate.anchorSeconds(
+                key, args.items, freq.coreMhz, freq.memMhz)) {
+            one.addRow({"observed (s)", Table::num(*anchor, 9)});
+            const double denom = std::max(std::abs(*anchor), 1e-18);
+            one.addRow({"rel err",
+                        Table::num(100.0 *
+                                       std::abs(pred.seconds -
+                                                *anchor) /
+                                       denom,
+                                   3) +
+                            "%"});
+        }
+        one.print(os);
+
+        if (args.fleetSweep) {
+            // The what-if the paper sweeps in Figure 7, answered from
+            // the closed forms instead of re-simulating each point.
+            const std::vector<double> cores{200, 400, 600, 800, 1000};
+            const std::vector<double> mems{480, 810, 1250};
+            os << "\n";
+            Table sweep("predicted frequency sweep (seconds, core "
+                        "MHz x mem MHz)");
+            std::vector<std::string> header{"mem \\ core"};
+            for (double core : cores)
+                header.push_back(Table::num(core, 0));
+            sweep.setHeader(header);
+            for (double mem : mems) {
+                std::vector<std::string> row{Table::num(mem, 0)};
+                for (double core : cores)
+                    row.push_back(Table::num(
+                        group->predict(items, core, mem).seconds, 9));
+                sweep.addRow(row);
+            }
+            sweep.print(os);
+        }
+    }
+    return writeModelOut(args, surrogate, os);
 }
 
 /**
@@ -1579,10 +2012,13 @@ execute(const Args &args, std::ostream &os)
         return 2;
     }
 
+    // --model-out fits from the profiler's observation records, so a
+    // model-writing run needs the observability globals live too.
     ObsSession obs_session(!args.traceOut.empty() ||
                                !args.metricsOut.empty() ||
                                !args.profileOut.empty() ||
                                !args.observationsOut.empty() ||
+                               !args.modelOut.empty() ||
                                args.command == "breakdown" ||
                                args.command == "profile",
                            args.traceOut, args.metricsOut);
@@ -1609,6 +2045,8 @@ execute(const Args &args, std::ostream &os)
         rc = cmdServe(args, os);
     else if (args.command == "fleet")
         rc = cmdFleet(args, os);
+    else if (args.command == "predict")
+        rc = cmdPredict(args, os);
     else {
         usage(os);
         return 2;

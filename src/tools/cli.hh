@@ -27,6 +27,12 @@
  *                 [--placement first-fit|least-loaded|locality]
  *                 [--rate J/S] [--slo-ms N] [--node-fail-rate F]
  *                 [--seed N] [--sweep] [--inject-faults spec]
+ *                 [--model-in FILE] [--model-out FILE]
+ *                 [--no-surrogate]
+ *   hetsim predict --fit obs.jsonl | --model-in model.json
+ *                 [--model-out model.json] [--kernel K --items N]
+ *                 [--device d] [--model m] [--freq core:mem]
+ *                 [--sweep] [--devices d1+d2] [--dp]
  *
  * Every verb accepts --trace-out FILE (Chrome trace-event JSON for
  * chrome://tracing / Perfetto), --metrics-out FILE (metrics registry
@@ -59,7 +65,7 @@ namespace hetsim::cli
 struct Args
 {
     /** list | run | compare | sweep | coexec | breakdown | profile |
-     *  batch | serve | fleet */
+     *  batch | serve | fleet | predict */
     std::string command;
     std::string app = "readmem";
     std::string model = "opencl";
@@ -107,6 +113,18 @@ struct Args
     u64 seed = 0x5eedULL;   ///< fleet campaign seed
     bool fleetSweep = false; ///< capacity sweep over x{1,2,4,8}
     u64 traceSample = 0;    ///< fleet: traced-node sample (0 = all)
+    // --- surrogate models (predict verb; fleet/batch/serve wiring) --
+    std::string modelIn;  ///< hetsim.model.v1 file to load ("" = off)
+    std::string modelOut; ///< hetsim.model.v1 file to write ("" = off)
+    std::string fitObs;   ///< predict: observation JSONL to fit from
+    std::string kernel;   ///< predict: kernel name to query
+    u64 items = 0;        ///< predict: items per launch (0 = none)
+    /** serve/batch: reject jobs whose surrogate-predicted completion
+     *  exceeds their deadline (needs --model-in). */
+    bool predictAdmission = false;
+    /** --no-surrogate: ignore loaded models (probe/simulate instead;
+     *  disables predict-admission). */
+    bool surrogate = true;
     std::string error; ///< non-empty on parse failure
 };
 

@@ -610,6 +610,136 @@ TEST(CliExecute, FleetRunsACapacityTableAndRollup)
     EXPECT_EQ(out, os2.str());
 }
 
+TEST(CliParse, SurrogateFlagValidation)
+{
+    // Each new flag rejects a missing or malformed operand with a
+    // message naming the flag.
+    for (const char *flag :
+         {"--model-in", "--model-out", "--fit", "--kernel"}) {
+        Args missing = parse({"predict", flag});
+        EXPECT_FALSE(missing.error.empty()) << flag;
+        EXPECT_NE(missing.error.find(flag), std::string::npos)
+            << missing.error;
+        Args empty = parse({"predict", flag, ""});
+        EXPECT_FALSE(empty.error.empty()) << flag;
+        EXPECT_NE(empty.error.find(flag), std::string::npos)
+            << empty.error;
+    }
+    for (const char *bad : {"0", "-3", "junk", "1.5"}) {
+        Args args = parse({"predict", "--model-in", "m.json",
+                           "--items", bad});
+        EXPECT_FALSE(args.error.empty()) << bad;
+        EXPECT_NE(args.error.find("--items"), std::string::npos) << bad;
+    }
+
+    // Semantic cross-flag checks.
+    EXPECT_EQ(parse({"predict"}).error,
+              "predict needs --fit OBS_JSONL or --model-in FILE");
+    EXPECT_EQ(parse({"serve", "--predict-admission"}).error,
+              "--predict-admission needs --model-in FILE "
+              "(recorded job costs to predict from)");
+
+    Args ok = parse({"predict", "--fit", "obs.jsonl", "--kernel",
+                     "read_mem", "--items", "4096", "--model-out",
+                     "m.json"});
+    EXPECT_TRUE(ok.error.empty()) << ok.error;
+    EXPECT_EQ(ok.fitObs, "obs.jsonl");
+    EXPECT_EQ(ok.kernel, "read_mem");
+    EXPECT_EQ(ok.items, 4096u);
+    EXPECT_EQ(ok.modelOut, "m.json");
+    EXPECT_TRUE(ok.surrogate);
+
+    Args fleet = parse({"fleet", "--model-in", "m.json",
+                        "--no-surrogate"});
+    EXPECT_TRUE(fleet.error.empty()) << fleet.error;
+    EXPECT_EQ(fleet.modelIn, "m.json");
+    EXPECT_FALSE(fleet.surrogate);
+}
+
+TEST(CliExecute, PredictFitsServesAndRoundTripsModels)
+{
+    const std::string obsPath = "hetsim_test_obs.jsonl";
+    const std::string modelPath = "hetsim_test_model.jsonl";
+    const std::string modelPath2 = "hetsim_test_model2.jsonl";
+
+    // Generate observations from two real runs at different clocks.
+    for (const char *freq : {"925:1250", "500:1250"}) {
+        std::ostringstream os;
+        Args run = parse({"run", "--app", "readmem", "--scale", "0.05",
+                          "--freq", freq, "--observations-out",
+                          obsPath});
+        ASSERT_TRUE(run.error.empty()) << run.error;
+        ASSERT_EQ(execute(run, os), 0) << os.str();
+    }
+
+    std::ostringstream fitOs;
+    Args fit = parse({"predict", "--fit", obsPath, "--model-out",
+                      modelPath});
+    ASSERT_EQ(execute(fit, fitOs), 0) << fitOs.str();
+    EXPECT_NE(fitOs.str().find("surrogate model"), std::string::npos);
+    EXPECT_NE(fitOs.str().find("read_mem"), std::string::npos);
+
+    // Reload + query a single launch; the anchor row proves the
+    // prediction is checked against the exact observed mean.
+    std::ostringstream queryOs;
+    Args query = parse({"predict", "--model-in", modelPath, "--kernel",
+                        "read_mem", "--items", "13107", "--freq",
+                        "925:1250", "--model-out", modelPath2});
+    ASSERT_EQ(execute(query, queryOs), 0) << queryOs.str();
+    EXPECT_NE(queryOs.str().find("predicted"), std::string::npos);
+
+    // Load -> save must reproduce the model file byte for byte.
+    std::ifstream f1(modelPath), f2(modelPath2);
+    std::stringstream m1, m2;
+    m1 << f1.rdbuf();
+    m2 << f2.rdbuf();
+    EXPECT_FALSE(m1.str().empty());
+    EXPECT_EQ(m1.str(), m2.str());
+
+    std::ostringstream badOs;
+    Args bad = parse({"predict", "--model-in", "no_such_model.jsonl"});
+    EXPECT_EQ(execute(bad, badOs), 2);
+    EXPECT_NE(badOs.str().find("no_such_model.jsonl"),
+              std::string::npos);
+
+    std::remove(obsPath.c_str());
+    std::remove(modelPath.c_str());
+    std::remove(modelPath2.c_str());
+}
+
+TEST(CliExecute, FleetSurrogateCostingReproducesProbedRun)
+{
+    const std::string modelPath = "hetsim_test_fleet_model.jsonl";
+    std::vector<std::string> base{"fleet",   "--nodes", "4",
+                                  "--njobs", "150",     "--scale",
+                                  "0.02",    "--seed",  "7"};
+
+    // Run A probes the simulator and records job costs.
+    std::vector<std::string> recordArgs = base;
+    recordArgs.insert(recordArgs.end(), {"--model-out", modelPath});
+    std::ostringstream recorded;
+    ASSERT_EQ(execute(parse(recordArgs), recorded), 0);
+
+    // Run B answers class costing from the model; run C opts out.
+    std::vector<std::string> surrogateArgs = base;
+    surrogateArgs.insert(surrogateArgs.end(), {"--model-in", modelPath});
+    std::ostringstream served;
+    ASSERT_EQ(execute(parse(surrogateArgs), served), 0);
+
+    std::vector<std::string> probeArgs = surrogateArgs;
+    probeArgs.push_back("--no-surrogate");
+    std::ostringstream probed;
+    ASSERT_EQ(execute(parse(probeArgs), probed), 0);
+
+    // Identical campaign reports - same class costs, placements, and
+    // digests - whether costs came from the model or the simulator.
+    EXPECT_EQ(served.str(), probed.str());
+    EXPECT_EQ(served.str(), recorded.str());
+    EXPECT_NE(served.str().find("digest"), std::string::npos);
+
+    std::remove(modelPath.c_str());
+}
+
 TEST(CliExecute, FleetRunsFromATopologyFile)
 {
     TempJobsFile topo(

@@ -68,5 +68,37 @@ TEST(Stats, ClearRemovesAll)
     EXPECT_TRUE(stats.all().empty());
 }
 
+TEST(Percentiles, EmptyInputsYieldZeroSummary)
+{
+    const Percentiles fromValues = percentiles({});
+    EXPECT_EQ(fromValues.count, 0u);
+    EXPECT_DOUBLE_EQ(fromValues.p99, 0.0);
+    EXPECT_DOUBLE_EQ(fromValues.max, 0.0);
+
+    // No buckets at all (not just all-zero counts) used to walk off
+    // the histogram; it must yield the zero summary too.
+    const Percentiles fromBuckets =
+        percentilesFromBuckets({}, {}, 0.0, 0.0, 0.0);
+    EXPECT_EQ(fromBuckets.count, 0u);
+    EXPECT_DOUBLE_EQ(fromBuckets.p50, 0.0);
+
+    const Percentiles zeroCounts =
+        percentilesFromBuckets({1.0, 2.0}, {0, 0, 0}, 0.0, 0.0, 0.0);
+    EXPECT_EQ(zeroCounts.count, 0u);
+}
+
+TEST(Percentiles, InvertedRangeIsReordered)
+{
+    // A histogram merged from empty shards can carry min > max;
+    // clamped ranks must not hit undefined std::clamp bounds.
+    const Percentiles p =
+        percentilesFromBuckets({1.0, 2.0}, {0, 3, 0}, 5.0, 1.5, 5.4);
+    EXPECT_EQ(p.count, 3u);
+    EXPECT_DOUBLE_EQ(p.max, 5.0);
+    EXPECT_GE(p.p50, 1.5);
+    EXPECT_LE(p.p50, 5.0);
+    EXPECT_GE(p.p99, p.p50);
+}
+
 } // namespace
 } // namespace hetsim
