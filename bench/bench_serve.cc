@@ -34,6 +34,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "serve/server.hh"
+#include "serve/stream.hh"
 #include "sim/timing_cache.hh"
 
 #include "benchsupport.hh"
@@ -104,6 +105,79 @@ mixedJobs(double scale, int repeats)
     return jobs;
 }
 
+/** One JSONL job line for the streaming front-end. */
+std::string
+specLine(const serve::JobSpec &spec)
+{
+    std::ostringstream os;
+    os << "{\"id\": " << spec.id << ", \"app\": \"" << spec.app
+       << "\"";
+    if (spec.coexec())
+        os << ", \"devices\": \"" << spec.devices << "\"";
+    else
+        os << ", \"model\": \"" << spec.model << "\", \"device\": \""
+           << spec.device << "\"";
+    os << ", \"scale\": " << serve::formatG17(spec.scale);
+    if (spec.faultsGiven)
+        os << ", \"faults\": \"transfer:"
+           << serve::formatG17(spec.faultConfig.transferFailRate)
+           << "\", \"fault_seed\": " << spec.faultConfig.seed;
+    if (spec.serviceDeadlineMs > 0.0)
+        os << ", \"service_deadline_ms\": "
+           << serve::formatG17(spec.serviceDeadlineMs);
+    if (!spec.tenant.empty())
+        os << ", \"tenant\": \"" << spec.tenant << "\"";
+    os << "}";
+    return os.str();
+}
+
+/**
+ * The streaming variant of the mix: two tenants (weights 3:1) and a
+ * simulated service deadline on the faulted co-execution jobs, so
+ * fair-share dequeue and checkpoint/preemption are part of the
+ * measured path.
+ */
+std::string
+streamFeed(std::vector<serve::JobSpec> jobs)
+{
+    std::ostringstream feed;
+    for (serve::JobSpec &spec : jobs) {
+        spec.tenant = spec.id % 2 ? "a" : "b";
+        if (spec.faultsGiven)
+            spec.serviceDeadlineMs = 10.0; // forces several slices
+        feed << specLine(spec) << "\n";
+    }
+    feed << "end\n";
+    return feed.str();
+}
+
+ConfigResult
+runStreamConfig(const std::string &feed, u32 workers)
+{
+    serve::ServerConfig cfg;
+    cfg.workers = workers;
+    cfg.maxPreemptions = 1000; // measure slicing, never expire
+    std::string err;
+    cfg.tenants.applyWeights("a:3,b:1", err);
+    std::istringstream in(feed);
+    std::ostringstream live; // live protocol lines, discarded
+    std::string error;
+    auto outcome = serve::runStream(in, live, cfg, error);
+    if (!outcome) {
+        std::cerr << "runStream failed: " << error << "\n";
+        std::exit(1);
+    }
+    ConfigResult r;
+    r.workers = workers;
+    r.report = outcome->report;
+    std::ostringstream os;
+    serve::writeResultsJsonl(os, outcome->results);
+    r.resultsJsonl = os.str();
+    r.simThroughput = r.report.simJobsPerSecond();
+    r.wallThroughput = r.report.wallJobsPerSecond();
+    return r;
+}
+
 ConfigResult
 runConfig(const std::vector<serve::JobSpec> &jobs, u32 workers)
 {
@@ -158,7 +232,9 @@ appendJsonConfig(std::ostream &os, const ConfigResult &r, bool last)
 
 void
 writeJson(const std::string &path, double scale, size_t jobCount,
-          double speedup, const std::vector<ConfigResult> &results)
+          double speedup, const std::vector<ConfigResult> &results,
+          double streamSpeedup,
+          const std::vector<ConfigResult> &streamResults)
 {
     std::ofstream os(path);
     if (!os) {
@@ -173,6 +249,16 @@ writeJson(const std::string &path, double scale, size_t jobCount,
        << "  \"configs\": [\n";
     for (size_t i = 0; i < results.size(); ++i)
         appendJsonConfig(os, results[i], i + 1 == results.size());
+    os << "  ],\n"
+       << "  \"stream_sim_speedup_8v1\": " << streamSpeedup << ",\n"
+       << "  \"stream_preemptions\": "
+       << (streamResults.empty() ? 0
+                                 : streamResults[0].report.preemptions)
+       << ",\n"
+       << "  \"stream_configs\": [\n";
+    for (size_t i = 0; i < streamResults.size(); ++i)
+        appendJsonConfig(os, streamResults[i],
+                         i + 1 == streamResults.size());
     os << "  ]\n}\n";
 }
 
@@ -219,6 +305,23 @@ main(int argc, char **argv)
                   results.front().simThroughput
             : 0.0;
 
+    // The streaming front-end: same mix, fed as JSONL lines with two
+    // tenants and service-deadline preemption in the measured path.
+    const std::string feed = streamFeed(jobs);
+    std::vector<ConfigResult> stream;
+    for (u32 workers : {1u, 2u, 4u, 8u}) {
+        ConfigResult r = runStreamConfig(feed, workers);
+        r.identical = stream.empty()
+                          ? true
+                          : r.resultsJsonl == stream[0].resultsJsonl;
+        stream.push_back(std::move(r));
+    }
+    const double streamSpeedup =
+        stream.front().simThroughput > 0.0
+            ? stream.back().simThroughput /
+                  stream.front().simThroughput
+            : 0.0;
+
     std::cout << "Serving layer: timing-cache-warm mixed batch of "
               << jobs.size() << " jobs at 1/2/4/8 workers\n"
               << std::string(79, '=') << "\n";
@@ -240,9 +343,28 @@ main(int argc, char **argv)
     if (opts.csv)
         table.printCsv(std::cout);
     std::cout << "\nsim throughput speedup 8 vs 1 workers: "
-              << Table::num(speedup, 2) << "x\n";
+              << Table::num(speedup, 2) << "x\n\n";
 
-    writeJson(out_path, opts.scale, jobs.size(), speedup, results);
+    Table streamTable("streaming (two tenants 3:1, preempting)");
+    streamTable.setHeader({"workers", "ok", "preempted",
+                           "makespan (s)", "sim jobs/s", "identical"});
+    for (const auto &r : stream) {
+        streamTable.addRow(
+            {std::to_string(r.workers),
+             std::to_string(r.report.completed),
+             std::to_string(r.report.preemptions),
+             Table::num(r.report.virtualMakespanSeconds, 4),
+             Table::num(r.simThroughput, 2),
+             r.identical ? "yes" : "NO"});
+    }
+    streamTable.print(std::cout);
+    if (opts.csv)
+        streamTable.printCsv(std::cout);
+    std::cout << "\nstream sim throughput speedup 8 vs 1 workers: "
+              << Table::num(streamSpeedup, 2) << "x\n";
+
+    writeJson(out_path, opts.scale, jobs.size(), speedup, results,
+              streamSpeedup, stream);
     std::cout << "wrote " << out_path << "\n";
 
     int failures = 0;
@@ -259,12 +381,36 @@ main(int argc, char **argv)
             ++failures;
         }
     }
+    for (const auto &r : stream) {
+        if (!r.identical) {
+            std::cerr << "FAIL: streamed results JSONL at "
+                      << r.workers
+                      << " workers differs from the 1-worker run\n";
+            ++failures;
+        }
+        if (r.report.completed != jobs.size()) {
+            std::cerr << "FAIL: " << r.report.completed << "/"
+                      << jobs.size() << " streamed jobs Ok at "
+                      << r.workers << " workers\n";
+            ++failures;
+        }
+        if (r.report.preemptions == 0) {
+            std::cerr << "FAIL: streamed run at " << r.workers
+                      << " workers never preempted\n";
+            ++failures;
+        }
+    }
     // The acceptance headline is exact: the virtual schedule is
     // deterministic, so a shortfall is an algorithmic problem, not
     // host jitter.
     if (speedup < 3.0) {
         std::cerr << "FAIL: sim throughput speedup " << speedup
                   << "x at 8 workers (need >= 3x)\n";
+        ++failures;
+    }
+    if (streamSpeedup < 3.0) {
+        std::cerr << "FAIL: stream sim throughput speedup "
+                  << streamSpeedup << "x at 8 workers (need >= 3x)\n";
         ++failures;
     }
     return failures ? 1 : 0;

@@ -138,15 +138,26 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
 {
     CoExecResult result;
     result.policy = toString(opts.policy);
-    result.items = kernel.items;
     result.functional = opts.functional && kernel.body != nullptr;
+
+    // The iteration space of this launch: the whole kernel, or the
+    // undone ranges of a previously preempted launch (a resume).
+    std::vector<ItemRange> work;
+    if (opts.resume != nullptr)
+        work = *opts.resume;
+    else if (kernel.items > 0)
+        work.push_back({0, kernel.items});
+    u64 items_target = 0;
+    for (const ItemRange &r : work)
+        items_target += r.second - r.first;
+    result.items = items_target;
 
     if (devices.size() == 0) {
         result.ok = false;
         result.error = "empty co-execution device pool";
         return result;
     }
-    if (kernel.items == 0) {
+    if (items_target == 0) {
         result.ok = false;
         result.error = csprintf("kernel %s co-executed with zero items",
                                 kernel.name.c_str());
@@ -219,7 +230,7 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
 
     auto scheduler = makeScheduler(opts.policy, opts.chunkItems,
                                    opts.minChunkItems);
-    scheduler->reset(kernel.items, states);
+    scheduler->reset(items_target, states);
 
     // --- Fault machinery -------------------------------------------------
     fault::FaultPlan *plan = opts.faults;
@@ -308,10 +319,18 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
     // (depth-1 prefetch on the DMA engine).  Chunks of dead devices
     // land on the rescue queue and re-execute on healthy devices;
     // items count as done only when their chunk fully succeeds.
-    u64 next_item = 0;
+    //
+    // The fresh iteration space is the range list `work` (one range
+    // for a plain launch, the checkpointed remainder for a resume);
+    // chunks never cross a range boundary.  wr/wpos are the cursor.
+    const double budget =
+        result.functional ? 0.0 : opts.budgetSeconds;
+    size_t wr = 0;
+    u64 wpos = work[0].first;
+    u64 fresh_left = items_target;
     u64 items_done = 0;
-    while (items_done < kernel.items) {
-        const bool have_fresh = next_item < kernel.items;
+    while (items_done < items_target) {
+        const bool have_fresh = fresh_left > 0;
         const bool degraded = !result.deadDevices.empty();
         size_t d = devices.size();
         for (size_t i = 0; i < devices.size(); ++i) {
@@ -334,28 +353,40 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
             result.error = csprintf(
                 "co-exec left %llu of %llu items unassigned "
                 "(no healthy device can take them)",
-                static_cast<unsigned long long>(kernel.items -
+                static_cast<unsigned long long>(items_target -
                                                 items_done),
-                static_cast<unsigned long long>(kernel.items));
+                static_cast<unsigned long long>(items_target));
+            break;
+        }
+
+        // Budgeted launch: once even the earliest-free device would
+        // pull at or past the budget, checkpoint at this chunk
+        // boundary instead of grabbing more work.  Guarded on
+        // items_done so every slice makes progress regardless of how
+        // small the budget is.
+        if (budget > 0.0 && items_done > 0 &&
+            slots[d].nextPull >= budget) {
+            result.preempted = true;
             break;
         }
 
         Slot &slot = slots[d];
         u64 begin = 0;
         u64 take = 0;
+        bool fresh_grab = true;
         if (!rescue.empty() && (slot.schedDone || !have_fresh)) {
             begin = rescue.front().first;
             take = rescue.front().second - begin;
             rescue.pop_front();
+            fresh_grab = false;
         } else if (slot.schedDone) {
             // Degraded-mode takeover: the scheduler already released
-            // this device, so it claims the orphaned tail directly.
-            begin = next_item;
-            take = kernel.items - next_item;
-            next_item = kernel.items;
+            // this device, so it claims the current range's orphaned
+            // tail directly.
+            begin = wpos;
+            take = work[wr].second - wpos;
         } else {
-            const u64 remaining = kernel.items - next_item;
-            take = scheduler->grab(d, states[d], remaining);
+            take = scheduler->grab(d, states[d], fresh_left);
             if (take == 0) {
                 slot.schedDone = true;
                 if (timeline.tracing()) {
@@ -366,9 +397,14 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
                 }
                 continue;
             }
-            take = std::min(take, remaining);
-            begin = next_item;
-            next_item += take;
+            take = std::min(take, work[wr].second - wpos);
+            begin = wpos;
+        }
+        if (fresh_grab) {
+            wpos += take;
+            fresh_left -= take;
+            if (wpos == work[wr].second && ++wr < work.size())
+                wpos = work[wr].first;
         }
 
         // --fail-device: the named device dies at its next pull once
@@ -567,6 +603,33 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
         }
     }
 
+    if (result.preempted) {
+        // Checkpoint at the chunk boundary: the undone iteration
+        // space is the fresh-cursor remainder plus any rescue-queued
+        // ranges, reported ascending for the resume.  Saving state
+        // costs checkpointSeconds on every surviving device.
+        if (wr < work.size()) {
+            result.remaining.push_back({wpos, work[wr].second});
+            for (size_t r = wr + 1; r < work.size(); ++r)
+                result.remaining.push_back(work[r]);
+        }
+        for (const auto &range : rescue)
+            result.remaining.push_back(range);
+        std::sort(result.remaining.begin(), result.remaining.end());
+        for (Slot &slot : slots) {
+            if (slot.dead)
+                continue;
+            const sim::TaskId ckpt = timeline.schedule(
+                slot.computeQ, opts.checkpointSeconds,
+                std::span<const sim::TaskId>{},
+                sim::Timeline::SpanInfo{"checkpoint [preempt]",
+                                        "preempt", 0.0, 0});
+            slot.lastFinish = std::max(slot.lastFinish,
+                                       timeline.finishTime(ckpt));
+        }
+        metrics.add("coexec.preemptions", 1);
+    }
+
     result.seconds = timeline.makespan();
     if (faulty) {
         result.faultsInjected = plan->schedule().size() - faults_before;
@@ -577,7 +640,7 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
         Slot &slot = slots[d];
         slot.report.share =
             static_cast<double>(slot.report.items) /
-            static_cast<double>(kernel.items);
+            static_cast<double>(items_target);
         slot.report.finishSeconds = slot.lastFinish;
         // Idle: the pool kept running while this device's compute
         // queue had nothing scheduled (EngineCL's load-balance FoM).

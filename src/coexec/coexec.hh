@@ -58,6 +58,9 @@ namespace hetsim::coexec
 /** Functional kernel body over a contiguous global work-item range. */
 using KernelBody = std::function<void(u64 begin, u64 end)>;
 
+/** One contiguous [begin, end) slice of a kernel's iteration space. */
+using ItemRange = std::pair<u64, u64>;
+
 /** The three partitioning policies (ISSUE tentpole). */
 enum class Policy
 {
@@ -160,6 +163,29 @@ struct ExecOptions
      * duration).
      */
     double stallTimeoutSeconds = 0.0;
+    /**
+     * Simulated-time budget of this launch (0 = unlimited).  Once a
+     * device would pull its next chunk at or past this instant, the
+     * executor stops grabbing work, checkpoints at the chunk boundary
+     * (the undone ranges come back in CoExecResult::remaining), costs
+     * one checkpoint span per surviving device on the timeline, and
+     * returns with `preempted` set.  At least one chunk always runs,
+     * so every slice makes progress.  Ignored for functional launches:
+     * checkpointing live host-side buffers is out of scope, so
+     * functional jobs run to completion (see DESIGN 7).
+     */
+    double budgetSeconds = 0.0;
+    /** Simulated cost of saving one checkpoint, charged on every
+     *  surviving device's compute queue when a launch is preempted. */
+    double checkpointSeconds = 100e-6;
+    /**
+     * Undone ranges of a previously preempted launch (non-owning;
+     * nullptr = fresh launch over [0, items)).  The executor restricts
+     * the iteration space to exactly these ranges; chunk accounting,
+     * fault draws, and the scheduler restart fresh, which models a
+     * resume-from-checkpoint on whatever devices are healthy now.
+     */
+    const std::vector<ItemRange> *resume = nullptr;
 };
 
 /** One contiguous range of the iteration space bound to a device. */
@@ -226,6 +252,13 @@ struct CoExecResult
     u64 degradations = 0;
     /** Devices marked dead, in death order. */
     std::vector<std::string> deadDevices;
+
+    // --- Preemption (budgeted launches only) ------------------------
+    /** The launch hit its simulated budget and checkpointed. */
+    bool preempted = false;
+    /** Undone ranges at the checkpoint, ascending and disjoint; feed
+     *  back through ExecOptions::resume to continue the launch. */
+    std::vector<ItemRange> remaining;
 };
 
 /**

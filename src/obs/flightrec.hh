@@ -40,7 +40,8 @@ struct FlightRecord
     /** Stable id of the job (serve jobId, fleet job index + 1). */
     u64 jobId = 0;
     /** Why it was retained: "error" | "rejected" | "shed" |
-     *  "expired" | "slo_miss" | "retry_after_node_death". */
+     *  "expired" | "preempted" | "slo_miss" |
+     *  "retry_after_node_death". */
     std::string kind;
     /** Job name / class name. */
     std::string what;

@@ -84,13 +84,24 @@ escapeJson(const std::string &text)
     return out;
 }
 
-/** Deterministic shortest-roundtrip double formatting. */
+} // namespace
+
 std::string
-formatDouble(double value)
+formatG17(double value)
 {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", value);
     return buf;
+}
+
+namespace
+{
+
+/** Local alias predating the public formatG17 export. */
+std::string
+formatDouble(double value)
+{
+    return formatG17(value);
 }
 
 } // namespace
@@ -203,6 +214,16 @@ parseJobLine(const std::string &line, size_t lineno, std::string &error)
                 return fail("\"deadline_ms\" wants a non-negative "
                             "number");
             spec.deadlineMs = value.number;
+            spec.deadlineGiven = true;
+        } else if (key == "service_deadline_ms") {
+            if (value.kind != json::Value::Kind::Number ||
+                value.number < 0.0)
+                return fail("\"service_deadline_ms\" wants a "
+                            "non-negative number");
+            spec.serviceDeadlineMs = value.number;
+            spec.serviceDeadlineGiven = true;
+        } else if (key == "tenant") {
+            ok = wantString(spec.tenant);
         } else if (key == "priority") {
             auto v = value.kind == json::Value::Kind::Number
                          ? json::parseLong(value.text)
@@ -267,6 +288,10 @@ jobClassKey(const JobSpec &spec)
                formatDouble(spec.freq.memMhz);
     if (spec.functional)
         key += "|fn";
+    // The service deadline changes the simulated outcome (preemption
+    // slices add checkpoint costs), so it is part of the class.
+    if (spec.serviceDeadlineMs > 0.0)
+        key += "|sdl=" + formatDouble(spec.serviceDeadlineMs);
     if (spec.faultsGiven) {
         char seed[32];
         std::snprintf(seed, sizeof(seed), "0x%llx",
@@ -291,38 +316,48 @@ jobDeviceKey(const JobSpec &spec)
 }
 
 void
+writeResultLine(std::ostream &os, const JobResult &res)
+{
+    os << "{\"id\":" << res.id << ",\"status\":\""
+       << toString(res.status) << "\"";
+    if (!res.error.empty())
+        os << ",\"error\":\"" << escapeJson(res.error) << "\"";
+    os << ",\"app\":\"" << escapeJson(res.app) << "\"";
+    if (!res.devices.empty()) {
+        os << ",\"devices\":\"" << escapeJson(res.devices)
+           << "\",\"policy\":\"" << escapeJson(res.policy) << "\"";
+    } else {
+        os << ",\"model\":\"" << escapeJson(res.model)
+           << "\",\"device\":\"" << escapeJson(res.device) << "\"";
+    }
+    if (!res.tenant.empty())
+        os << ",\"tenant\":\"" << escapeJson(res.tenant) << "\"";
+    if (res.status == JobStatus::Ok) {
+        os << ",\"seconds\":" << formatDouble(res.simSeconds)
+           << ",\"kernel_seconds\":" << formatDouble(res.kernelSeconds)
+           << ",\"transfer_seconds\":"
+           << formatDouble(res.transferSeconds);
+        if (res.functionalRun) {
+            os << ",\"checksum\":" << formatDouble(res.checksum)
+               << ",\"validated\":"
+               << (res.validated ? "true" : "false");
+        }
+        os << ",\"faults_injected\":" << res.faultsInjected
+           << ",\"fault_schedule_hash\":\"0x" << std::hex
+           << res.faultScheduleHash << std::dec << "\"";
+    }
+    // Preemption survival count is simulated-time-derived, hence
+    // deterministic; emitted for preempted Ok *and* Expired jobs.
+    if (res.preemptions > 0)
+        os << ",\"preemptions\":" << res.preemptions;
+    os << "}\n";
+}
+
+void
 writeResultsJsonl(std::ostream &os, const std::vector<JobResult> &results)
 {
-    for (const auto &res : results) {
-        os << "{\"id\":" << res.id << ",\"status\":\""
-           << toString(res.status) << "\"";
-        if (!res.error.empty())
-            os << ",\"error\":\"" << escapeJson(res.error) << "\"";
-        os << ",\"app\":\"" << escapeJson(res.app) << "\"";
-        if (!res.devices.empty()) {
-            os << ",\"devices\":\"" << escapeJson(res.devices)
-               << "\",\"policy\":\"" << escapeJson(res.policy) << "\"";
-        } else {
-            os << ",\"model\":\"" << escapeJson(res.model)
-               << "\",\"device\":\"" << escapeJson(res.device) << "\"";
-        }
-        if (res.status == JobStatus::Ok) {
-            os << ",\"seconds\":" << formatDouble(res.simSeconds)
-               << ",\"kernel_seconds\":"
-               << formatDouble(res.kernelSeconds)
-               << ",\"transfer_seconds\":"
-               << formatDouble(res.transferSeconds);
-            if (res.functionalRun) {
-                os << ",\"checksum\":" << formatDouble(res.checksum)
-                   << ",\"validated\":"
-                   << (res.validated ? "true" : "false");
-            }
-            os << ",\"faults_injected\":" << res.faultsInjected
-               << ",\"fault_schedule_hash\":\"0x" << std::hex
-               << res.faultScheduleHash << std::dec << "\"";
-        }
-        os << "}\n";
-    }
+    for (const auto &res : results)
+        writeResultLine(os, res);
 }
 
 } // namespace hetsim::serve

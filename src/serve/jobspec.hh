@@ -63,8 +63,25 @@ struct JobSpec
     /** Queue-wait deadline in host milliseconds (0 = none): a job
      *  still queued this long after submission is cancelled. */
     double deadlineMs = 0.0;
+    /** The line carried an explicit "deadline_ms".  Only absent
+     *  fields inherit the server's `--deadline-ms` default; an
+     *  explicit 0 means "no deadline". */
+    bool deadlineGiven = false;
+    /**
+     * Service deadline in *simulated* milliseconds (0 = none): a
+     * running non-functional coexec job is preempted - checkpointed
+     * at a chunk boundary and re-queued - whenever a dispatch slice
+     * exhausts this budget.  Deterministic: the trigger reads only
+     * simulated time, never the host clock.
+     */
+    double serviceDeadlineMs = 0.0;
+    /** The line carried an explicit "service_deadline_ms" (same
+     *  inheritance rule as deadlineGiven). */
+    bool serviceDeadlineGiven = false;
     /** Higher priorities dequeue first (FIFO within a priority). */
     int priority = 0;
+    /** Tenant label for fair-share scheduling ("" = anonymous). */
+    std::string tenant;
 
     /** @return whether this is a co-execution job. */
     bool coexec() const { return !devices.empty(); }
@@ -110,6 +127,7 @@ struct JobResult
     std::string device; ///< single-device jobs
     std::string devices; ///< co-execution jobs
     std::string policy;  ///< co-execution jobs
+    std::string tenant;  ///< fair-share tenant ("" = anonymous)
 
     // --- Simulation-derived (deterministic; serialized) -------------
     double simSeconds = 0.0;
@@ -122,6 +140,9 @@ struct JobResult
     /** Order-sensitive hash of the job's FaultEvent schedule; equal
      *  seeds must reproduce it bitwise, served or standalone. */
     u64 faultScheduleHash = 0;
+    /** Service-deadline preemptions the job survived (slices - 1);
+     *  deterministic - the trigger reads only simulated time. */
+    u64 preemptions = 0;
 
     // --- Host-side serving accounting (not serialized) --------------
     double hostQueueWaitMs = 0.0; ///< wall: submit -> dequeue
@@ -134,6 +155,8 @@ struct JobResult
     u64 queueDepthAtSubmit = 0;
     /** Effective queue-wait deadline (after the server default). */
     double deadlineMs = 0.0;
+    /** Effective service deadline (after the server default). */
+    double serviceDeadlineMs = 0.0;
     /** Injected fault events the job saw, "<kind> <device> <seq>";
      *  filled only while the flight recorder is enabled. */
     std::vector<std::string> faultEvents;
@@ -149,7 +172,8 @@ struct JobResult
  *
  *   id, app, model, device, devices, policy, scale, dp, functional,
  *   freq ("core:mem"), timing_cache, faults ("kind:rate,..."),
- *   fault_seed, retry_max, fail_device, deadline_ms, priority
+ *   fault_seed, retry_max, fail_device, deadline_ms,
+ *   service_deadline_ms, priority, tenant
  *
  * @return nullopt and set @p error on malformed JSON, an unknown key,
  * or a wrong value type.
@@ -172,6 +196,14 @@ std::optional<std::vector<JobSpec>> parseJobs(std::istream &is,
  */
 void writeResultsJsonl(std::ostream &os,
                        const std::vector<JobResult> &results);
+
+/** Write one result line (the streaming front-end's live emission;
+ *  byte-identical to the line writeResultsJsonl would produce). */
+void writeResultLine(std::ostream &os, const JobResult &result);
+
+/** Deterministic round-trip double formatting ("%.17g") - the wire
+ *  convention of the result writer and the model layer. */
+std::string formatG17(double value);
 
 } // namespace hetsim::serve
 

@@ -6,6 +6,7 @@
 
 #include "apps/coexec_kernels.hh"
 #include "coexec/coexec.hh"
+#include "common/logging.hh"
 #include "core/workload.hh"
 #include "fleet/cluster.hh"
 #include "model/surrogate.hh"
@@ -138,9 +139,14 @@ runSingleDeviceJob(const JobSpec &spec, JobResult &res)
     res.validated = run.validated;
 }
 
-/** Co-execution job: the `hetsim coexec` path, with a per-job plan. */
+/** Co-execution job: the `hetsim coexec` path, with a per-job plan.
+ *  With a positive budget the launch may checkpoint (preempted /
+ *  remaining); @p resume continues a previously checkpointed one. */
 void
-runCoexecJob(const JobSpec &spec, JobResult &res)
+runCoexecJob(const JobSpec &spec, double budgetSeconds,
+             const std::vector<coexec::ItemRange> *resume,
+             JobResult &res, bool &preempted,
+             std::vector<coexec::ItemRange> &remaining)
 {
     auto pool = coexec::DevicePool::parse(spec.devices);
     if (!pool) {
@@ -165,15 +171,21 @@ runCoexecJob(const JobSpec &spec, JobResult &res)
     coexec::ExecOptions opts;
     opts.policy = *policy;
     opts.functional = spec.functional;
+    opts.budgetSeconds = budgetSeconds;
+    opts.resume = resume;
     // Per-job plan: seeded from the job's own config, so equal seeds
     // reproduce the standalone `hetsim coexec` schedule bitwise no
-    // matter which worker session runs the job.
+    // matter which worker session runs the job.  Each slice restarts
+    // the plan, so a preempted job's slice sequence is equally a pure
+    // function of the spec.
     fault::FaultPlan plan(spec.faultConfig);
     if (spec.faultsGiven)
         opts.faults = &plan;
 
     coexec::CoExecutor executor(*pool, prec);
     auto run = executor.execute(*kernel, opts);
+    preempted = run.preempted;
+    remaining = std::move(run.remaining);
     // Black-box context for the flight recorder: the injected
     // schedule this job was exposed to, in injection order.  Filled
     // before the failure return - failed jobs are the ones recorded.
@@ -204,12 +216,15 @@ runCoexecJob(const JobSpec &spec, JobResult &res)
 
 } // namespace
 
-JobResult
-runJob(const JobSpec &spec)
+SliceOutcome
+runJobSlice(const JobSpec &spec, double budgetSeconds,
+            const std::vector<coexec::ItemRange> *resume)
 {
-    JobResult res;
+    SliceOutcome slice;
+    JobResult &res = slice.result;
     res.id = spec.id;
     res.app = spec.app;
+    res.tenant = spec.tenant;
     if (spec.coexec()) {
         res.devices = spec.devices;
         res.policy = spec.policy;
@@ -218,11 +233,20 @@ runJob(const JobSpec &spec)
         res.device = spec.device;
     }
     res.status = JobStatus::Error;
-    if (spec.coexec())
-        runCoexecJob(spec, res);
-    else
+    if (spec.coexec()) {
+        runCoexecJob(spec, budgetSeconds, resume, res, slice.preempted,
+                     slice.remaining);
+    } else {
         runSingleDeviceJob(spec, res);
-    return res;
+    }
+    return slice;
+}
+
+JobResult
+runJob(const JobSpec &spec)
+{
+    // Budget 0 = unlimited: a plain run is the one-slice special case.
+    return runJobSlice(spec, 0.0, nullptr).result;
 }
 
 double
@@ -288,7 +312,27 @@ Server::validateConfig(const ServerConfig &config)
     }
     if (config.defaultDeadlineMs < 0.0)
         return std::string("default deadline must be >= 0 ms");
+    if (config.defaultServiceDeadlineMs < 0.0)
+        return std::string("default service deadline must be >= 0 ms");
+    if (config.autoscale) {
+        const u32 ceiling = config.maxWorkers != 0 ? config.maxWorkers
+                                                   : config.workers;
+        if (config.minWorkers == 0)
+            return std::string("autoscaler needs --min-workers >= 1");
+        if (config.minWorkers > ceiling) {
+            return std::string("autoscaler floor exceeds ceiling "
+                               "(--min-workers > --max-workers)");
+        }
+    }
     return std::nullopt;
+}
+
+u32
+Server::poolCeiling() const
+{
+    if (!cfg.autoscale)
+        return cfg.workers;
+    return cfg.maxWorkers != 0 ? cfg.maxWorkers : cfg.workers;
 }
 
 std::optional<std::string>
@@ -296,6 +340,7 @@ Server::start()
 {
     if (auto err = validateConfig(cfg))
         return err;
+    const u32 pool = poolCeiling();
     {
         std::lock_guard<std::mutex> lk(mtx);
         if (started)
@@ -303,6 +348,7 @@ Server::start()
         started = true;
         stopping = false;
         startWallSec = nowSeconds();
+        activeWorkers = cfg.autoscale ? cfg.minWorkers : pool;
     }
     obs::Metrics &metrics = obs::Metrics::global();
     metrics.defineHistogram("serve.queue_wait_ms",
@@ -310,10 +356,79 @@ Server::start()
     metrics.defineHistogram("serve.service_ms",
                             latencyBucketBoundsMs());
     metrics.set("serve.workers", cfg.workers);
-    workers.reserve(cfg.workers);
-    for (u32 w = 0; w < cfg.workers; ++w)
+    metrics.set("serve.active_workers", activeWorkers);
+    workers.reserve(pool);
+    for (u32 w = 0; w < pool; ++w)
         workers.emplace_back([this, w] { workerLoop(w); });
     return std::nullopt;
+}
+
+void
+Server::maybeScaleUp()
+{
+    // Caller holds mtx.  Raises only; the gate falls on drain.
+    if (!cfg.autoscale)
+        return;
+    const u32 ceiling = poolCeiling();
+    u32 target = activeWorkers;
+    const char *reason = nullptr;
+    if (cfg.autoscaleBacklogSeconds > 0.0 &&
+        predictedBacklogSeconds > 0.0) {
+        // Surrogate-predicted backlog: enough workers that each holds
+        // at most the configured horizon of predicted work.
+        target = static_cast<u32>(std::ceil(
+            predictedBacklogSeconds / cfg.autoscaleBacklogSeconds));
+        reason = "backlog";
+    } else if (cfg.scaleUpQueueFactor > 0.0) {
+        const double depth = static_cast<double>(queue.size());
+        if (depth > static_cast<double>(activeWorkers) *
+                        cfg.scaleUpQueueFactor) {
+            target = static_cast<u32>(
+                std::ceil(depth / cfg.scaleUpQueueFactor));
+            reason = "queue-depth";
+        }
+    }
+    target = std::min(std::max(target, cfg.minWorkers), ceiling);
+    if (reason == nullptr || target <= activeWorkers)
+        return;
+    AutoscaleEvent event;
+    event.seq = autoscaleEvents.size();
+    event.atSubmitSeq = submitSeq;
+    event.fromWorkers = activeWorkers;
+    event.toWorkers = target;
+    event.queueDepth = queue.size();
+    event.backlogSeconds = predictedBacklogSeconds;
+    event.reason = reason;
+    activeWorkers = target;
+    autoscaleEvents.push_back(std::move(event));
+    obs::Metrics &metrics = obs::Metrics::global();
+    metrics.add("serve.autoscale.events");
+    metrics.set("serve.active_workers", activeWorkers);
+    // The newly opened worker slots are parked on workCv.
+    workCv.notify_all();
+}
+
+void
+Server::maybeScaleDown()
+{
+    // Caller holds mtx; called by the dequeue that emptied the queue.
+    if (!cfg.autoscale || !queue.empty() ||
+        activeWorkers <= cfg.minWorkers) {
+        return;
+    }
+    AutoscaleEvent event;
+    event.seq = autoscaleEvents.size();
+    event.atSubmitSeq = submitSeq;
+    event.fromWorkers = activeWorkers;
+    event.toWorkers = cfg.minWorkers;
+    event.queueDepth = 0;
+    event.backlogSeconds = predictedBacklogSeconds;
+    event.reason = "drained";
+    activeWorkers = cfg.minWorkers;
+    autoscaleEvents.push_back(std::move(event));
+    obs::Metrics &metrics = obs::Metrics::global();
+    metrics.add("serve.autoscale.events");
+    metrics.set("serve.active_workers", activeWorkers);
 }
 
 void
@@ -339,17 +454,59 @@ Server::resume()
 size_t
 Server::bestQueuedIndex() const
 {
-    size_t best = 0;
-    for (size_t i = 1; i < queue.size(); ++i) {
+    // Weighted fair-share: pick the queued tenant with the least
+    // virtual service (dispatches / weight; ties go to the
+    // lexicographically first name).  With no tenancy configured and
+    // unlabeled jobs there is exactly one tenant, which reduces to
+    // the original highest-priority-oldest rule.
+    const std::string *bestTenant = nullptr;
+    double bestVirtual = 0.0;
+    for (const QueuedJob &q : queue) {
+        const double weight =
+            cfg.tenants.policy(q.spec.tenant).weight;
+        const auto it = tenantServed.find(q.spec.tenant);
+        const double served =
+            it != tenantServed.end()
+                ? static_cast<double>(it->second)
+                : 0.0;
+        const double virt = served / weight;
+        if (bestTenant == nullptr || virt < bestVirtual ||
+            (virt == bestVirtual && q.spec.tenant < *bestTenant)) {
+            bestTenant = &q.spec.tenant;
+            bestVirtual = virt;
+        }
+    }
+    // Within the tenant: highest priority, oldest first.
+    size_t best = queue.size();
+    for (size_t i = 0; i < queue.size(); ++i) {
         const QueuedJob &a = queue[i];
-        const QueuedJob &b = queue[best];
-        if (a.spec.priority > b.spec.priority ||
-            (a.spec.priority == b.spec.priority &&
-             a.submitSeq < b.submitSeq)) {
+        if (a.spec.tenant != *bestTenant)
+            continue;
+        if (best == queue.size() ||
+            a.spec.priority > queue[best].spec.priority ||
+            (a.spec.priority == queue[best].spec.priority &&
+             a.submitSeq < queue[best].submitSeq)) {
             best = i;
         }
     }
     return best;
+}
+
+JobResult
+Server::specEcho(const JobSpec &spec, JobStatus status)
+{
+    JobResult res;
+    res.id = spec.id;
+    res.app = spec.app;
+    res.model = spec.model;
+    res.device = spec.device;
+    res.devices = spec.devices;
+    res.policy = spec.policy;
+    res.tenant = spec.tenant;
+    res.status = status;
+    res.deadlineMs = spec.deadlineMs;
+    res.serviceDeadlineMs = spec.serviceDeadlineMs;
+    return res;
 }
 
 void
@@ -357,22 +514,34 @@ Server::recordResult(JobResult result)
 {
     // Caller holds mtx.
     obs::Metrics &metrics = obs::Metrics::global();
+    const char *statusName = nullptr;
     switch (result.status) {
       case JobStatus::Ok:
         metrics.add("serve.completed");
+        statusName = "completed";
         break;
       case JobStatus::Error:
         metrics.add("serve.errors");
+        statusName = "errors";
         break;
       case JobStatus::Rejected:
         metrics.add("serve.rejected");
+        statusName = "rejected";
         break;
       case JobStatus::Shed:
         metrics.add("serve.shed");
+        statusName = "shed";
         break;
       case JobStatus::Expired:
         metrics.add("serve.expired");
+        statusName = "expired";
         break;
+    }
+    // Per-tenant counters ("-" = the anonymous tenant).
+    if (metrics.enabled()) {
+        const std::string t =
+            result.tenant.empty() ? "-" : result.tenant;
+        metrics.add("serve.tenant." + t + "." + statusName);
     }
     // Every non-Ok terminal is a flight-recorder candidate: this is
     // the single funnel all statuses pass through, so nothing that
@@ -411,13 +580,21 @@ Server::recordResult(JobResult result)
         recorder.record(std::move(rec));
     }
     results.push_back(std::move(result));
+    // Live emission (streaming front-end), in completion order.
+    if (cfg.onResult)
+        cfg.onResult(results.back());
 }
 
 void
 Server::submit(JobSpec spec)
 {
-    if (spec.deadlineMs <= 0.0)
+    // Only *absent* deadline fields inherit the server defaults: an
+    // explicit "deadline_ms": 0 (or service_deadline_ms: 0) means
+    // "this job has no deadline", not "use the default".
+    if (!spec.deadlineGiven && spec.deadlineMs <= 0.0)
         spec.deadlineMs = cfg.defaultDeadlineMs;
+    if (!spec.serviceDeadlineGiven && spec.serviceDeadlineMs <= 0.0)
+        spec.serviceDeadlineMs = cfg.defaultServiceDeadlineMs;
     obs::Metrics::global().add("serve.submitted");
 
     std::unique_lock<std::mutex> lk(mtx);
@@ -443,19 +620,14 @@ Server::submit(JobSpec spec)
             if (spec.deadlineMs > 0.0 &&
                 predictedMs > spec.deadlineMs) {
                 metrics.add("serve.predict.rejected");
-                JobResult res = JobResult();
-                res.id = spec.id;
-                res.app = spec.app;
-                res.model = spec.model;
-                res.device = spec.device;
-                res.devices = spec.devices;
-                res.policy = spec.policy;
-                res.status = JobStatus::Rejected;
+                JobResult res =
+                    specEcho(spec, JobStatus::Rejected);
+                // %.17g so the reported prediction round-trips (the
+                // model layer's wire convention).
                 res.error =
                     "predict-admission: predicted completion " +
-                    std::to_string(predictedMs) + " ms > deadline " +
-                    std::to_string(spec.deadlineMs) + " ms";
-                res.deadlineMs = spec.deadlineMs;
+                    formatG17(predictedMs) + " ms > deadline " +
+                    formatG17(spec.deadlineMs) + " ms";
                 res.queueDepthAtSubmit = queue.size();
                 recordResult(std::move(res));
                 idleCv.notify_all();
@@ -466,65 +638,99 @@ Server::submit(JobSpec spec)
         }
     }
 
+    // Evict @p victim from the queue (shed bookkeeping).
+    auto evictQueued = [&](size_t victim, const std::string &why) {
+        const QueuedJob &q = queue[victim];
+        JobResult res = specEcho(q.spec, JobStatus::Shed);
+        res.error = why;
+        // The victim's own submit-time context, not the shed
+        // instant's: its queue depth at submit and how long it sat
+        // queued before eviction.
+        res.queueDepthAtSubmit = q.depthAtSubmit;
+        res.hostQueueWaitMs = (nowSeconds() - q.submitSec) * 1e3;
+        recordResult(std::move(res));
+        predictedBacklogSeconds -= q.predictedSeconds;
+        auto queued = tenantQueued.find(q.spec.tenant);
+        if (queued != tenantQueued.end() && queued->second > 0)
+            queued->second -= 1;
+        queue.erase(queue.begin() + static_cast<ptrdiff_t>(victim));
+    };
+    // Refuse the incoming job (never queued: the depth it observed
+    // is the current one).
+    auto refuseIncoming = [&](JobStatus status, std::string why) {
+        JobResult res = specEcho(spec, status);
+        res.error = std::move(why);
+        res.queueDepthAtSubmit = queue.size();
+        recordResult(std::move(res));
+        idleCv.notify_all();
+    };
+    // Victim pick among queued jobs of @p tenant (nullptr = any):
+    // lowest priority, newest on a tie; queue.size() when none.
+    auto shedVictim = [&](const std::string *tenant) {
+        size_t victim = queue.size();
+        for (size_t i = 0; i < queue.size(); ++i) {
+            const QueuedJob &a = queue[i];
+            if (tenant != nullptr && a.spec.tenant != *tenant)
+                continue;
+            if (victim == queue.size() ||
+                a.spec.priority < queue[victim].spec.priority ||
+                (a.spec.priority == queue[victim].spec.priority &&
+                 a.submitSeq > queue[victim].submitSeq)) {
+                victim = i;
+            }
+        }
+        return victim;
+    };
+
+    // Per-tenant quota, ahead of the global queue cap.  Under Shed
+    // the tenant's own lowest-priority newest job is the victim (the
+    // incoming job itself unless strictly higher-priority); other
+    // admission policies refuse the incoming job - Block does not
+    // wait, a tenant over quota must not stall other tenants.
+    const TenantPolicy tenantPolicy = cfg.tenants.policy(spec.tenant);
+    if (tenantPolicy.quota > 0 &&
+        tenantQueued[spec.tenant] >= tenantPolicy.quota) {
+        const std::string quotaWhy =
+            "tenant '" + spec.tenant + "' over quota (" +
+            std::to_string(tenantPolicy.quota) + " queued)";
+        if (cfg.admission == Admission::Shed) {
+            const size_t victim = shedVictim(&spec.tenant);
+            if (victim == queue.size() ||
+                spec.priority <= queue[victim].spec.priority) {
+                refuseIncoming(JobStatus::Shed, quotaWhy);
+                return;
+            }
+            evictQueued(victim, "shed at admission (" + quotaWhy +
+                                    ")");
+        } else {
+            refuseIncoming(JobStatus::Rejected, quotaWhy);
+            return;
+        }
+    }
+
     if (cfg.queueCap != 0 && queue.size() >= cfg.queueCap) {
         switch (cfg.admission) {
-          case Admission::Reject: {
-            JobResult res = JobResult();
-            res.id = spec.id;
-            res.app = spec.app;
-            res.model = spec.model;
-            res.device = spec.device;
-            res.devices = spec.devices;
-            res.policy = spec.policy;
-            res.status = JobStatus::Rejected;
-            res.error = "queue full (cap " +
-                        std::to_string(cfg.queueCap) + ")";
-            res.deadlineMs = spec.deadlineMs;
-            res.queueDepthAtSubmit = queue.size();
-            recordResult(std::move(res));
-            idleCv.notify_all();
+          case Admission::Reject:
+            refuseIncoming(JobStatus::Rejected,
+                           "queue full (cap " +
+                               std::to_string(cfg.queueCap) + ")");
             return;
-          }
           case Admission::Shed: {
             // Victim: lowest priority, newest on a tie.  An incoming
             // job that is not strictly higher-priority than the
-            // victim is shed itself (it would be the victim).
-            size_t victim = 0;
-            for (size_t i = 1; i < queue.size(); ++i) {
-                const QueuedJob &a = queue[i];
-                const QueuedJob &b = queue[victim];
-                if (a.spec.priority < b.spec.priority ||
-                    (a.spec.priority == b.spec.priority &&
-                     a.submitSeq > b.submitSeq)) {
-                    victim = i;
-                }
-            }
-            const JobSpec *shedSpec = &spec;
-            if (spec.priority > queue[victim].spec.priority) {
-                shedSpec = &queue[victim].spec;
-            }
-            JobResult res = JobResult();
-            res.id = shedSpec->id;
-            res.app = shedSpec->app;
-            res.model = shedSpec->model;
-            res.device = shedSpec->device;
-            res.devices = shedSpec->devices;
-            res.policy = shedSpec->policy;
-            res.status = JobStatus::Shed;
-            res.error = "shed at admission (queue cap " +
-                        std::to_string(cfg.queueCap) + ")";
-            res.deadlineMs = shedSpec->deadlineMs;
-            res.queueDepthAtSubmit = queue.size();
-            if (shedSpec == &spec) {
-                recordResult(std::move(res));
-                idleCv.notify_all();
+            // victim is shed itself (it would be the victim) - one
+            // shed result either way, never both.
+            const size_t victim = shedVictim(nullptr);
+            if (spec.priority <= queue[victim].spec.priority) {
+                refuseIncoming(JobStatus::Shed,
+                               "shed at admission (queue cap " +
+                                   std::to_string(cfg.queueCap) +
+                                   ")");
                 return;
             }
-            recordResult(std::move(res));
-            predictedBacklogSeconds -=
-                queue[victim].predictedSeconds;
-            queue.erase(queue.begin() +
-                        static_cast<ptrdiff_t>(victim));
+            evictQueued(victim, "shed at admission (queue cap " +
+                                    std::to_string(cfg.queueCap) +
+                                    ")");
             break;
           }
           case Admission::Block:
@@ -539,9 +745,27 @@ Server::submit(JobSpec spec)
     }
     const u64 depth = queue.size();
     predictedBacklogSeconds += predictedSeconds;
+    tenantQueued[spec.tenant] += 1;
     queue.push_back(QueuedJob{std::move(spec), nowSeconds(),
                               submitSeq++, depth, predictedSeconds});
+    maybeScaleUp();
     lk.unlock();
+    workCv.notify_one();
+}
+
+void
+Server::requeueContinuation(QueuedJob job)
+{
+    // Caller holds mtx.  Continuations bypass admission, quotas, and
+    // the queue cap: the job was already admitted once, and dropping
+    // checkpointed work would waste the simulated time it cost.  A
+    // fresh submitSeq sends the continuation to the back of its
+    // priority class, so queued peers get a turn between slices.
+    job.submitSeq = submitSeq++;
+    job.submitSec = nowSeconds();
+    predictedBacklogSeconds += job.predictedSeconds;
+    tenantQueued[job.spec.tenant] += 1;
+    queue.push_back(std::move(job));
     workCv.notify_one();
 }
 
@@ -559,7 +783,9 @@ Server::workerLoop(u32 index)
     while (true) {
         std::unique_lock<std::mutex> lk(mtx);
         workCv.wait(lk, [&] {
-            return stopping || (!paused && !queue.empty());
+            return stopping ||
+                   (!paused && !queue.empty() &&
+                    index < activeWorkers);
         });
         if (stopping)
             break;
@@ -567,6 +793,11 @@ Server::workerLoop(u32 index)
         QueuedJob job = std::move(queue[idx]);
         queue.erase(queue.begin() + static_cast<ptrdiff_t>(idx));
         predictedBacklogSeconds -= job.predictedSeconds;
+        tenantServed[job.spec.tenant] += 1;
+        auto queued = tenantQueued.find(job.spec.tenant);
+        if (queued != tenantQueued.end() && queued->second > 0)
+            queued->second -= 1;
+        maybeScaleDown();
         ++busyWorkers;
         const u64 seq = serviceSeq++;
         const double epochSec = startWallSec;
@@ -576,21 +807,16 @@ Server::workerLoop(u32 index)
         const double dequeueSec = nowSeconds();
         const double waitMs = (dequeueSec - job.submitSec) * 1e3;
 
-        if (job.spec.deadlineMs > 0.0 &&
+        // Queue-wait deadlines cover fresh jobs only: a continuation
+        // already consumed service, and its "wait" restarted at the
+        // preemption instant.
+        if (!job.continuation() && job.spec.deadlineMs > 0.0 &&
             waitMs > job.spec.deadlineMs) {
-            JobResult res = JobResult();
-            res.id = job.spec.id;
-            res.app = job.spec.app;
-            res.model = job.spec.model;
-            res.device = job.spec.device;
-            res.devices = job.spec.devices;
-            res.policy = job.spec.policy;
-            res.status = JobStatus::Expired;
+            JobResult res = specEcho(job.spec, JobStatus::Expired);
             res.error = "deadline expired in queue (" +
                         std::to_string(waitMs) + " ms > " +
                         std::to_string(job.spec.deadlineMs) + " ms)";
             res.hostQueueWaitMs = waitMs;
-            res.deadlineMs = job.spec.deadlineMs;
             res.queueDepthAtSubmit = job.depthAtSubmit;
             lk.lock();
             recordResult(std::move(res));
@@ -600,23 +826,125 @@ Server::workerLoop(u32 index)
             continue;
         }
 
-        JobResult res;
+        // Service-deadline budget: non-functional co-execution jobs
+        // get serviceDeadlineMs of simulated time per slice
+        // (functional bodies cannot checkpoint live host buffers and
+        // run to completion; see DESIGN).
+        const double budgetSeconds =
+            (job.spec.coexec() && !job.spec.functional &&
+             job.spec.serviceDeadlineMs > 0.0)
+                ? job.spec.serviceDeadlineMs * 1e-3
+                : 0.0;
+        SliceOutcome slice;
         {
             // Per-job `--no-timing-cache`: bypass the shared memo on
             // this thread only; concurrent sessions keep hitting it.
             sim::TimingCache::ScopedBypass bypass(
                 !job.spec.timingCache);
-            res = runJob(job.spec);
+            slice = runJobSlice(job.spec, budgetSeconds,
+                                job.continuation() ? &job.remaining
+                                                   : nullptr);
         }
         const double doneSec = nowSeconds();
+        obs::Metrics &metrics = obs::Metrics::global();
+
+        if (slice.preempted &&
+            slice.result.status == JobStatus::Ok) {
+            // The slice checkpointed: fold its simulated accounting
+            // into the continuation and re-queue (or expire once the
+            // preemption budget is gone).  All folded quantities are
+            // simulation-derived, so the merged result stays a pure
+            // function of the spec.
+            job.accumSimSeconds += slice.result.simSeconds;
+            job.accumKernelSeconds += slice.result.kernelSeconds;
+            job.accumTransferSeconds += slice.result.transferSeconds;
+            job.accumFaults += slice.result.faultsInjected;
+            if (job.spec.faultsGiven) {
+                sim::HashMix fold;
+                fold.mix(job.accumFaultHash);
+                fold.mix(slice.result.faultScheduleHash);
+                job.accumFaultHash = fold.digest();
+            }
+            job.remaining = std::move(slice.remaining);
+            job.preemptions += 1;
+            metrics.add("serve.preemptions");
+            if (metrics.enabled()) {
+                const std::string t = job.spec.tenant.empty()
+                                          ? "-"
+                                          : job.spec.tenant;
+                metrics.add("serve.tenant." + t + ".preemptions");
+            }
+            if (tracer.enabled()) {
+                tracer.instant(track,
+                               "preempt job " +
+                                   std::to_string(job.spec.id),
+                               "preempt", doneSec - epochSec);
+            }
+            obs::FlightRecorder &recorder =
+                obs::FlightRecorder::global();
+            if (recorder.enabled()) {
+                obs::FlightRecord rec;
+                rec.jobId = job.spec.id;
+                rec.kind = "preempted";
+                rec.what = job.spec.app;
+                rec.where = "w" + std::to_string(index);
+                rec.detail = csprintf(
+                    "service deadline %g ms: slice %llu "
+                    "checkpointed %zu range(s)",
+                    job.spec.serviceDeadlineMs,
+                    static_cast<unsigned long long>(job.preemptions),
+                    job.remaining.size());
+                rec.deadlineMs = job.spec.serviceDeadlineMs;
+                rec.queueDepth = job.depthAtSubmit;
+                recorder.record(std::move(rec));
+            }
+            lk.lock();
+            preemptionEvents += 1;
+            if (job.preemptions > cfg.maxPreemptions) {
+                JobResult res =
+                    specEcho(job.spec, JobStatus::Expired);
+                res.error = csprintf(
+                    "service deadline %g ms: preempted %llu times "
+                    "(max %u)",
+                    job.spec.serviceDeadlineMs,
+                    static_cast<unsigned long long>(job.preemptions),
+                    cfg.maxPreemptions);
+                res.preemptions = job.preemptions;
+                res.hostQueueWaitMs = waitMs;
+                res.queueDepthAtSubmit = job.depthAtSubmit;
+                recordResult(std::move(res));
+            } else {
+                requeueContinuation(std::move(job));
+            }
+            --busyWorkers;
+            lk.unlock();
+            idleCv.notify_all();
+            continue;
+        }
+
+        JobResult res = std::move(slice.result);
+        if (job.continuation() && res.status == JobStatus::Ok) {
+            // Final slice: merge the checkpointed slices back in.
+            res.simSeconds += job.accumSimSeconds;
+            res.kernelSeconds += job.accumKernelSeconds;
+            res.transferSeconds += job.accumTransferSeconds;
+            res.faultsInjected += job.accumFaults;
+            if (job.spec.faultsGiven) {
+                sim::HashMix fold;
+                fold.mix(job.accumFaultHash);
+                fold.mix(res.faultScheduleHash);
+                res.faultScheduleHash = fold.digest();
+            }
+            res.preemptions = job.preemptions;
+        }
         res.hostQueueWaitMs = waitMs;
         res.hostServiceMs = (doneSec - dequeueSec) * 1e3;
         res.serviceSeq = seq;
         res.worker = static_cast<int>(index);
         res.deadlineMs = job.spec.deadlineMs;
+        res.serviceDeadlineMs = job.spec.serviceDeadlineMs;
         res.queueDepthAtSubmit = job.depthAtSubmit;
 
-        obs::Metrics &metrics = obs::Metrics::global();
         metrics.observe("serve.queue_wait_ms", res.hostQueueWaitMs);
         metrics.observe("serve.service_ms", res.hostServiceMs);
         if (tracer.enabled()) {
@@ -686,12 +1014,27 @@ Server::report()
     std::lock_guard<std::mutex> lk(mtx);
     ServerReport rep;
     rep.workers = cfg.workers;
+    rep.activeWorkers = activeWorkers;
+    rep.preemptions = preemptionEvents;
+    rep.autoscaleEvents = autoscaleEvents;
     rep.submitted = results.size();
     std::vector<double> waits, services;
+    struct TenantFold
+    {
+        u64 submitted = 0, completed = 0, shed = 0, expired = 0;
+        u64 preemptions = 0;
+        u64 ranJobs = 0;
+        double serviceSeqSum = 0.0;
+    };
+    std::map<std::string, TenantFold> tenantFold;
     for (const auto &res : results) {
+        TenantFold &fold = tenantFold[res.tenant];
+        fold.submitted += 1;
+        fold.preemptions += res.preemptions;
         switch (res.status) {
           case JobStatus::Ok:
             ++rep.completed;
+            ++fold.completed;
             rep.simBusySeconds += res.simSeconds;
             break;
           case JobStatus::Error:
@@ -702,15 +1045,41 @@ Server::report()
             break;
           case JobStatus::Shed:
             ++rep.shed;
+            ++fold.shed;
             break;
           case JobStatus::Expired:
             ++rep.expired;
+            ++fold.expired;
             break;
         }
         if (res.worker >= 0) {
             waits.push_back(res.hostQueueWaitMs);
             services.push_back(res.hostServiceMs);
+            fold.ranJobs += 1;
+            fold.serviceSeqSum += static_cast<double>(res.serviceSeq);
         }
+    }
+    obs::Metrics &metrics = obs::Metrics::global();
+    for (const auto &[tenant, fold] : tenantFold) {
+        ServerReport::TenantStats stats;
+        stats.tenant = tenant;
+        stats.weight = cfg.tenants.policy(tenant).weight;
+        stats.submitted = fold.submitted;
+        stats.completed = fold.completed;
+        stats.shed = fold.shed;
+        stats.expired = fold.expired;
+        stats.preemptions = fold.preemptions;
+        stats.meanServiceSeq =
+            fold.ranJobs > 0
+                ? fold.serviceSeqSum /
+                      static_cast<double>(fold.ranJobs)
+                : 0.0;
+        if (metrics.enabled()) {
+            const std::string t = tenant.empty() ? "-" : tenant;
+            metrics.set("serve.tenant." + t + ".mean_service_seq",
+                        stats.meanServiceSeq);
+        }
+        rep.tenants.push_back(std::move(stats));
     }
     rep.queueWaitMs = summarizeLatencies(std::move(waits));
     rep.serviceMs = summarizeLatencies(std::move(services));

@@ -32,21 +32,48 @@
  *
  * Deadlines are queue-wait deadlines in host milliseconds, checked at
  * dequeue: a job still queued past its deadline completes as Expired
- * without ever running.  Running jobs are not preempted.
+ * without ever running.
+ *
+ * Service deadlines ("service_deadline_ms" / --service-deadline-ms)
+ * preempt *running* jobs: a non-functional co-execution job gets a
+ * simulated-time budget per dispatch slice; when a slice exhausts it,
+ * the executor checkpoints at a chunk boundary (the chunk-rescue
+ * machinery's range bookkeeping), the checkpoint cost lands on the
+ * timeline, and the remainder re-queues as a continuation - up to
+ * --max-preemptions times, after which the job completes as Expired.
+ * The trigger reads only simulated time, so a job's merged result
+ * (total simulated seconds, preemption count, fault hash) is a pure
+ * function of its spec and stays byte-identical at any worker count.
+ *
+ * Multi-tenancy: jobs carry a tenant label; dequeue picks the tenant
+ * with the least weighted virtual service (served/weight, ties to the
+ * lexicographically first name), then the tenant's highest-priority
+ * oldest job.  Per-tenant quotas cap queued jobs per tenant.
+ *
+ * Autoscaling: with cfg.autoscale, dequeue is gated to the first
+ * `activeWorkers` sessions of a maxWorkers-sized pool; queue depth
+ * (or surrogate-predicted backlog) raises the gate at submit and a
+ * drained queue lowers it, every decision recorded as an
+ * AutoscaleEvent.  Scaling changes host-side concurrency only -
+ * never any serialized result field.
  */
 
 #ifndef HETSIM_SERVE_SERVER_HH
 #define HETSIM_SERVE_SERVER_HH
 
 #include <condition_variable>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "coexec/coexec.hh"
 #include "common/stats.hh"
 #include "serve/jobspec.hh"
+#include "serve/tenant.hh"
 
 namespace hetsim::model
 {
@@ -98,6 +125,51 @@ struct ServerConfig
     bool predictAdmission = false;
     /** Cost oracle consulted by predict-admission (borrowed). */
     const model::Surrogate *surrogate = nullptr;
+    /** Default service deadline (simulated ms) for jobs that carry
+     *  none (0 = no default); see the file comment on preemption. */
+    double defaultServiceDeadlineMs = 0.0;
+    /** Preemptions a job may survive before it completes Expired. */
+    u32 maxPreemptions = 16;
+    /** Tenant weights and quotas (--tenants / --quota). */
+    TenantTable tenants;
+    /**
+     * Worker-pool autoscaler (--autoscale): the pool holds maxWorkers
+     * sessions but only the first `activeWorkers` (starting at
+     * minWorkers) dequeue.  At submit, the target is
+     * ceil(backlog / autoscaleBacklogSeconds) when the predicted
+     * backlog is known and the horizon is set, otherwise
+     * ceil(depth / scaleUpQueueFactor); only raises apply.  A drained
+     * queue drops the gate back to minWorkers.
+     */
+    bool autoscale = false;
+    u32 minWorkers = 1;
+    /** Autoscale pool ceiling (0 = `workers`). */
+    u32 maxWorkers = 0;
+    /** Queued jobs per active worker before scaling up. */
+    double scaleUpQueueFactor = 2.0;
+    /** Predicted-backlog horizon per worker, simulated seconds
+     *  (0 = use the queue-depth rule). */
+    double autoscaleBacklogSeconds = 0.0;
+    /**
+     * Live result hook (the streaming front-end): invoked under the
+     * server mutex as each terminal result records, in completion
+     * order.  Must not call back into the Server.
+     */
+    std::function<void(const JobResult &)> onResult;
+};
+
+/** One autoscaler decision (deterministic event log). */
+struct AutoscaleEvent
+{
+    u64 seq = 0;          ///< decision order
+    u64 atSubmitSeq = 0;  ///< admissions seen when decided
+    u32 fromWorkers = 0;  ///< gate before
+    u32 toWorkers = 0;    ///< gate after
+    u64 queueDepth = 0;   ///< queue depth at the decision
+    /** Surrogate-predicted backlog, simulated seconds (0 unknown). */
+    double backlogSeconds = 0.0;
+    /** "queue-depth" | "backlog" | "drained". */
+    std::string reason;
 };
 
 /** Percentile summary of one latency population (milliseconds). */
@@ -115,7 +187,30 @@ struct ServerReport
     u64 rejected = 0;
     u64 shed = 0;
     u64 expired = 0;
+    /** Preemption events across all jobs (slices re-queued). */
+    u64 preemptions = 0;
     u32 workers = 0;
+    /** Autoscaler gate when the report was taken. */
+    u32 activeWorkers = 0;
+    /** Autoscaler decision log, in decision order. */
+    std::vector<AutoscaleEvent> autoscaleEvents;
+
+    /** Per-tenant rollup (sorted by tenant name). */
+    struct TenantStats
+    {
+        std::string tenant; ///< "" = anonymous
+        double weight = 1.0;
+        u64 submitted = 0;  ///< results carrying this tenant
+        u64 completed = 0;
+        u64 shed = 0;
+        u64 expired = 0;
+        u64 preemptions = 0;
+        /** Mean dispatch sequence of the tenant's ran jobs - the
+         *  fair-share observable: under contention a weighted-up
+         *  tenant's jobs dispatch earlier on average. */
+        double meanServiceSeq = 0.0;
+    };
+    std::vector<TenantStats> tenants;
     /** Host wall latencies of jobs that ran. */
     LatencySummary queueWaitMs;
     LatencySummary serviceMs;
@@ -154,6 +249,29 @@ struct ServerReport
  * schedules in particular must be bitwise identical.
  */
 JobResult runJob(const JobSpec &spec);
+
+/** Outcome of one budgeted dispatch slice (see runJobSlice). */
+struct SliceOutcome
+{
+    /** Slice-local accounting (simSeconds etc. cover this slice). */
+    JobResult result;
+    /** The slice hit its budget and checkpointed. */
+    bool preempted = false;
+    /** Undone ranges at the checkpoint (continuation input). */
+    std::vector<coexec::ItemRange> remaining;
+};
+
+/**
+ * Execute one dispatch slice of a job: like runJob, but a
+ * non-functional co-execution job additionally gets a simulated-time
+ * @p budgetSeconds (0 = unlimited; runJob is exactly budget 0) and
+ * may @p resume the undone ranges of a previously preempted slice.
+ * Fault plans re-seed per slice from the spec, so a job's slice
+ * sequence is a pure function of (spec, budget) - deterministic on
+ * any worker.
+ */
+SliceOutcome runJobSlice(const JobSpec &spec, double budgetSeconds,
+                         const std::vector<coexec::ItemRange> *resume);
 
 /** Order-sensitive hash of a fault schedule (for JobResult). */
 u64 faultScheduleHash(const std::vector<fault::FaultEvent> &schedule);
@@ -229,13 +347,40 @@ class Server
         /** Predicted service seconds this job contributes to the
          *  predicted backlog (0 = cost unknown). */
         double predictedSeconds = 0.0;
+
+        // --- Preemption continuation state ---------------------------
+        /** Non-empty: resume these ranges instead of a fresh run. */
+        std::vector<coexec::ItemRange> remaining;
+        u64 preemptions = 0; ///< slices already checkpointed
+        /** Simulation totals accumulated over completed slices. */
+        double accumSimSeconds = 0.0;
+        double accumKernelSeconds = 0.0;
+        double accumTransferSeconds = 0.0;
+        u64 accumFaults = 0;
+        /** Running fold of per-slice fault-schedule hashes. */
+        u64 accumFaultHash = 0;
+
+        bool continuation() const { return preemptions > 0; }
     };
 
     void workerLoop(u32 index);
-    /** Pick the queue index to dequeue: highest priority, oldest. */
+    /** Pick the queue index to dequeue: the least-weighted-service
+     *  tenant's highest-priority oldest job (see file comment). */
     size_t bestQueuedIndex() const;
     /** Record a terminal result and bump its status counter. */
     void recordResult(JobResult result);
+    /** Echo spec fields into a fresh refusal/expiry result. */
+    static JobResult specEcho(const JobSpec &spec, JobStatus status);
+    /** Autoscaler ceiling (maxWorkers defaulted from workers). */
+    u32 poolCeiling() const;
+    /** Raise the worker gate if the submit-side rule says so (caller
+     *  holds mtx). */
+    void maybeScaleUp();
+    /** Drop the gate to minWorkers on a drained queue (caller holds
+     *  mtx). */
+    void maybeScaleDown();
+    /** Re-queue a preempted job's continuation (caller holds mtx). */
+    void requeueContinuation(QueuedJob job);
 
     ServerConfig cfg;
     std::vector<std::thread> workers;
@@ -249,6 +394,14 @@ class Server
     /** Sum of predictedSeconds over queued jobs (predict-admission
      *  backlog estimate; falls as jobs dequeue or are shed). */
     double predictedBacklogSeconds = 0.0;
+    /** Fair-share bookkeeping: dispatches per tenant / queued jobs
+     *  per tenant (quota accounting). */
+    std::map<std::string, u64> tenantServed;
+    std::map<std::string, u64> tenantQueued;
+    /** Autoscaler state: dequeue gate + decision log. */
+    u32 activeWorkers = 0;
+    std::vector<AutoscaleEvent> autoscaleEvents;
+    u64 preemptionEvents = 0;
     u64 submitSeq = 0;
     u64 serviceSeq = 0;
     u32 busyWorkers = 0;

@@ -27,6 +27,8 @@
 #include "obs/report.hh"
 #include "obs/tracer.hh"
 #include "serve/server.hh"
+#include "serve/stream.hh"
+#include "serve/tenant.hh"
 #include "sim/timing_cache.hh"
 
 namespace hetsim::cli
@@ -331,6 +333,70 @@ parse(const std::vector<std::string> &argv)
                     args.admission = *v;
                 }
             }
+        } else if (arg == "--stream") {
+            args.stream = true;
+        } else if (arg == "--tenants") {
+            if (auto v = value("--tenants")) {
+                serve::TenantTable probe;
+                std::string err;
+                if (!probe.applyWeights(*v, err))
+                    args.error = err;
+                else
+                    args.tenants = *v;
+            }
+        } else if (arg == "--quota") {
+            if (auto v = value("--quota")) {
+                serve::TenantTable probe;
+                std::string err;
+                if (!probe.applyQuotas(*v, err))
+                    args.error = err;
+                else
+                    args.quota = *v;
+            }
+        } else if (arg == "--service-deadline-ms") {
+            if (auto v = value("--service-deadline-ms")) {
+                auto n = parseCount(*v);
+                if (!n) {
+                    args.error = "--service-deadline-ms wants "
+                                 "simulated milliseconds (0 = none), "
+                                 "got '" + *v + "'";
+                } else {
+                    args.serviceDeadlineMs = *n;
+                }
+            }
+        } else if (arg == "--max-preemptions") {
+            if (auto v = value("--max-preemptions")) {
+                auto n = parseCount(*v);
+                if (!n) {
+                    args.error = "--max-preemptions wants a "
+                                 "preemption count, got '" + *v + "'";
+                } else {
+                    args.maxPreemptions = *n;
+                }
+            }
+        } else if (arg == "--autoscale") {
+            args.autoscale = true;
+        } else if (arg == "--min-workers") {
+            if (auto v = value("--min-workers")) {
+                auto n = parseCount(*v);
+                if (!n || *n == 0) {
+                    args.error = "--min-workers wants a positive "
+                                 "worker count, got '" + *v + "'";
+                } else {
+                    args.minWorkers = *n;
+                }
+            }
+        } else if (arg == "--max-workers") {
+            if (auto v = value("--max-workers")) {
+                auto n = parseCount(*v);
+                if (!n || *n == 0) {
+                    args.error = "--max-workers wants a positive "
+                                 "worker count (omit for --workers), "
+                                 "got '" + *v + "'";
+                } else {
+                    args.maxWorkers = *n;
+                }
+            }
         } else if (arg == "--topology") {
             if (auto v = value("--topology")) {
                 if (v->empty())
@@ -479,6 +545,20 @@ parse(const std::vector<std::string> &argv)
                      "(recorded job costs to predict from)";
         return args;
     }
+    if (args.stream && args.command != "serve") {
+        args.error = "--stream is a serve-verb flag "
+                     "(hetsim serve --stream < jobs.jsonl)";
+        return args;
+    }
+    if (args.autoscale) {
+        const u64 ceiling =
+            args.maxWorkers != 0 ? args.maxWorkers : args.workers;
+        if (args.minWorkers > ceiling) {
+            args.error = "--min-workers exceeds the autoscale "
+                         "ceiling (--max-workers, default --workers)";
+            return args;
+        }
+    }
     if (args.command == "predict" && args.fitObs.empty() &&
         args.modelIn.empty()) {
         args.error = "predict needs --fit OBS_JSONL or --model-in "
@@ -521,6 +601,11 @@ usage(std::ostream &os)
           "             [--deadline-ms n] [--admission "
           "reject|shed|block]\n"
           "             [--scale f] [--results-out FILE]\n"
+          "  hetsim serve --stream [--workers n] [--tenants a:3,b:1]\n"
+          "             [--quota a:10] [--service-deadline-ms n]\n"
+          "             [--max-preemptions n] [--autoscale]\n"
+          "             [--min-workers n] [--max-workers n]\n"
+          "             [--results-out FILE]  < jobs.jsonl\n"
           "  hetsim fleet [--topology FILE | --nodes n] [--njobs n]\n"
           "             [--placement first-fit|least-loaded|locality]\n"
           "             [--rate jobs/s] [--slo-ms n] "
@@ -544,7 +629,8 @@ usage(std::ostream &os)
           "faults,\n"
           "                      fault_seed, retry_max, fail_device, "
           "deadline_ms,\n"
-          "                      priority\n"
+          "                      priority, service_deadline_ms, "
+          "tenant\n"
           "  --results-out FILE  results JSONL (default: stdout); "
           "deterministic\n"
           "                      fields only, ordered by job id\n"
@@ -558,7 +644,31 @@ usage(std::ostream &os)
           "  --deadline-ms N     default queue-wait deadline for jobs "
           "without one\n"
           "  --shots N           serve: closed-loop jobs to generate "
-          "(default 16)\n\n"
+          "(default 16)\n"
+          "  --stream            serve: read JobSpec JSONL from stdin "
+          "(until a\n"
+          "                      bare `end` line or EOF) and emit each "
+          "result\n"
+          "                      line as its job completes\n"
+          "  --tenants S         fair-share weights, name:w pairs "
+          "(e.g. a:3,b:1);\n"
+          "                      unlisted tenants weigh 1\n"
+          "  --quota S           per-tenant queued-job quotas, name:n "
+          "pairs\n"
+          "  --service-deadline-ms N\n"
+          "                      default *simulated* service budget "
+          "per dispatch\n"
+          "                      slice; running coexec jobs past it "
+          "checkpoint\n"
+          "                      at a chunk boundary and re-queue "
+          "(0 = none)\n"
+          "  --max-preemptions N preemptions a job survives before it "
+          "expires\n"
+          "                      (default 16)\n"
+          "  --autoscale         queue-driven worker-pool autoscaler\n"
+          "  --min-workers N     autoscale floor (default 1)\n"
+          "  --max-workers N     autoscale ceiling (default: "
+          "--workers)\n\n"
           "fleet simulator (fleet):\n"
           "  --topology FILE     cluster topology JSONL: node groups\n"
           "                      {\"device\": \"dgpu\", \"count\": 32, "
@@ -1114,6 +1224,19 @@ serveConfig(const Args &args)
     cfg.queueCap = static_cast<size_t>(args.queueCap);
     cfg.admission = *serve::admissionByName(args.admission);
     cfg.defaultDeadlineMs = static_cast<double>(args.deadlineMs);
+    cfg.defaultServiceDeadlineMs =
+        static_cast<double>(args.serviceDeadlineMs);
+    cfg.maxPreemptions = static_cast<u32>(args.maxPreemptions);
+    // The specs were validated at parse time; re-application here
+    // cannot fail.
+    std::string tenant_err;
+    if (!args.tenants.empty())
+        cfg.tenants.applyWeights(args.tenants, tenant_err);
+    if (!args.quota.empty())
+        cfg.tenants.applyQuotas(args.quota, tenant_err);
+    cfg.autoscale = args.autoscale;
+    cfg.minWorkers = static_cast<u32>(args.minWorkers);
+    cfg.maxWorkers = static_cast<u32>(args.maxWorkers);
     return cfg;
 }
 
@@ -1220,7 +1343,38 @@ printServeSummary(const serve::ServerReport &report, std::ostream &os)
                   Table::num(report.virtualMakespanSeconds, 6)});
     table.addRow({"sim throughput (jobs/s)",
                   Table::num(report.simJobsPerSecond(), 3)});
+    if (report.preemptions > 0)
+        table.addRow({"preempted slices",
+                      std::to_string(report.preemptions)});
+    if (!report.autoscaleEvents.empty()) {
+        table.addRow({"autoscale events",
+                      std::to_string(report.autoscaleEvents.size())});
+        table.addRow({"active workers (final)",
+                      std::to_string(report.activeWorkers)});
+    }
     table.print(os);
+
+    // A per-tenant table only when tenancy is actually in play (more
+    // than the single anonymous tenant).
+    const bool multi_tenant =
+        report.tenants.size() > 1 ||
+        (report.tenants.size() == 1 && !report.tenants[0].tenant.empty());
+    if (multi_tenant) {
+        Table tenants("per-tenant fair share");
+        tenants.setHeader({"tenant", "weight", "submitted", "ok",
+                           "shed", "expired", "preempted",
+                           "mean svc seq"});
+        for (const auto &t : report.tenants)
+            tenants.addRow({t.tenant.empty() ? "-" : t.tenant,
+                            Table::num(t.weight, 2),
+                            std::to_string(t.submitted),
+                            std::to_string(t.completed),
+                            std::to_string(t.shed),
+                            std::to_string(t.expired),
+                            std::to_string(t.preemptions),
+                            Table::num(t.meanServiceSeq, 2)});
+        tenants.print(os);
+    }
 }
 
 /**
@@ -1307,9 +1461,50 @@ cmdBatch(const Args &args, std::ostream &os)
     return 0;
 }
 
+/**
+ * `hetsim serve --stream`: JobSpec JSONL lines arrive on stdin, each
+ * result line goes to @p os as its job completes, `end` (or EOF)
+ * closes the session.  The sorted deterministic result set lands in
+ * --results-out; without it, stdout carries only the live protocol
+ * lines so a driving process can parse them.
+ */
+int
+cmdServeStream(const Args &args, std::ostream &os)
+{
+    model::Surrogate surrogate;
+    if (int model_rc = loadModelIn(args, surrogate, os))
+        return model_rc;
+
+    serve::ServerConfig cfg = serveConfig(args);
+    if (args.predictAdmission && args.surrogate) {
+        cfg.predictAdmission = true;
+        cfg.surrogate = &surrogate;
+    }
+    std::string error;
+    auto outcome = serve::runStream(std::cin, os, cfg, error);
+    if (!outcome) {
+        os << "error: " << error << "\n";
+        return 2;
+    }
+    if (!args.modelOut.empty()) {
+        absorbServeRun(outcome->specs, outcome->results, surrogate);
+        if (int out_rc = writeModelOut(args, surrogate, os))
+            return out_rc;
+    }
+    if (!args.resultsOut.empty()) {
+        if (int rc = writeServeResults(args, outcome->results, os))
+            return rc;
+        printServeSummary(outcome->report, os);
+    }
+    return 0;
+}
+
 int
 cmdServe(const Args &args, std::ostream &os)
 {
+    if (args.stream)
+        return cmdServeStream(args, os);
+
     // Closed-loop load generator: a deterministic mixed workload
     // cycling over the experiment grid's cheap corners.
     struct MixEntry

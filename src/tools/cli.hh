@@ -23,6 +23,11 @@
  *   hetsim serve --shots 16 [--workers 4] [--queue-cap N]
  *                 [--deadline-ms N] [--admission reject|shed|block]
  *                 [--scale 1.0] [--results-out results.jsonl]
+ *   hetsim serve --stream [--workers 4] [--tenants a:3,b:1]
+ *                 [--quota a:10] [--service-deadline-ms N]
+ *                 [--max-preemptions N] [--autoscale]
+ *                 [--min-workers N] [--max-workers N]
+ *                 [--results-out results.jsonl]  < jobs.jsonl
  *   hetsim fleet [--topology FILE | --nodes N] [--njobs N]
  *                 [--placement first-fit|least-loaded|locality]
  *                 [--rate J/S] [--slo-ms N] [--node-fail-rate F]
@@ -102,6 +107,18 @@ struct Args
     u64 deadlineMs = 0;     ///< default queue-wait deadline (0 = none)
     u64 shots = 16;         ///< serve: closed-loop job count
     std::string admission = "reject"; ///< reject | shed | block
+    /** serve: --stream reads JobSpec JSONL from stdin incrementally
+     *  and emits each result line as the job completes. */
+    bool stream = false;
+    std::string tenants; ///< fair-share weights, "name:w,..."
+    std::string quota;   ///< per-tenant queue quotas, "name:n,..."
+    /** Default service deadline in simulated ms (0 = none); running
+     *  coexec jobs past it are preempted at chunk boundaries. */
+    u64 serviceDeadlineMs = 0;
+    u64 maxPreemptions = 16; ///< preemptions before a job expires
+    bool autoscale = false;  ///< queue-driven worker-pool autoscaler
+    u64 minWorkers = 1;      ///< autoscale floor
+    u64 maxWorkers = 0;      ///< autoscale ceiling (0 = --workers)
     // --- fleet simulator (fleet verb) -------------------------------
     std::string topology;   ///< topology JSONL path ("" = built-in)
     u64 nodes = 64;         ///< built-in topology size (no --topology)

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -426,6 +427,96 @@ TEST(CliParse, ServeIntegerFlagsRejectJunk)
     Args bad = parse({"batch", "--admission", "greedy"});
     EXPECT_FALSE(bad.error.empty());
     EXPECT_NE(bad.error.find("--admission"), std::string::npos);
+}
+
+TEST(CliParse, StreamTenantAndAutoscaleFlags)
+{
+    Args args = parse({"serve", "--stream", "--tenants", "a:3,b:1",
+                       "--quota", "a:10,b:4",
+                       "--service-deadline-ms", "5",
+                       "--max-preemptions", "3", "--autoscale",
+                       "--min-workers", "2", "--max-workers", "6"});
+    EXPECT_TRUE(args.error.empty()) << args.error;
+    EXPECT_TRUE(args.stream);
+    EXPECT_EQ(args.tenants, "a:3,b:1");
+    EXPECT_EQ(args.quota, "a:10,b:4");
+    EXPECT_EQ(args.serviceDeadlineMs, 5u);
+    EXPECT_EQ(args.maxPreemptions, 3u);
+    EXPECT_TRUE(args.autoscale);
+    EXPECT_EQ(args.minWorkers, 2u);
+    EXPECT_EQ(args.maxWorkers, 6u);
+
+    // --stream belongs to serve only.
+    Args wrongVerb = parse({"batch", "--jobs", "j.jsonl", "--stream"});
+    EXPECT_FALSE(wrongVerb.error.empty());
+    EXPECT_NE(wrongVerb.error.find("--stream"), std::string::npos);
+
+    // Malformed tenant specs are parse-time errors.
+    for (const char *flag : {"--tenants", "--quota"}) {
+        Args bad = parse({"serve", flag, "a:"});
+        EXPECT_FALSE(bad.error.empty()) << flag;
+    }
+    EXPECT_FALSE(
+        parse({"serve", "--tenants", "a:0"}).error.empty());
+    EXPECT_FALSE(
+        parse({"serve", "--quota", "a:1.5"}).error.empty());
+
+    // An autoscale floor above the ceiling is caught at parse time.
+    Args inverted = parse({"serve", "--autoscale", "--min-workers",
+                           "8", "--max-workers", "2"});
+    EXPECT_FALSE(inverted.error.empty());
+
+    // Junk numerics follow the strict-flag convention.
+    EXPECT_FALSE(
+        parse({"serve", "--service-deadline-ms", "soon"})
+            .error.empty());
+    EXPECT_FALSE(
+        parse({"serve", "--max-preemptions", "-2"}).error.empty());
+    EXPECT_FALSE(
+        parse({"serve", "--min-workers", "0"}).error.empty());
+}
+
+TEST(CliExecute, ServeStreamSpeaksTheLineProtocol)
+{
+    std::istringstream feed(
+        R"({"id": 1, "app": "readmem", "model": "opencl",)"
+        R"( "device": "dgpu", "scale": 0.02, "tenant": "a"})"
+        "\n"
+        R"({"id": 2, "app": "minife", "model": "openmp",)"
+        R"( "device": "cpu", "scale": 0.02, "tenant": "b"})"
+        "\nend\n");
+    std::streambuf *old = std::cin.rdbuf(feed.rdbuf());
+    std::ostringstream os;
+    Args args = parse({"serve", "--stream", "--workers", "2",
+                       "--tenants", "a:2,b:1"});
+    const int rc = execute(args, os);
+    std::cin.rdbuf(old);
+    ASSERT_EQ(rc, 0) << os.str();
+    // Two live result lines; without --results-out the stream stays
+    // machine-readable (no summary table).
+    size_t lines = 0;
+    std::istringstream out(os.str());
+    std::string line;
+    while (std::getline(out, line)) {
+        ++lines;
+        EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos)
+            << line;
+    }
+    EXPECT_EQ(lines, 2u);
+    EXPECT_EQ(os.str().find("serving summary"), std::string::npos);
+}
+
+TEST(CliExecute, ServeStreamBadLineFailsWithLineNumber)
+{
+    std::istringstream feed("not json\n");
+    std::streambuf *old = std::cin.rdbuf(feed.rdbuf());
+    std::ostringstream os;
+    Args args = parse({"serve", "--stream"});
+    const int rc = execute(args, os);
+    std::cin.rdbuf(old);
+    EXPECT_EQ(rc, 2);
+    EXPECT_NE(os.str().find("line 1"), std::string::npos)
+        << os.str();
 }
 
 TEST(CliExecute, BatchWithoutJobsFileIsAnError)

@@ -9,11 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 
+#include "model/surrogate.hh"
+#include "obs/metrics.hh"
 #include "obs/tracer.hh"
 #include "serve/server.hh"
+#include "serve/stream.hh"
 
 namespace hetsim::serve
 {
@@ -446,6 +450,604 @@ TEST(ServeObservability, WorkersEmitPerSessionTraceTracks)
     tracer.clear();
     EXPECT_TRUE(serveTrack);
     EXPECT_TRUE(labelledDevice);
+}
+
+// --- Deadline inheritance (explicit 0 vs absent) -----------------------
+
+TEST(ServeDeadline, ExplicitZeroDoesNotInheritTheServerDefault)
+{
+    std::string err;
+    auto zero = parseJobLine(
+        R"({"id": 1, "app": "readmem", "model": "opencl",)"
+        R"( "device": "dgpu", "scale": 0.02, "deadline_ms": 0})",
+        1, err);
+    auto absent = parseJobLine(
+        R"({"id": 2, "app": "readmem", "model": "opencl",)"
+        R"( "device": "dgpu", "scale": 0.02})",
+        2, err);
+    ASSERT_TRUE(zero.has_value()) << err;
+    ASSERT_TRUE(absent.has_value()) << err;
+    EXPECT_TRUE(zero->deadlineGiven);
+    EXPECT_FALSE(absent->deadlineGiven);
+
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.defaultDeadlineMs = 5.0;
+    Server server(cfg);
+    server.pause();
+    ASSERT_FALSE(server.start().has_value());
+    server.submit(*zero);
+    server.submit(*absent);
+    // Both sit queued past the 5 ms default.  Only the job whose
+    // line *omitted* deadline_ms inherits it; the explicit 0 means
+    // "no deadline", not "use the default".
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.resume();
+    server.drain();
+    auto results = server.takeResults();
+    server.shutdown();
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, JobStatus::Ok);
+    EXPECT_DOUBLE_EQ(results[0].deadlineMs, 0.0);
+    EXPECT_EQ(results[1].status, JobStatus::Expired);
+    EXPECT_DOUBLE_EQ(results[1].deadlineMs, 5.0);
+}
+
+TEST(ServeDeadline, ExplicitZeroServiceDeadlineDoesNotInherit)
+{
+    std::string err;
+    auto zero = parseJobLine(
+        R"({"id": 1, "app": "readmem", "model": "opencl",)"
+        R"( "device": "dgpu", "scale": 0.02,)"
+        R"( "service_deadline_ms": 0})",
+        1, err);
+    ASSERT_TRUE(zero.has_value()) << err;
+    EXPECT_TRUE(zero->serviceDeadlineGiven);
+
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.defaultServiceDeadlineMs = 0.01;
+    Server server(cfg);
+    ASSERT_FALSE(server.start().has_value());
+    server.submit(*zero);
+    JobSpec inherits = tinyJob(2);
+    server.submit(inherits);
+    server.drain();
+    auto results = server.takeResults();
+    server.shutdown();
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_DOUBLE_EQ(results[0].serviceDeadlineMs, 0.0);
+    EXPECT_DOUBLE_EQ(results[1].serviceDeadlineMs, 0.01);
+}
+
+// --- Shed-victim result records (regression) ---------------------------
+
+TEST(ServeAdmission, ShedRecordsCarryTheVictimsOwnContext)
+{
+    obs::Metrics &metrics = obs::Metrics::global();
+    metrics.clear();
+    metrics.setEnabled(true);
+
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCap = 1;
+    cfg.admission = Admission::Shed;
+    Server server(cfg);
+    server.pause();
+    ASSERT_FALSE(server.start().has_value());
+
+    JobSpec a = tinyJob(1); // queues at depth 0
+    JobSpec b = tinyJob(2);
+    b.priority = 1; // strictly higher: evicts a
+    JobSpec c = tinyJob(3); // not higher than b: shed itself
+    server.submit(a);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.submit(b);
+    EXPECT_EQ(metrics.counterValue("serve.shed"), 1.0);
+    server.submit(c);
+    EXPECT_EQ(metrics.counterValue("serve.shed"), 2.0);
+    server.resume();
+    server.drain();
+    auto results = server.takeResults();
+    server.shutdown();
+
+    ASSERT_EQ(results.size(), 3u);
+    // The evicted victim's record carries *its* submit-time context:
+    // the depth it observed (0, the queue was empty) and the wall
+    // time it sat queued - not the shed instant's queue depth.
+    EXPECT_EQ(results[0].status, JobStatus::Shed);
+    EXPECT_EQ(results[0].queueDepthAtSubmit, 0u);
+    EXPECT_GT(results[0].hostQueueWaitMs, 0.0);
+    EXPECT_EQ(results[1].status, JobStatus::Ok);
+    // The refused incoming job observed the current depth (1) and
+    // never waited.
+    EXPECT_EQ(results[2].status, JobStatus::Shed);
+    EXPECT_EQ(results[2].queueDepthAtSubmit, 1u);
+    EXPECT_DOUBLE_EQ(results[2].hostQueueWaitMs, 0.0);
+    // Exactly one serve.shed count per shed event, never two.
+    EXPECT_EQ(metrics.counterValue("serve.shed"), 2.0);
+    EXPECT_EQ(metrics.counterValue("serve.completed"), 1.0);
+}
+
+// --- Predict-admission message + backlog arithmetic --------------------
+
+TEST(ServePredictAdmission, RejectionMessageRoundTripsTheBacklog)
+{
+    JobSpec probe = tinyJob(1);
+    const double cost = 0.00012345678901234567; // not 6-digit clean
+    model::Surrogate surrogate;
+    surrogate.setJobCost(jobClassKey(probe), jobDeviceKey(probe),
+                         cost);
+
+    ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.predictAdmission = true;
+    cfg.surrogate = &surrogate;
+    Server server(cfg);
+    server.pause();
+    ASSERT_FALSE(server.start().has_value());
+    // Three deadline-free jobs queue up and accumulate predicted
+    // backlog exactly as the server folds it (sequential +=).
+    double backlog = 0.0;
+    for (u64 id = 1; id <= 3; ++id) {
+        server.submit(tinyJob(id));
+        backlog += cost;
+    }
+    JobSpec doomed = tinyJob(4);
+    doomed.deadlineMs = 1e-6; // guaranteed below the prediction
+    server.submit(doomed);
+    server.resume();
+    server.drain();
+    auto results = server.takeResults();
+    server.shutdown();
+
+    ASSERT_EQ(results.size(), 4u);
+    ASSERT_EQ(results[3].status, JobStatus::Rejected);
+    // The message must quote the prediction computed from the
+    // recorded costs (backlog spread over 2 workers plus the job's
+    // own cost) in round-trip %.17g - std::to_string's fixed 6
+    // digits would collapse it to "0.000185".
+    const double predictedMs = (backlog / 2.0 + cost) * 1e3;
+    const std::string expected =
+        "predict-admission: predicted completion " +
+        formatG17(predictedMs) + " ms > deadline " + formatG17(1e-6) +
+        " ms";
+    EXPECT_EQ(results[3].error, expected);
+    // And the quoted number round-trips to the exact double.
+    const size_t at = results[3].error.find("completion ") + 11;
+    EXPECT_EQ(std::strtod(results[3].error.c_str() + at, nullptr),
+              predictedMs);
+}
+
+// --- Preemption (service deadlines) ------------------------------------
+
+JobSpec
+coexJob(u64 id)
+{
+    JobSpec spec;
+    spec.id = id;
+    spec.app = "xsbench";
+    spec.devices = "cpu+dgpu";
+    spec.scale = 0.05;
+    return spec;
+}
+
+TEST(ServePreemption, SlicesCheckpointAndResumeToCompletion)
+{
+    const JobSpec spec = coexJob(1);
+    const double budget = 2e-3; // simulated seconds per slice
+
+    auto first = runJobSlice(spec, budget, nullptr);
+    ASSERT_EQ(first.result.status, JobStatus::Ok)
+        << first.result.error;
+    ASSERT_TRUE(first.preempted);
+    ASSERT_FALSE(first.remaining.empty());
+    // Checkpointed ranges are sorted and disjoint.
+    for (size_t i = 0; i < first.remaining.size(); ++i) {
+        EXPECT_LT(first.remaining[i].first, first.remaining[i].second);
+        if (i > 0) {
+            EXPECT_LE(first.remaining[i - 1].second,
+                      first.remaining[i].first);
+        }
+    }
+
+    // Drive the continuation chain to completion by hand; the
+    // progress guarantee (>= 1 chunk per slice) bounds it.
+    std::vector<coexec::ItemRange> remaining = first.remaining;
+    u64 slices = 1;
+    while (!remaining.empty()) {
+        ASSERT_LT(slices, 200u) << "continuation chain diverged";
+        auto next = runJobSlice(spec, budget, &remaining);
+        ASSERT_EQ(next.result.status, JobStatus::Ok)
+            << next.result.error;
+        remaining = next.remaining;
+        ++slices;
+    }
+    EXPECT_GT(slices, 1u);
+
+    // The slice sequence is a pure function of (spec, budget).
+    auto again = runJobSlice(spec, budget, nullptr);
+    EXPECT_EQ(again.result.simSeconds, first.result.simSeconds);
+    EXPECT_EQ(again.remaining, first.remaining);
+}
+
+TEST(ServePreemption, ServedJobSurvivesPreemptionsDeterministically)
+{
+    JobSpec spec = coexJob(1);
+    spec.serviceDeadlineMs = 2.0; // forces several checkpoints
+    spec.faultConfig.transferFailRate = 0.25;
+    spec.faultConfig.seed = 11;
+    spec.faultsGiven = true;
+
+    auto serialize = [&](u32 workers) {
+        ServerConfig cfg;
+        cfg.workers = workers;
+        std::string error;
+        auto outcome = runBatch({spec, tinyJob(2)}, cfg, error);
+        EXPECT_TRUE(outcome.has_value()) << error;
+        EXPECT_EQ(outcome->results[0].status, JobStatus::Ok);
+        EXPECT_GT(outcome->results[0].preemptions, 0u);
+        EXPECT_GT(outcome->report.preemptions, 0u);
+        std::ostringstream os;
+        writeResultsJsonl(os, outcome->results);
+        return os.str();
+    };
+    const std::string one = serialize(1);
+    EXPECT_EQ(one, serialize(3));
+    EXPECT_NE(one.find("\"preemptions\":"), std::string::npos);
+}
+
+TEST(ServePreemption, ExpiresAfterMaxPreemptions)
+{
+    JobSpec spec = coexJob(1);
+    spec.serviceDeadlineMs = 2.0;
+
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxPreemptions = 0; // first checkpoint already exceeds it
+    Server server(cfg);
+    ASSERT_FALSE(server.start().has_value());
+    server.submit(spec);
+    server.drain();
+    auto results = server.takeResults();
+    server.shutdown();
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Expired);
+    EXPECT_NE(results[0].error.find("service deadline"),
+              std::string::npos);
+    EXPECT_EQ(results[0].preemptions, 1u);
+}
+
+TEST(ServePreemption, FunctionalJobsNeverPreempt)
+{
+    JobSpec spec = coexJob(1);
+    spec.functional = true;
+    spec.serviceDeadlineMs = 1e-9; // would preempt instantly if read
+    auto outcome = runJobSlice(spec, 1e-12, nullptr);
+    EXPECT_EQ(outcome.result.status, JobStatus::Ok)
+        << outcome.result.error;
+    EXPECT_FALSE(outcome.preempted);
+    EXPECT_TRUE(outcome.remaining.empty());
+}
+
+// --- Multi-tenant fair share -------------------------------------------
+
+TEST(ServeTenants, WeightedFairShareDispatchesHeavyTenantsEarlier)
+{
+    std::string err;
+    ServerConfig cfg;
+    cfg.workers = 1;
+    ASSERT_TRUE(cfg.tenants.applyWeights("heavy:4,light:1", err))
+        << err;
+
+    std::vector<JobSpec> jobs;
+    for (u64 i = 0; i < 4; ++i) {
+        JobSpec h = tinyJob(2 * i + 1);
+        h.tenant = "heavy";
+        JobSpec l = tinyJob(2 * i + 2);
+        l.tenant = "light";
+        jobs.push_back(l); // light submits first each round
+        jobs.push_back(h);
+    }
+    std::string error;
+    auto outcome = runBatch(jobs, cfg, error);
+    ASSERT_TRUE(outcome.has_value()) << error;
+
+    ASSERT_EQ(outcome->report.tenants.size(), 2u);
+    const auto &heavy = outcome->report.tenants[0];
+    const auto &light = outcome->report.tenants[1];
+    ASSERT_EQ(heavy.tenant, "heavy");
+    ASSERT_EQ(light.tenant, "light");
+    EXPECT_DOUBLE_EQ(heavy.weight, 4.0);
+    EXPECT_DOUBLE_EQ(light.weight, 1.0);
+    EXPECT_EQ(heavy.completed, 4u);
+    EXPECT_EQ(light.completed, 4u);
+    // The fair-share observable: the weighted-up tenant's jobs
+    // dispatch earlier on average despite submitting second.
+    EXPECT_LT(heavy.meanServiceSeq, light.meanServiceSeq);
+}
+
+TEST(ServeTenants, QuotaRejectsBeyondTheTenantsQueuedCap)
+{
+    std::string err;
+    ServerConfig cfg;
+    cfg.workers = 1;
+    ASSERT_TRUE(cfg.tenants.applyQuotas("a:2", err)) << err;
+
+    std::vector<JobSpec> jobs;
+    for (u64 id = 1; id <= 4; ++id) {
+        JobSpec spec = tinyJob(id);
+        spec.tenant = "a";
+        jobs.push_back(spec);
+    }
+    JobSpec other = tinyJob(5);
+    other.tenant = "b"; // unlisted: no quota
+    jobs.push_back(other);
+
+    std::string error;
+    auto outcome = runBatch(jobs, cfg, error);
+    ASSERT_TRUE(outcome.has_value()) << error;
+    const auto &results = outcome->results;
+    ASSERT_EQ(results.size(), 5u);
+    EXPECT_EQ(results[0].status, JobStatus::Ok);
+    EXPECT_EQ(results[1].status, JobStatus::Ok);
+    EXPECT_EQ(results[2].status, JobStatus::Rejected);
+    EXPECT_NE(results[2].error.find("over quota"), std::string::npos);
+    EXPECT_EQ(results[3].status, JobStatus::Rejected);
+    EXPECT_EQ(results[4].status, JobStatus::Ok);
+    EXPECT_EQ(results[4].tenant, "b");
+}
+
+TEST(ServeTenants, QuotaShedsWithinTheTenantOnly)
+{
+    std::string err;
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.admission = Admission::Shed;
+    ASSERT_TRUE(cfg.tenants.applyQuotas("a:1", err)) << err;
+
+    Server server(cfg);
+    server.pause();
+    ASSERT_FALSE(server.start().has_value());
+    JobSpec bystander = tinyJob(1); // other tenant, lowest priority
+    bystander.tenant = "b";
+    bystander.priority = -5;
+    JobSpec first = tinyJob(2);
+    first.tenant = "a";
+    JobSpec better = tinyJob(3);
+    better.tenant = "a";
+    better.priority = 3; // evicts its *own* tenant's job, not b's
+    JobSpec worse = tinyJob(4);
+    worse.tenant = "a"; // not higher than 'better': shed itself
+    server.submit(bystander);
+    server.submit(first);
+    server.submit(better);
+    server.submit(worse);
+    server.resume();
+    server.drain();
+    auto results = server.takeResults();
+    server.shutdown();
+
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(results[0].status, JobStatus::Ok); // b untouched
+    EXPECT_EQ(results[1].status, JobStatus::Shed);
+    EXPECT_EQ(results[2].status, JobStatus::Ok);
+    EXPECT_EQ(results[3].status, JobStatus::Shed);
+    EXPECT_NE(results[3].error.find("over quota"), std::string::npos);
+}
+
+// --- Autoscaler --------------------------------------------------------
+
+TEST(ServeAutoscale, QueueDepthRaisesTheGateAndDrainLowersIt)
+{
+    ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.autoscale = true;
+    cfg.minWorkers = 1;
+    cfg.maxWorkers = 4;
+    cfg.scaleUpQueueFactor = 1.0;
+    Server server(cfg);
+    server.pause();
+    ASSERT_FALSE(server.start().has_value());
+    for (u64 id = 1; id <= 8; ++id)
+        server.submit(tinyJob(id));
+    server.resume();
+    server.drain();
+    auto report = server.report();
+    auto results = server.takeResults();
+    server.shutdown();
+
+    EXPECT_EQ(results.size(), 8u);
+    for (const auto &res : results)
+        EXPECT_EQ(res.status, JobStatus::Ok);
+    ASSERT_FALSE(report.autoscaleEvents.empty());
+    bool scaledUp = false;
+    for (const auto &event : report.autoscaleEvents) {
+        EXPECT_LE(event.toWorkers, 4u);
+        EXPECT_GE(event.toWorkers, 1u);
+        if (event.reason == "queue-depth") {
+            scaledUp = true;
+            EXPECT_GT(event.toWorkers, event.fromWorkers);
+        }
+    }
+    EXPECT_TRUE(scaledUp);
+    // The drained queue dropped the gate back to the floor.
+    EXPECT_EQ(report.autoscaleEvents.back().reason, "drained");
+    EXPECT_EQ(report.activeWorkers, 1u);
+}
+
+TEST(ServeAutoscale, BacklogRuleUsesPredictedCosts)
+{
+    JobSpec probe = tinyJob(1);
+    model::Surrogate surrogate;
+    surrogate.setJobCost(jobClassKey(probe), jobDeviceKey(probe),
+                         0.5); // half a simulated second each
+
+    ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.autoscale = true;
+    cfg.minWorkers = 1;
+    cfg.maxWorkers = 4;
+    cfg.autoscaleBacklogSeconds = 0.5; // one predicted job per worker
+    cfg.predictAdmission = true;
+    cfg.surrogate = &surrogate;
+    Server server(cfg);
+    server.pause();
+    ASSERT_FALSE(server.start().has_value());
+    for (u64 id = 1; id <= 4; ++id)
+        server.submit(tinyJob(id));
+    server.resume();
+    server.drain();
+    auto report = server.report();
+    server.shutdown();
+
+    bool backlogRule = false;
+    for (const auto &event : report.autoscaleEvents)
+        if (event.reason == "backlog") {
+            backlogRule = true;
+            EXPECT_GT(event.backlogSeconds, 0.0);
+        }
+    EXPECT_TRUE(backlogRule);
+}
+
+// --- Streaming front-end -----------------------------------------------
+
+TEST(ServeStream, EndSentinelStopsIngestionAndEmitsLiveLines)
+{
+    std::istringstream in(
+        R"({"id": 1, "app": "readmem", "model": "opencl",)"
+        R"( "device": "dgpu", "scale": 0.02, "tenant": "a"})"
+        "\n\n"
+        R"({"id": 2, "app": "minife", "model": "openmp",)"
+        R"( "device": "cpu", "scale": 0.02})"
+        "\n  end  \n"
+        "this is not json but it is after end and never read\n");
+    std::ostringstream out;
+    ServerConfig cfg;
+    cfg.workers = 2;
+    std::string error;
+    auto outcome = runStream(in, out, cfg, error);
+    ASSERT_TRUE(outcome.has_value()) << error;
+    EXPECT_TRUE(outcome->sawEnd);
+    EXPECT_EQ(outcome->linesRead, 4u); // incl. blank + sentinel
+    ASSERT_EQ(outcome->results.size(), 2u);
+    ASSERT_EQ(outcome->specs.size(), 2u);
+    EXPECT_EQ(outcome->results[0].tenant, "a");
+
+    // The live lines are exactly the sorted serialization's lines,
+    // possibly reordered (completion order is host-dependent).
+    std::ostringstream sorted;
+    writeResultsJsonl(sorted, outcome->results);
+    std::istringstream live(out.str());
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(live, line)) {
+        ++lines;
+        EXPECT_NE(sorted.str().find(line + "\n"), std::string::npos)
+            << line;
+    }
+    EXPECT_EQ(lines, 2u);
+}
+
+TEST(ServeStream, EofBehavesLikeEnd)
+{
+    std::istringstream in(
+        R"({"id": 7, "app": "readmem", "model": "opencl",)"
+        R"( "device": "dgpu", "scale": 0.02})"
+        "\n");
+    std::ostringstream out;
+    ServerConfig cfg;
+    cfg.workers = 1;
+    std::string error;
+    auto outcome = runStream(in, out, cfg, error);
+    ASSERT_TRUE(outcome.has_value()) << error;
+    EXPECT_FALSE(outcome->sawEnd);
+    ASSERT_EQ(outcome->results.size(), 1u);
+    EXPECT_EQ(outcome->results[0].status, JobStatus::Ok);
+}
+
+TEST(ServeStream, BadLinesAreFatalWithTheLineNumber)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    {
+        std::istringstream in(
+            "{\"id\": 1, \"scale\": 0.02}\nnot json\n");
+        std::ostringstream out;
+        std::string error;
+        EXPECT_FALSE(runStream(in, out, cfg, error).has_value());
+        EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    }
+    {
+        std::istringstream in(
+            R"({"id": 3, "app": "readmem", "scale": 0.02})"
+            "\n"
+            R"({"id": 3, "app": "readmem", "scale": 0.02})"
+            "\n");
+        std::ostringstream out;
+        std::string error;
+        EXPECT_FALSE(runStream(in, out, cfg, error).has_value());
+        EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+        EXPECT_NE(error.find("duplicate job id 3"),
+                  std::string::npos)
+            << error;
+    }
+}
+
+TEST(ServeStream, SortedResultsAreByteIdenticalAcrossWorkerCounts)
+{
+    // The ISSUE acceptance scenario: a two-tenant faulted stream with
+    // forced preemption, byte-identical at 1, 2, and 7 workers.
+    const std::string feed =
+        R"({"id": 1, "app": "readmem", "model": "opencl",)"
+        R"( "device": "dgpu", "scale": 0.02, "tenant": "a"})"
+        "\n"
+        R"({"id": 2, "app": "xsbench", "devices": "cpu+dgpu",)"
+        R"( "scale": 0.05, "tenant": "b",)"
+        R"( "service_deadline_ms": 2, "faults": "transfer:0.25",)"
+        R"( "fault_seed": 11})"
+        "\n"
+        R"({"id": 3, "app": "minife", "model": "openmp",)"
+        R"( "device": "cpu", "scale": 0.02, "tenant": "a"})"
+        "\n"
+        R"({"id": 4, "app": "xsbench", "devices": "cpu+dgpu",)"
+        R"( "scale": 0.05, "tenant": "b",)"
+        R"( "service_deadline_ms": 2, "faults": "transfer:0.25",)"
+        R"( "fault_seed": 11})"
+        "\nend\n";
+    auto serialize = [&](u32 workers) {
+        std::istringstream in(feed);
+        std::ostringstream out;
+        ServerConfig cfg;
+        cfg.workers = workers;
+        std::string err;
+        EXPECT_TRUE(
+            cfg.tenants.applyWeights("a:2,b:1", err))
+            << err;
+        std::string error;
+        auto outcome = runStream(in, out, cfg, error);
+        EXPECT_TRUE(outcome.has_value()) << error;
+        EXPECT_GT(outcome->report.preemptions, 0u);
+        std::ostringstream sorted;
+        writeResultsJsonl(sorted, outcome->results);
+        return sorted.str();
+    };
+    const std::string one = serialize(1);
+    EXPECT_EQ(one, serialize(2));
+    EXPECT_EQ(one, serialize(7));
+    EXPECT_NE(one.find("\"preemptions\":"), std::string::npos);
+    // Equal specs (ids 2 and 4) serialized identical payloads.
+    std::istringstream lines(one);
+    std::string l1, l2, l3, l4;
+    std::getline(lines, l1);
+    std::getline(lines, l2);
+    std::getline(lines, l3);
+    std::getline(lines, l4);
+    EXPECT_EQ(l2.substr(l2.find("\"status\"")),
+              l4.substr(l4.find("\"status\"")));
 }
 
 } // namespace
