@@ -29,7 +29,8 @@ class ComdWorkload : public core::Workload
     {
         return {core::ModelKind::Serial, core::ModelKind::OpenMp,
                 core::ModelKind::OpenCl, core::ModelKind::CppAmp,
-                core::ModelKind::OpenAcc, core::ModelKind::Hc};
+                core::ModelKind::OpenAcc, core::ModelKind::Hc,
+                core::ModelKind::OmpTarget, core::ModelKind::Cuda};
     }
 
     core::RunResult
@@ -49,6 +50,10 @@ class ComdWorkload : public core::Workload
             return runOpenAcc(device, cfg);
           case core::ModelKind::Hc:
             return runHc(device, cfg);
+          case core::ModelKind::OmpTarget:
+            return runOmpTarget(device, cfg);
+          case core::ModelKind::Cuda:
+            return runCuda(device, cfg);
           default:
             fatal("CoMD: unsupported model");
         }

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * CoMD, OpenMP target-offload implementation: a target-data
+ * environment holds the atom arrays; each step's kernels are target
+ * regions.  The periodic link-cell rebuild leaves the data
+ * environment to the host, so the cell lists ride the implicit
+ * tofrom rule on the next force region.
+ */
+
+#include "comd_core.hh"
+#include "comd_variants.hh"
+
+#include "omp/omp.hh"
+
+namespace hetsim::apps::comd
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledCells(cfg.scale), scaledSteps(cfg.scale),
+                       cfg.functional);
+    Precision prec = precisionOf<Real>();
+
+    omp::TargetRuntime rt(spec, prec);
+    rt.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        rt.runtime().setFreq(cfg.freq);
+
+    const u64 rb = sizeof(Real);
+    const void *positions = prob.rx.data();
+    const void *velocities = prob.vx.data();
+    const void *forces = prob.fx.data();
+    const void *cells = prob.cellAtoms.data();
+    rt.declare(positions, 3 * prob.numAtoms * rb, "positions");
+    rt.declare(velocities, 3 * prob.numAtoms * rb, "velocities");
+    rt.declare(forces, 4 * prob.numAtoms * rb, "forces+epot");
+    rt.declare(cells,
+               (prob.cellAtoms.size() + prob.cellStart.size()) * 4,
+               "cell-lists");
+
+    ir::KernelDescriptor force_d = prob.forceDescriptor();
+    ir::KernelDescriptor vel_d = prob.advanceVelocityDescriptor();
+    ir::KernelDescriptor pos_d = prob.advancePositionDescriptor();
+
+    omp::ForClauses clauses;
+    clauses.numTeams = (prob.numAtoms + 127) / 128;
+    clauses.threadLimit = 128;
+
+    {
+        // #pragma omp target data map(tofrom:r,v,f) map(to:cells)
+        omp::TargetData data(
+            rt, omp::MapTo{positions, velocities, forces},
+            omp::MapFrom{positions, velocities, forces});
+
+        for (int step = 0; step < prob.steps; ++step) {
+            omp::targetLoop(rt, vel_d, prob.numAtoms, clauses,
+                            {forces}, {velocities}, [&prob](u64 i) {
+                                prob.advanceVelocity(i, i + 1);
+                            });
+            omp::targetLoop(rt, pos_d, prob.numAtoms, clauses,
+                            {velocities}, {positions}, [&prob](u64 i) {
+                                prob.advancePosition(i, i + 1);
+                            });
+            if ((step + 1) % prob.ps.rebuildInterval == 0) {
+                rt.runtime().hostWork(prob.rebuildHostSeconds());
+                if (cfg.functional)
+                    prob.buildCells();
+            }
+            // cells is NOT in the data environment: the implicit
+            // tofrom rule re-stages the fresh lists every force
+            // region - the conservative directive default.
+            omp::targetLoop(rt, force_d, prob.numAtoms, clauses,
+                            {positions, cells}, {forces},
+                            [&prob](u64 i) {
+                                prob.computeForceLj(i, i + 1);
+                            });
+            omp::targetLoop(rt, vel_d, prob.numAtoms, clauses,
+                            {forces}, {velocities}, [&prob](u64 i) {
+                                prob.advanceVelocity(i, i + 1);
+                            });
+        }
+    }
+
+    core::RunResult result = core::summarize(rt.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.unitCells, prob.steps);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOmpTarget(const sim::DeviceSpec &device,
+             const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::comd

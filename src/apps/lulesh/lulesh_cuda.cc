@@ -1,0 +1,110 @@
+/**
+ * @file
+ * LULESH, CUDA-style implementation: explicit device allocations for
+ * every mesh array group, explicit up-front staging, all 28 kernels
+ * launched on one stream with hand-picked block sizes, and a dt
+ * read-back each iteration.
+ */
+
+#include "lulesh_meta.hh"
+#include "lulesh_variants.hh"
+
+#include "cuda/cuda.hh"
+
+namespace hetsim::apps::lulesh
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledEdge(cfg.scale),
+                       scaledIterations(cfg.scale));
+    auto descs = buildDescriptors(prob);
+    Precision prec = precisionOf<Real>();
+
+    cuda::Device dev(spec, prec);
+    dev.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        dev.runtime().setFreq(cfg.freq);
+
+    // cudaMalloc one allocation per logical array group.
+    std::array<const void *, size_t(Buf::Count)> ptr{};
+    ptr[size_t(Buf::Coords)] = prob.x.data();
+    ptr[size_t(Buf::Vel)] = prob.xd.data();
+    ptr[size_t(Buf::Accel)] = prob.xdd.data();
+    ptr[size_t(Buf::Force)] = prob.fx.data();
+    ptr[size_t(Buf::Mass)] = prob.nodalMass.data();
+    ptr[size_t(Buf::ElemCore)] = prob.e.data();
+    ptr[size_t(Buf::Stress)] = prob.sigxx.data();
+    ptr[size_t(Buf::QGrad)] = prob.delvXi.data();
+    ptr[size_t(Buf::EosWork)] = prob.compression.data();
+    ptr[size_t(Buf::Connect)] = prob.nodelist.data();
+    ptr[size_t(Buf::CornerF)] = prob.fxElem.data();
+    ptr[size_t(Buf::DtPart)] = prob.dtCourantElem.data();
+    std::array<cuda::DevicePtr, size_t(Buf::Count)> dptr{};
+    for (int b = 0; b < int(Buf::Count); ++b) {
+        dptr[size_t(b)] = dev.malloc(ptr[size_t(b)],
+                                     bufBytes(prob, Buf(b)),
+                                     bufName(Buf(b)));
+    }
+
+    cuda::Stream stream(dev);
+    for (Buf group : {Buf::Coords, Buf::Vel, Buf::Mass, Buf::ElemCore,
+                      Buf::Connect}) {
+        stream.memcpyAsync(dptr[size_t(group)],
+                           cuda::CopyDir::HostToDevice);
+    }
+
+    ir::OptHints hints;
+    hints.hoistedInvariants = true;
+
+    for (int iter = 0; iter < prob.iterations; ++iter) {
+        for (int k = 0; k < kernelCount; ++k) {
+            ir::OptHints kh = hints;
+            kh.useLds = descs[k].loop.reduction;
+            // Reductions tree through the LDS in 256-thread blocks;
+            // the streaming kernels use the mesh-friendly 128.
+            const u32 block = descs[k].loop.reduction ? 256 : 128;
+            stream.launchKernel(descs[k], prob.itemsFor(k + 1), block,
+                                kh, kernelBody(prob, k));
+        }
+        // dt partials stream back each iteration, then the host takes
+        // the final min.
+        cuda::Event dt = stream.memcpyAsync(
+            dptr[size_t(Buf::DtPart)], cuda::CopyDir::DeviceToHost);
+        dev.runtime().hostWork(2e-6, dt.task);
+        if (cfg.functional)
+            prob.updateDtHost();
+    }
+
+    stream.memcpyAsync(dptr[size_t(Buf::ElemCore)],
+                       cuda::CopyDir::DeviceToHost);
+    stream.memcpyAsync(dptr[size_t(Buf::Coords)],
+                       cuda::CopyDir::DeviceToHost);
+    dev.deviceSynchronize();
+
+    core::RunResult result = core::summarize(dev.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.edge, prob.iterations);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runCuda(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::lulesh

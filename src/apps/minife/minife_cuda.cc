@@ -1,0 +1,127 @@
+/**
+ * @file
+ * miniFE, CUDA-style implementation: explicit device allocations for
+ * the CSR matrix and CG vectors, one stream carrying the whole CG
+ * iteration, hand-tuned SpMV (LDS-staged CSR-Adaptive), and explicit
+ * dot-partial read-backs each iteration.
+ */
+
+#include "minife_core.hh"
+#include "minife_variants.hh"
+
+#include "cuda/cuda.hh"
+
+namespace hetsim::apps::minife
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledEdge(cfg.scale),
+                       scaledIterations(cfg.scale));
+    Precision prec = precisionOf<Real>();
+
+    cuda::Device dev(spec, prec);
+    dev.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        dev.runtime().setFreq(cfg.freq);
+
+    const u64 rb = sizeof(Real);
+    cuda::DevicePtr d_matrix = dev.malloc(
+        prob.vals.data(),
+        prob.vals.size() * rb + prob.cols.size() * 4 +
+            prob.rowStart.size() * 4,
+        "csr-matrix");
+    cuda::DevicePtr d_vectors =
+        dev.malloc(prob.x.data(), 5 * prob.rows * rb, "cg-vectors");
+    cuda::DevicePtr d_partials =
+        dev.malloc(prob.dotScratch.data(), 1024, "dot-partials");
+
+    cuda::Stream stream(dev);
+    stream.memcpyAsync(d_matrix, cuda::CopyDir::HostToDevice);
+    stream.memcpyAsync(d_vectors, cuda::CopyDir::HostToDevice);
+
+    const ir::KernelDescriptor spmv_d =
+        prob.spmvDescriptor(SpmvStyle::CsrAdaptive);
+    const ir::KernelDescriptor dot_d = prob.dotDescriptor();
+    const ir::KernelDescriptor axpy_d = prob.waxpbyDescriptor();
+    ir::OptHints spmv_hints;
+    spmv_hints.useLds = true;
+    spmv_hints.tiled = true;
+    spmv_hints.hoistedInvariants = true;
+    ir::OptHints dot_hints;
+    dot_hints.useLds = true;
+
+    double rr = prob.residual;
+    for (int it = 0; it < prob.iterations; ++it) {
+        // spmv<<<rows/128, 128>>>
+        stream.launchKernel(spmv_d, prob.rows, 128, spmv_hints,
+                            [&prob](u64 b, u64 e) {
+                                prob.spmv(b, e);
+                            });
+        stream.launchKernel(dot_d, prob.rows, 256, dot_hints,
+                            [&prob](u64 b, u64 e) {
+                                prob.dotKernel(prob.p, prob.ap, b, e);
+                            });
+        cuda::Event dt = stream.memcpyAsync(
+            d_partials, cuda::CopyDir::DeviceToHost);
+        dev.runtime().hostWork(1e-6, dt.task);
+        double p_ap = cfg.functional ? prob.dotFinish() : 1.0;
+        double alpha = p_ap != 0.0 ? rr / p_ap : 0.0;
+
+        stream.launchKernel(axpy_d, prob.rows, 256, {},
+                            [&prob, alpha](u64 b, u64 e) {
+                                prob.waxpby(prob.x, alpha, prob.p,
+                                            1.0, b, e);
+                            });
+        stream.launchKernel(axpy_d, prob.rows, 256, {},
+                            [&prob, alpha](u64 b, u64 e) {
+                                prob.waxpby(prob.r, -alpha, prob.ap,
+                                            1.0, b, e);
+                            });
+        stream.launchKernel(dot_d, prob.rows, 256, dot_hints,
+                            [&prob](u64 b, u64 e) {
+                                prob.dotKernel(prob.r, prob.r, b, e);
+                            });
+        dt = stream.memcpyAsync(d_partials,
+                                cuda::CopyDir::DeviceToHost);
+        dev.runtime().hostWork(1e-6, dt.task);
+        double rr_new = cfg.functional ? prob.dotFinish() : 1.0;
+        double beta = rr != 0.0 ? rr_new / rr : 0.0;
+
+        stream.launchKernel(axpy_d, prob.rows, 256, {},
+                            [&prob, beta](u64 b, u64 e) {
+                                prob.waxpby(prob.p, 1.0, prob.r,
+                                            beta, b, e);
+                            });
+        rr = rr_new;
+    }
+    prob.residual = rr;
+    stream.memcpyAsync(d_vectors, cuda::CopyDir::DeviceToHost);
+    dev.deviceSynchronize();
+
+    core::RunResult result = core::summarize(dev.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.edge, prob.iterations);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runCuda(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::minife

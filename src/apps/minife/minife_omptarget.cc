@@ -1,0 +1,131 @@
+/**
+ * @file
+ * miniFE, OpenMP target-offload implementation: the OpenACC port's
+ * directive structure re-spelled with "target teams distribute
+ * parallel for" (the Agueny porting path) - scalar-row CSR SpMV, a
+ * target-data environment holding the matrix and CG vectors resident,
+ * and reduction clauses for the dots.
+ */
+
+#include "minife_core.hh"
+#include "minife_variants.hh"
+
+#include "omp/omp.hh"
+
+namespace hetsim::apps::minife
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledEdge(cfg.scale),
+                       scaledIterations(cfg.scale));
+    Precision prec = precisionOf<Real>();
+
+    omp::TargetRuntime rt(spec, prec);
+    rt.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        rt.runtime().setFreq(cfg.freq);
+
+    const u64 rb = sizeof(Real);
+    const void *matrix = prob.vals.data();
+    const void *vectors = prob.x.data();
+    const void *partials = prob.dotScratch.data();
+    rt.declare(matrix,
+               prob.vals.size() * rb + prob.cols.size() * 4 +
+                   prob.rowStart.size() * 4,
+               "csr-matrix");
+    rt.declare(vectors, 5 * prob.rows * rb, "cg-vectors");
+    rt.declare(partials, 1024, "dot-partials");
+
+    omp::ForClauses flat;
+    flat.threadLimit = 128;
+    omp::ForClauses red = flat;
+    red.reduction = true;
+
+    const ir::KernelDescriptor spmv_desc =
+        prob.spmvDescriptor(SpmvStyle::CsrScalar);
+    const ir::KernelDescriptor dot_desc = prob.dotDescriptor();
+    const ir::KernelDescriptor waxpby_desc = prob.waxpbyDescriptor();
+
+    {
+        // #pragma omp target data map(to:matrix) map(tofrom:vectors)
+        omp::TargetData data(rt, omp::MapTo{matrix, vectors},
+                             omp::MapFrom{vectors});
+
+        double rr = prob.residual;
+        for (int it = 0; it < prob.iterations; ++it) {
+            // #pragma omp target teams distribute parallel for
+            omp::targetLoop(
+                rt, spmv_desc, prob.rows, flat, {matrix, vectors},
+                {vectors}, [&prob](u64 i) { prob.spmv(i, i + 1); });
+
+            // ... reduction(+:p_ap)
+            omp::targetLoop(rt, dot_desc, prob.rows, red, {vectors},
+                            {partials}, [&prob](u64 i) {
+                                prob.dotKernel(prob.p, prob.ap, i,
+                                               i + 1);
+                            });
+            rt.runtime().hostWork(1e-6);
+            double p_ap = cfg.functional ? prob.dotFinish() : 1.0;
+            double alpha = p_ap != 0.0 ? rr / p_ap : 0.0;
+
+            omp::targetLoop(rt, waxpby_desc, prob.rows, flat,
+                            {vectors}, {vectors},
+                            [&prob, alpha](u64 i) {
+                                prob.waxpby(prob.x, alpha, prob.p,
+                                            1.0, i, i + 1);
+                            });
+            omp::targetLoop(rt, waxpby_desc, prob.rows, flat,
+                            {vectors}, {vectors},
+                            [&prob, alpha](u64 i) {
+                                prob.waxpby(prob.r, -alpha, prob.ap,
+                                            1.0, i, i + 1);
+                            });
+
+            omp::targetLoop(rt, dot_desc, prob.rows, red, {vectors},
+                            {partials}, [&prob](u64 i) {
+                                prob.dotKernel(prob.r, prob.r, i,
+                                               i + 1);
+                            });
+            rt.runtime().hostWork(1e-6);
+            double rr_new = cfg.functional ? prob.dotFinish() : 1.0;
+            double beta = rr != 0.0 ? rr_new / rr : 0.0;
+
+            omp::targetLoop(rt, waxpby_desc, prob.rows, flat,
+                            {vectors}, {vectors},
+                            [&prob, beta](u64 i) {
+                                prob.waxpby(prob.p, 1.0, prob.r,
+                                            beta, i, i + 1);
+                            });
+            rr = rr_new;
+        }
+        prob.residual = rr;
+    }
+
+    core::RunResult result = core::summarize(rt.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.edge, prob.iterations);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOmpTarget(const sim::DeviceSpec &device,
+             const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::minife

@@ -28,9 +28,10 @@ class ReadMemWorkload : public core::Workload
     std::vector<core::ModelKind>
     supportedModels() const override
     {
-        return {core::ModelKind::Serial,  core::ModelKind::OpenMp,
-                core::ModelKind::OpenCl,  core::ModelKind::CppAmp,
-                core::ModelKind::OpenAcc, core::ModelKind::Hc};
+        return {core::ModelKind::Serial,    core::ModelKind::OpenMp,
+                core::ModelKind::OpenCl,    core::ModelKind::CppAmp,
+                core::ModelKind::OpenAcc,   core::ModelKind::Hc,
+                core::ModelKind::OmpTarget, core::ModelKind::Cuda};
     }
 
     bool kernelOnlyComparison() const override { return true; }
@@ -52,6 +53,10 @@ class ReadMemWorkload : public core::Workload
             return runOpenAcc(device, cfg);
           case core::ModelKind::Hc:
             return runHc(device, cfg);
+          case core::ModelKind::OmpTarget:
+            return runOmpTarget(device, cfg);
+          case core::ModelKind::Cuda:
+            return runCuda(device, cfg);
         }
         fatal("read-benchmark: unsupported model");
     }

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * read-memory, CUDA-style implementation (the Memeti et al. extension
+ * of the paper's Figure 4 comparison): explicit device allocations,
+ * explicit asynchronous copies on a stream, and a hand-tuned kernel
+ * launched with an explicit <<<grid, block>>> geometry.
+ */
+
+#include "readmem_core.hh"
+#include "readmem_variants.hh"
+
+#include "cuda/cuda.hh"
+
+namespace hetsim::apps::readmem
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(cfg.scale);
+    Precision prec = precisionOf<Real>();
+
+    cuda::Device dev(spec, prec);
+    dev.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        dev.runtime().setFreq(cfg.freq);
+
+    // cudaMalloc + cudaMemcpyAsync(HostToDevice) on the stream.
+    cuda::DevicePtr d_in = dev.malloc(
+        prob.in.data(), prob.elements * sizeof(Real), "in");
+    cuda::DevicePtr d_out = dev.malloc(
+        prob.out.data(), prob.items() * sizeof(Real), "out");
+    cuda::Stream stream(dev);
+    stream.memcpyAsync(d_in, cuda::CopyDir::HostToDevice);
+
+    // read_mem<<<num_threads / 64, 64, 0, stream>>>(in, out, size)
+    // with the same hand tuning as the OpenCL variant.
+    ir::OptHints hints;
+    hints.unroll = 8;
+    hints.hoistedInvariants = true;
+
+    stream.launchKernel(
+        prob.descriptor(), prob.elements / blockSize, 64, hints,
+        [&prob](u64 begin, u64 end) {
+            const Real *in = prob.in.data();
+            Real *out = prob.out.data();
+            for (u64 tid = begin; tid < end; ++tid) {
+                u64 st_idx = tid * blockSize;
+                Real sum = Real(0);
+                for (u64 j = 0; j < blockSize; ++j)
+                    sum += in[st_idx + j];
+                out[tid] = sum;
+            }
+        });
+
+    stream.memcpyAsync(d_out, cuda::CopyDir::DeviceToHost);
+    stream.synchronize();
+
+    core::RunResult result = core::summarize(dev.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        auto ref = prob.reference();
+        result.validated = almostEqual<Real>(prob.out, ref);
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runCuda(const sim::DeviceSpec &device, const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::readmem

@@ -24,6 +24,10 @@ core::RunResult runOpenAcc(const sim::DeviceSpec &device,
                            const core::WorkloadConfig &cfg);
 core::RunResult runHc(const sim::DeviceSpec &device,
                       const core::WorkloadConfig &cfg);
+core::RunResult runOmpTarget(const sim::DeviceSpec &device,
+                             const core::WorkloadConfig &cfg);
+core::RunResult runCuda(const sim::DeviceSpec &device,
+                        const core::WorkloadConfig &cfg);
 
 } // namespace hetsim::apps::readmem
 

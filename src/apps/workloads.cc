@@ -51,6 +51,10 @@ modelByName(const std::string &name)
         return ModelKind::OpenAcc;
     if (name == "hc")
         return ModelKind::Hc;
+    if (name == "omptarget" || name == "target")
+        return ModelKind::OmpTarget;
+    if (name == "cuda")
+        return ModelKind::Cuda;
     return std::nullopt;
 }
 

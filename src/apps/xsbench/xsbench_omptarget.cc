@@ -1,0 +1,90 @@
+/**
+ * @file
+ * XSBench, OpenMP target-offload implementation: the unionized table
+ * arrays live in a target-data environment; the lookup loop is one
+ * target-teams region.  The irregular gather shape flows through the
+ * capability table exactly as it does for the directive siblings.
+ */
+
+#include "xsbench_core.hh"
+#include "xsbench_variants.hh"
+
+#include "omp/omp.hh"
+
+namespace hetsim::apps::xsbench
+{
+
+namespace
+{
+
+template <typename Real>
+core::RunResult
+runImpl(const sim::DeviceSpec &spec, const core::WorkloadConfig &cfg)
+{
+    Problem<Real> prob(scaledGridpoints(cfg.scale),
+                       scaledLookups(cfg.scale));
+    Precision prec = precisionOf<Real>();
+
+    omp::TargetRuntime rt(spec, prec);
+    rt.runtime().setFunctionalExecution(cfg.functional);
+    if (cfg.freq.coreMhz > 0.0)
+        rt.runtime().setFreq(cfg.freq);
+
+    const u64 rb = sizeof(Real);
+    const void *union_energy = prob.unionEnergy.data();
+    const void *union_index = prob.unionIndex.data();
+    const void *grids = prob.nuclideEnergy.data();
+    const void *materials = prob.matNuclide.data();
+    const void *results = prob.results.data();
+    rt.declare(union_energy, prob.unionEnergy.size() * rb,
+               "union-energy");
+    rt.declare(union_index, prob.unionIndex.size() * 4, "union-index");
+    rt.declare(grids,
+               (prob.nuclideEnergy.size() + prob.nuclideXs.size()) * rb,
+               "nuclide-grids");
+    rt.declare(materials,
+               (prob.matStart.size() + prob.matNuclide.size()) * 4,
+               "materials");
+    rt.declare(results, prob.results.size() * rb, "results");
+
+    {
+        // #pragma omp target data map(to:table) map(from:results)
+        omp::TargetData data(
+            rt,
+            omp::MapTo{union_energy, union_index, grids, materials},
+            omp::MapFrom{results});
+
+        omp::ForClauses clauses;
+        clauses.numTeams = (prob.lookups + 63) / 64;
+        clauses.threadLimit = 64;
+
+        // #pragma omp target teams distribute parallel for
+        omp::targetLoop(rt, prob.descriptor(), prob.lookups, clauses,
+                        {union_energy, union_index, grids, materials},
+                        {results}, [&prob](u64 i) {
+                            prob.macroXsLookup(i, i + 1);
+                        });
+    }
+
+    core::RunResult result = core::summarize(rt.runtime());
+    result.checksum = prob.checksum();
+    if (cfg.functional) {
+        Problem<Real> ref(prob.gridpointsPerNuclide, prob.lookups);
+        runReference(ref);
+        result.validated = sameState(prob, ref) && prob.finite();
+    }
+    return result;
+}
+
+} // namespace
+
+core::RunResult
+runOmpTarget(const sim::DeviceSpec &device,
+             const core::WorkloadConfig &cfg)
+{
+    if (cfg.precision == Precision::Single)
+        return runImpl<float>(device, cfg);
+    return runImpl<double>(device, cfg);
+}
+
+} // namespace hetsim::apps::xsbench

@@ -97,31 +97,29 @@ ir::ModelKind
 DevicePool::model(size_t d) const
 {
     return specs[d].type == sim::DeviceType::Cpu ? ir::ModelKind::OpenMp
-                                                 : ir::ModelKind::Hc;
+                                                 : gpuModel;
 }
-
-namespace
-{
-
-/** @return the compiler a co-execution slot of this type uses. */
-const ir::CompilerModel &
-compilerForSpec(const sim::DeviceSpec &spec)
-{
-    return ir::compilerFor(spec.type == sim::DeviceType::Cpu
-                               ? ir::ModelKind::OpenMp
-                               : ir::ModelKind::Hc);
-}
-
-} // namespace
 
 double
 predictKernelSeconds(const sim::DeviceSpec &spec, Precision prec,
                      const ir::KernelDescriptor &desc,
                      const ir::OptHints &hints, u64 items)
 {
+    return predictKernelSeconds(
+        spec, prec, desc, hints, items,
+        spec.type == sim::DeviceType::Cpu ? ir::ModelKind::OpenMp
+                                          : ir::ModelKind::Hc);
+}
+
+double
+predictKernelSeconds(const sim::DeviceSpec &spec, Precision prec,
+                     const ir::KernelDescriptor &desc,
+                     const ir::OptHints &hints, u64 items,
+                     ir::ModelKind model)
+{
     if (items == 0)
         return 0.0;
-    const ir::CompilerModel &compiler = compilerForSpec(spec);
+    const ir::CompilerModel &compiler = ir::compilerFor(model);
     ir::Codegen cg = compiler.compile(desc, hints, spec);
     ir::ProfileResolver resolver(spec);
     return ir::memoizedTiming(resolver, spec, spec.stockFreq(), prec,
@@ -197,7 +195,7 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
     for (size_t d = 0; d < devices.size(); ++d) {
         Slot &slot = slots[d];
         slot.spec = &devices.spec(d);
-        slot.compiler = &compilerForSpec(*slot.spec);
+        slot.compiler = &ir::compilerFor(devices.model(d));
         if (kernel.desc.loop.needsBarriers &&
             !slot.compiler->features().fineGrainedSync) {
             result.ok = false;
@@ -221,7 +219,8 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
 
         states[d].spec = slot.spec;
         const double predicted = predictKernelSeconds(
-            *slot.spec, prec, kernel.desc, kernel.hints, kernel.items);
+            *slot.spec, prec, kernel.desc, kernel.hints, kernel.items,
+            devices.model(d));
         states[d].predictedItemsPerSec =
             predicted > 0.0
                 ? static_cast<double>(kernel.items) / predicted
@@ -432,10 +431,7 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
             obs::ObsRecord obsRec;
             obsRec.kernel = kernel.desc.name;
             obsRec.device = slot.spec->name;
-            obsRec.model = ir::toString(
-                slot.spec->type == sim::DeviceType::Cpu
-                    ? ir::ModelKind::OpenMp
-                    : ir::ModelKind::Hc);
+            obsRec.model = ir::toString(devices.model(d));
             obsRec.precisionBits = prec == Precision::Double ? 64 : 32;
             obsRec.items = take;
             obsRec.coreMhz = stock.coreMhz;
@@ -631,6 +627,9 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
     }
 
     result.seconds = timeline.makespan();
+    result.energy =
+        power::energyOf(timeline, power::PowerTable::active());
+    result.energyJoules = result.energy.joules;
     if (faulty) {
         result.faultsInjected = plan->schedule().size() - faults_before;
         metrics.add("fault.injected",
@@ -646,6 +645,10 @@ CoExecutor::execute(const CoKernel &kernel, const ExecOptions &opts)
         // queue had nothing scheduled (EngineCL's load-balance FoM).
         slot.report.idleSeconds =
             result.seconds - timeline.resourceBusyTime(slot.computeQ);
+        for (const auto &bucket : result.energy.buckets)
+            if (bucket.resource.rfind(slot.spec->name + "/", 0) == 0)
+                slot.report.energyJoules +=
+                    bucket.busyJoules + bucket.idleJoules;
         result.transferSeconds += slot.report.transferSeconds;
         if (metrics.enabled()) {
             const std::string prefix = "coexec." + slot.spec->name;

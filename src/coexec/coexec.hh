@@ -43,6 +43,7 @@
 #include "kernelir/codegen.hh"
 #include "kernelir/kernel.hh"
 #include "kernelir/trace.hh"
+#include "power/power.hh"
 #include "sim/device.hh"
 #include "sim/pcie.hh"
 #include "sim/timeline.hh"
@@ -124,10 +125,17 @@ class DevicePool
 
     /**
      * @return the programming-model compiler used for device @p d:
-     * the host compiler for CPU slots, HC (single-source, Section
-     * VII) for GPU slots.
+     * the host compiler for CPU slots, the pool's device backend
+     * (HC by default - single-source, Section VII) for GPU slots.
      */
     ir::ModelKind model(size_t d) const;
+
+    /**
+     * Select the programming model GPU slots compile through
+     * (`--backend`).  Any device backend of the capability table is
+     * accepted; CPU slots always use the host OpenMP compiler.
+     */
+    void setGpuModel(ir::ModelKind m) { gpuModel = m; }
 
     /** @return display name, e.g. "cpu+dgpu". */
     const std::string &name() const { return poolName; }
@@ -135,6 +143,7 @@ class DevicePool
   private:
     std::vector<sim::DeviceSpec> specs;
     std::string poolName;
+    ir::ModelKind gpuModel = ir::ModelKind::Hc;
 };
 
 /** Knobs of one co-executed launch. */
@@ -209,6 +218,9 @@ struct DeviceReport
     /** Time the device's compute queue sat idle while the pool was
      *  still running: co-exec makespan minus compute-busy time. */
     double idleSeconds = 0.0;
+    /** Energy-to-solution share (J): this device's compute and DMA
+     *  resources accrued over the pool makespan. */
+    double energyJoules = 0.0;
 };
 
 /** Merged outcome of a co-executed launch. */
@@ -232,6 +244,10 @@ struct CoExecResult
     bool functional = false;
     bool validated = false;
     double checksum = 0.0;
+    /** Energy-to-solution (J) of the merged timeline under the
+     *  active power table; buckets tile makespan x power. */
+    double energyJoules = 0.0;
+    power::EnergyReport energy;
     std::vector<DeviceReport> devices;
     /** Chunk assignment, in simulated pull order.  With faults
      *  injected, rescued chunks appear when they finally succeed, so
@@ -271,6 +287,16 @@ struct CoExecResult
 double predictKernelSeconds(const sim::DeviceSpec &spec, Precision prec,
                             const ir::KernelDescriptor &desc,
                             const ir::OptHints &hints, u64 items);
+
+/**
+ * Same prediction through an explicit programming-model compiler -
+ * the overload the executor uses when a pool overrides its GPU-slot
+ * backend (`--backend`).
+ */
+double predictKernelSeconds(const sim::DeviceSpec &spec, Precision prec,
+                            const ir::KernelDescriptor &desc,
+                            const ir::OptHints &hints, u64 items,
+                            ir::ModelKind model);
 
 /** Splits one kernel across a device pool and merges the timelines. */
 class CoExecutor

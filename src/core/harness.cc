@@ -56,6 +56,7 @@ Harness::speedup(const sim::DeviceSpec &device, ModelKind model,
     point.baselineSeconds = baselineSeconds(prec);
     RunResult result = runAt(device, model, prec, {0.0, 0.0});
     point.seconds = comparableSeconds(result);
+    point.energyJoules = result.energyJoules;
     point.speedup =
         point.seconds > 0.0 ? point.baselineSeconds / point.seconds : 0.0;
     return point;

@@ -25,6 +25,9 @@ struct SpeedupPoint
     double seconds = 0.0;          ///< model's simulated time
     double baselineSeconds = 0.0;  ///< 4-core OpenMP time
     double speedup = 0.0;
+    /** Energy-to-solution (J) of the model's run (full run even when
+     *  kernelOnlyComparison() trims the compared seconds). */
+    double energyJoules = 0.0;
 };
 
 /** One point of a Figure 7 frequency sweep. */

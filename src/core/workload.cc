@@ -27,6 +27,12 @@ summarize(const rt::RuntimeContext &rt)
         names.insert(record.name);
     result.uniqueKernels = static_cast<int>(names.size());
 
+    result.energy =
+        power::energyOf(rt.timelineView(), power::PowerTable::active());
+    result.energyJoules = result.energy.joules;
+    result.busyJoules = result.energy.busyJoules;
+    result.idleJoules = result.energy.idleJoules;
+
     result.stats = stats;
     result.records = rt.records();
     return result;

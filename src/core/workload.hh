@@ -16,6 +16,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "kernelir/codegen.hh"
+#include "power/power.hh"
 #include "runtime/context.hh"
 #include "sim/device.hh"
 
@@ -68,6 +69,14 @@ struct RunResult
     double checksum = 0.0;
     /** Whether the functional results matched the serial reference. */
     bool validated = false;
+    /** Energy-to-solution (J) under the active power table. */
+    double energyJoules = 0.0;
+    /** Joules accrued while resources executed spans. */
+    double busyJoules = 0.0;
+    /** Joules accrued by idle draw over the makespan. */
+    double idleJoules = 0.0;
+    /** Per-resource energy buckets (tile makespan x power). */
+    power::EnergyReport energy;
     /** Raw counters from the runtime. */
     Stats stats;
     /** Per-launch records (kernel name, profile, timing), in order. */

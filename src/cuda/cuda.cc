@@ -1,0 +1,111 @@
+#include "cuda.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::cuda
+{
+
+namespace
+{
+
+sim::DeviceSpec
+specFor(sim::DeviceType type)
+{
+    switch (type) {
+      case sim::DeviceType::DiscreteGpu:
+        return sim::radeonR9_280X();
+      case sim::DeviceType::IntegratedGpu:
+        return sim::a10_7850kGpu();
+      case sim::DeviceType::Cpu:
+        return sim::a10_7850kCpu();
+    }
+    fatal("unknown device type");
+}
+
+} // namespace
+
+Device::Device(sim::DeviceType type, Precision precision)
+    : rt(specFor(type), ir::ModelKind::Cuda, precision)
+{
+}
+
+Device::Device(const sim::DeviceSpec &spec, Precision precision)
+    : rt(spec, ir::ModelKind::Cuda, precision)
+{
+}
+
+DevicePtr
+Device::malloc(const void *host, u64 bytes, std::string name)
+{
+    if (!host)
+        fatal("cuda: cudaMalloc for a null host array");
+    if (bytes == 0)
+        fatal("cuda: cudaMalloc of zero bytes for %s", name.c_str());
+    DevicePtr ptr;
+    ptr.buffer = rt.createBuffer("cuda:" + name, bytes);
+    ptr.allocated = true;
+    return ptr;
+}
+
+Event
+Stream::memcpyAsync(const DevicePtr &ptr, CopyDir dir)
+{
+    if (!ptr.allocated)
+        fatal("cuda: cudaMemcpyAsync on an unallocated device pointer");
+    sim::TaskId task;
+    if (dir == CopyDir::HostToDevice) {
+        dev.rt.markHostDirty(ptr.buffer);
+        task = dev.rt.copyToDevice(ptr.buffer, last);
+    } else {
+        dev.rt.markDeviceDirty(ptr.buffer);
+        task = dev.rt.copyToHost(ptr.buffer, last);
+    }
+    if (task != sim::NoTask)
+        last = task;
+    return Event{last};
+}
+
+Event
+Stream::launchKernel(const ir::KernelDescriptor &desc, u64 items,
+                     u32 block, ir::OptHints hints,
+                     const rt::KernelBody &body)
+{
+    if (block == 0) {
+        fatal("cuda: kernel %s launched with a zero block size "
+              "(cudaErrorInvalidConfiguration)", desc.name.c_str());
+    }
+    if (items == 0) {
+        fatal("cuda: kernel %s launched with an empty grid",
+              desc.name.c_str());
+    }
+    // <<<grid, block>>>: the block size IS the work-group geometry the
+    // compiler sees; oversized blocks pay the occupancy penalty.
+    hints.workgroupSize = block;
+    std::span<const sim::TaskId> deps;
+    if (last != sim::NoTask)
+        deps = std::span<const sim::TaskId>(&last, 1);
+    last = dev.rt.launch(desc, items, hints, body, deps);
+    return Event{last};
+}
+
+void
+Stream::waitEvent(const Event &event)
+{
+    if (!event.valid())
+        return;
+    // The stream's next operation depends on both the stream front
+    // and the event; order the stream after whichever finishes later.
+    if (last == sim::NoTask ||
+        dev.rt.taskFinishSeconds(event.task) >
+            dev.rt.taskFinishSeconds(last)) {
+        last = event.task;
+    }
+}
+
+double
+Stream::synchronize() const
+{
+    return last != sim::NoTask ? dev.rt.taskFinishSeconds(last) : 0.0;
+}
+
+} // namespace hetsim::cuda

@@ -8,6 +8,7 @@
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
 #include "obs/tracer.hh"
+#include "power/power.hh"
 #include "sim/timing_cache.hh"
 
 namespace hetsim::fleet
@@ -370,6 +371,7 @@ simulateFleet(const Topology &topo, const FleetConfig &cfg,
                            res.makespanSeconds);
     }
     res.nodes.reserve(nNodes);
+    const power::PowerTable &watts = power::PowerTable::active();
     for (u32 n = 0; n < nNodes; ++n) {
         NodeReport rep;
         rep.name = topo.nodes[n].name;
@@ -377,6 +379,12 @@ simulateFleet(const Topology &topo, const FleetConfig &cfg,
         rep.jobs = acc[n].jobs;
         rep.busySeconds = acc[n].busySeconds;
         rep.finishSeconds = acc[n].finishSeconds;
+        // A dead node stops drawing power when it dies; survivors
+        // idle until the campaign makespan.
+        rep.energyJoules = power::energyOfBusy(
+            watts, rep.device, rep.busySeconds,
+            died[n] ? rep.finishSeconds : res.makespanSeconds);
+        res.energyJoules += rep.energyJoules;
         rep.faultsInjected = acc[n].faults;
         rep.died = died[n];
         res.nodes.push_back(std::move(rep));
@@ -399,6 +407,7 @@ simulateFleet(const Topology &topo, const FleetConfig &cfg,
         metrics.add("fleet.net_seconds", res.netSeconds);
         metrics.add("fleet.halo_seconds", res.haloSeconds);
         metrics.add("fleet.busy_seconds", res.busySeconds);
+        metrics.add("fleet.energy_joules", res.energyJoules);
         metrics.set("fleet.nodes", static_cast<double>(nNodes));
         metrics.set("fleet.makespan_seconds", res.makespanSeconds);
         metrics.set("fleet.utilization", res.utilization);

@@ -110,6 +110,9 @@ struct NodeReport
     u64 jobs = 0;
     double busySeconds = 0.0;
     double finishSeconds = 0.0;
+    /** Energy (J) over the campaign makespan: busy draw while running
+     *  jobs, idle draw otherwise (per-device power table). */
+    double energyJoules = 0.0;
     u64 faultsInjected = 0;
     bool died = false;
 };
@@ -129,6 +132,9 @@ struct FleetResult
     double netSeconds = 0.0;  ///< fabric transfer time (retries incl.)
     double haloSeconds = 0.0; ///< collective time of gang jobs
     double utilization = 0.0; ///< busy / (nodes x makespan)
+    /** Fleet energy-to-solution (J): per-node energy summed in node
+     *  order, hence worker-count invariant. */
+    double energyJoules = 0.0;
     double throughputJobsPerSec = 0.0;
     /** End-to-end latency (finish - arrival), milliseconds. */
     Percentiles latencyMs;

@@ -1,7 +1,6 @@
 #include "codegen.hh"
 
-#include <algorithm>
-
+#include "captable.hh"
 #include "common/logging.hh"
 
 namespace hetsim::ir
@@ -10,19 +9,9 @@ namespace hetsim::ir
 const char *
 toString(ModelKind kind)
 {
-    switch (kind) {
-      case ModelKind::Serial:
-        return "serial";
-      case ModelKind::OpenMp:
-        return "openmp";
-      case ModelKind::OpenCl:
-        return "opencl";
-      case ModelKind::CppAmp:
-        return "cppamp";
-      case ModelKind::OpenAcc:
-        return "openacc";
-      case ModelKind::Hc:
-        return "hc";
+    for (const BackendCaps &caps : backendTable()) {
+        if (caps.kind == kind)
+            return caps.name;
     }
     return "?";
 }
@@ -30,19 +19,9 @@ toString(ModelKind kind)
 const char *
 displayName(ModelKind kind)
 {
-    switch (kind) {
-      case ModelKind::Serial:
-        return "Serial";
-      case ModelKind::OpenMp:
-        return "OpenMP";
-      case ModelKind::OpenCl:
-        return "OpenCL";
-      case ModelKind::CppAmp:
-        return "C++ AMP";
-      case ModelKind::OpenAcc:
-        return "OpenACC";
-      case ModelKind::Hc:
-        return "HC";
+    for (const BackendCaps &caps : backendTable()) {
+        if (caps.kind == kind)
+            return caps.display;
     }
     return "?";
 }
@@ -50,274 +29,44 @@ displayName(ModelKind kind)
 namespace
 {
 
-double
-clampEff(double eff)
-{
-    return std::clamp(eff, 0.01, 1.0);
-}
-
 /**
- * AMD Catalyst OpenCL driver: hand-tuned kernels; the programmer can
- * use the LDS, unroll loops, hoist invariants and pick work-group
- * geometry (paper Figure 11, first row).
+ * The one compiler implementation every backend shares: all behavior
+ * comes from the backend's declarative capability-table row
+ * (captable.hh).  The pre-refactor per-model subclasses are gone;
+ * adding a backend is adding a row.
  */
-class OpenClCompiler : public CompilerModel
+class TableCompiler : public CompilerModel
 {
   public:
-    ModelKind kind() const override { return ModelKind::OpenCl; }
+    explicit TableCompiler(ModelKind kind) : caps(capsFor(kind)) {}
 
-    std::string
-    toolchain() const override
+    ModelKind kind() const override { return caps.kind; }
+
+    std::string toolchain() const override { return caps.toolchain; }
+
+    CompilerFeatures features() const override { return caps.features; }
+
+    bool
+    managesTransfers() const override
     {
-        return "AMD Catalyst driver v14.6";
+        return caps.managesTransfers;
     }
 
-    CompilerFeatures
-    features() const override
+    double
+    transferEfficiency() const override
     {
-        return {true, true, true, true, true};
+        return caps.transferEfficiency;
     }
 
     Codegen
     compile(const KernelDescriptor &desc, const OptHints &hints,
             const sim::DeviceSpec &spec) const override
     {
-        (void)spec;
-        Codegen cg;
-        double eff = 0.95; // readmem calibration anchor (1.0x)
-        if (desc.loop.divergentControlFlow)
-            eff *= 0.75; // hand-written predication
-        if (desc.loop.variableTripCount)
-            eff *= 0.88;
-        if (desc.loop.indirectAddressing)
-            eff *= 0.92;
-        if (desc.loop.reduction)
-            eff *= hints.useLds ? 0.92 : 0.80;
-        if (hints.unroll > 1 && desc.loop.unrollableDepth > 0)
-            eff *= 1.08;
-        if (hints.hoistedInvariants)
-            eff *= 1.05;
-        cg.simdEfficiency = clampEff(eff);
-        cg.bwEfficiency = 1.0;
-        cg.usesLds = hints.useLds;
-        cg.launchOverheadUs = 3.0; // clSetKernelArg + dispatch path
-        cg.chainEfficiency = 1.0;
-        cg.note = "hand-tuned ISA";
-        return cg;
-    }
-};
-
-/**
- * CLAMP v0.6.0 (C++ AMP): good single-source codegen, tiles and
- * tile_static LDS, but no explicit unrolling or code-motion control,
- * and conservative array_view synchronization.
- */
-class CppAmpCompiler : public CompilerModel
-{
-  public:
-    ModelKind kind() const override { return ModelKind::CppAmp; }
-
-    std::string toolchain() const override { return "CLAMP v0.6.0"; }
-
-    CompilerFeatures
-    features() const override
-    {
-        return {true, true, true, false, false};
-    }
-
-    bool managesTransfers() const override { return true; }
-
-    /** Pageable staging through the AMP runtime. */
-    double transferEfficiency() const override { return 0.40; }
-
-    Codegen
-    compile(const KernelDescriptor &desc, const OptHints &hints,
-            const sim::DeviceSpec &spec) const override
-    {
-        Codegen cg;
-        double eff = 0.73; // readmem calibration anchor (1.3x)
-        const bool tiled =
-            hints.tiled && desc.loop.tileable;
-        // Tiles expose the work-group structure to the vectorizer;
-        // without them divergent gather loops fall towards scalar code
-        // (the paper's CoMD observation: tiling bought ~3x).
-        if (desc.loop.divergentControlFlow)
-            eff *= tiled ? 0.75 : 0.35;
-        if (desc.loop.variableTripCount)
-            eff *= tiled ? 0.66 : 0.40;
-        if (desc.loop.indirectAddressing)
-            eff *= 0.85;
-        if (desc.loop.reduction)
-            eff *= hints.useLds ? 0.90 : 0.75;
-        cg.simdEfficiency = clampEff(eff);
-        cg.bwEfficiency = 0.77; // readmem calibration anchor
-        cg.usesLds = hints.useLds; // tile_static storage class
-        cg.launchOverheadUs = 8.0; // lambda marshalling
-        // Irregular kernels (divergent + variable-trip + gather, the
-        // XSBench shape) depend heavily on the runtime backend:
-        // restrict(amp) aliasing guarantees and HSAIL flat addressing
-        // make CLAMP *better* than hand OpenCL on the HSA (APU)
-        // runtime, while the Catalyst-era SPIR path schedules such
-        // kernels poorly (the paper's "atypical" XSBench dGPU result).
-        if (desc.loop.indirectAddressing &&
-            desc.loop.divergentControlFlow &&
-            desc.loop.variableTripCount) {
-            if (spec.type == sim::DeviceType::DiscreteGpu) {
-                cg.bwEfficiency = 0.46;
-                cg.chainEfficiency = 0.35;
-            } else if (spec.type == sim::DeviceType::IntegratedGpu) {
-                cg.bwEfficiency = 1.08;
-                cg.chainEfficiency = 1.15;
-            }
-        }
-        cg.note = tiled ? "tiled parallel_for_each"
-                        : "flat parallel_for_each";
-        return cg;
-    }
-};
-
-/**
- * PGI v14.10 OpenACC: directive-driven codegen.  No LDS, no
- * synchronization primitives, no unrolling control; struggles to map
- * gather loops with variable trip counts onto the vector units
- * (paper Sec. VI-A, CoMD discussion).
- */
-class OpenAccCompiler : public CompilerModel
-{
-  public:
-    ModelKind kind() const override { return ModelKind::OpenAcc; }
-
-    std::string
-    toolchain() const override
-    {
-        return "PGI v14.10 with AMD Catalyst driver v14.6";
-    }
-
-    CompilerFeatures
-    features() const override
-    {
-        return {true, false, false, false, false};
-    }
-
-    bool managesTransfers() const override { return true; }
-
-    /** Runtime-managed staging with per-region bookkeeping. */
-    double transferEfficiency() const override { return 0.55; }
-
-    Codegen
-    compile(const KernelDescriptor &desc, const OptHints &hints,
-            const sim::DeviceSpec &spec) const override
-    {
-        (void)spec;
-        Codegen cg;
-        double eff = 0.475; // readmem calibration anchor (2.0x)
-        if (desc.loop.divergentControlFlow)
-            eff *= 0.55;
-        if (desc.loop.variableTripCount)
-            eff *= 0.60;
-        if (desc.loop.indirectAddressing) {
-            // Gather defeats the vectorizer...
-            eff *= 0.85;
-            if (desc.loop.variableTripCount) {
-                // ...and combined with variable trip counts the loop
-                // is emitted (nearly) scalar (CoMD pathology).
-                eff *= 0.15;
-            }
-        }
-        if (desc.loop.reduction)
-            eff *= 0.80;
-        if (hints.useLds) {
-            warn("OpenACC cannot use the LDS; hint ignored for %s",
-                 desc.name.c_str());
-        }
-        cg.simdEfficiency = clampEff(eff);
-        cg.bwEfficiency = 0.50; // readmem calibration anchor
-        cg.usesLds = false;
-        cg.launchOverheadUs = 12.0; // region entry/exit bookkeeping
-        cg.chainEfficiency = 0.85;
-        cg.note = "kernels-directive codegen";
-        return cg;
-    }
-};
-
-/**
- * Heterogeneous Compute (paper Section VII): OpenCL-class codegen and
- * control with single-source C++; explicit asynchronous transfers.
- */
-class HcCompiler : public CompilerModel
-{
-  public:
-    ModelKind kind() const override { return ModelKind::Hc; }
-
-    std::string
-    toolchain() const override
-    {
-        return "AMD Heterogeneous Compute (prototype)";
-    }
-
-    CompilerFeatures
-    features() const override
-    {
-        return {true, true, true, true, true};
-    }
-
-    Codegen
-    compile(const KernelDescriptor &desc, const OptHints &hints,
-            const sim::DeviceSpec &spec) const override
-    {
-        OpenClCompiler ocl;
-        Codegen cg = ocl.compile(desc, hints, spec);
-        cg.launchOverheadUs = 2.0; // user-mode queues, offline compile
-        cg.note = "single-source HC";
-        return cg;
-    }
-};
-
-/**
- * Host C++ compiler (serial and OpenMP builds): auto-vectorizes clean
- * loops; irregular control flow falls back towards scalar code.
- */
-class CpuCompiler : public CompilerModel
-{
-  public:
-    explicit CpuCompiler(ModelKind kind) : modelKind(kind) {}
-
-    ModelKind kind() const override { return modelKind; }
-
-    std::string toolchain() const override { return "g++ -O3 -fopenmp"; }
-
-    CompilerFeatures
-    features() const override
-    {
-        return {true, false, true, true, true};
-    }
-
-    Codegen
-    compile(const KernelDescriptor &desc, const OptHints &hints,
-            const sim::DeviceSpec &spec) const override
-    {
-        (void)hints;
-        (void)spec;
-        Codegen cg;
-        double eff = 0.85; // auto-vectorized stream loop
-        if (desc.loop.divergentControlFlow)
-            eff *= 0.55;
-        if (desc.loop.variableTripCount)
-            eff *= 0.75;
-        if (desc.loop.indirectAddressing)
-            eff *= 0.70;
-        if (desc.loop.reduction)
-            eff *= 0.95; // omp reduction clause
-        cg.simdEfficiency = clampEff(eff);
-        cg.bwEfficiency = 1.0;
-        cg.launchOverheadUs = 0.0;
-        cg.chainEfficiency = 1.0;
-        cg.note = "host codegen";
-        return cg;
+        return compileWithCaps(caps, desc, hints, spec);
     }
 
   private:
-    ModelKind modelKind;
+    const BackendCaps &caps;
 };
 
 } // namespace
@@ -325,12 +74,14 @@ class CpuCompiler : public CompilerModel
 const CompilerModel &
 compilerFor(ModelKind kind)
 {
-    static const OpenClCompiler opencl;
-    static const CppAmpCompiler cppamp;
-    static const OpenAccCompiler openacc;
-    static const HcCompiler hc;
-    static const CpuCompiler openmp(ModelKind::OpenMp);
-    static const CpuCompiler serial(ModelKind::Serial);
+    static const TableCompiler serial(ModelKind::Serial);
+    static const TableCompiler openmp(ModelKind::OpenMp);
+    static const TableCompiler opencl(ModelKind::OpenCl);
+    static const TableCompiler cppamp(ModelKind::CppAmp);
+    static const TableCompiler openacc(ModelKind::OpenAcc);
+    static const TableCompiler hc(ModelKind::Hc);
+    static const TableCompiler omptarget(ModelKind::OmpTarget);
+    static const TableCompiler cuda(ModelKind::Cuda);
 
     switch (kind) {
       case ModelKind::Serial:
@@ -345,6 +96,10 @@ compilerFor(ModelKind kind)
         return openacc;
       case ModelKind::Hc:
         return hc;
+      case ModelKind::OmpTarget:
+        return omptarget;
+      case ModelKind::Cuda:
+        return cuda;
     }
     panic("unknown programming model");
 }

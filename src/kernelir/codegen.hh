@@ -29,7 +29,12 @@
 namespace hetsim::ir
 {
 
-/** The programming models compared by the paper (+ Serial and HC). */
+/**
+ * The programming models compared by the paper (+ Serial and HC),
+ * extended with the Memeti-et-al. backends: OpenMP 4.x target offload
+ * (a directive model, distinct from the host OpenMp build) and a
+ * CUDA-style explicit model.
+ */
 enum class ModelKind
 {
     Serial,
@@ -38,6 +43,8 @@ enum class ModelKind
     CppAmp,
     OpenAcc,
     Hc,
+    OmpTarget,
+    Cuda,
 };
 
 /** @return short identifier, e.g. "opencl". */

@@ -136,6 +136,8 @@ struct OptHints
     bool hoistedInvariants = false;
     /** Work-group size override (0 = kernel's preference). */
     u32 workgroupSize = 0;
+    /** Collapsed nest depth (OpenMP target collapse(n); 1 = none). */
+    int collapse = 1;
 };
 
 } // namespace hetsim::ir

@@ -203,6 +203,10 @@ class RuntimeContext
     /** @return simulated elapsed seconds (timeline makespan). */
     double elapsedSeconds() const { return timeline.makespan(); }
 
+    /** @return the simulated timeline (read-only; energy accrual
+     *  walks its resources post-hoc). */
+    const sim::Timeline &timelineView() const { return timeline; }
+
     /** @return simulated finish time of a task. */
     double
     taskFinishSeconds(sim::TaskId task) const

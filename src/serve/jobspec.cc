@@ -32,6 +32,24 @@ toString(JobStatus status)
     return "?";
 }
 
+std::optional<ir::ModelKind>
+backendByName(const std::string &name)
+{
+    if (name == "ocl" || name == "opencl")
+        return ir::ModelKind::OpenCl;
+    if (name == "amp" || name == "cppamp")
+        return ir::ModelKind::CppAmp;
+    if (name == "acc" || name == "openacc")
+        return ir::ModelKind::OpenAcc;
+    if (name == "hc")
+        return ir::ModelKind::Hc;
+    if (name == "omp" || name == "omptarget" || name == "target")
+        return ir::ModelKind::OmpTarget;
+    if (name == "cuda")
+        return ir::ModelKind::Cuda;
+    return std::nullopt;
+}
+
 namespace
 {
 
@@ -151,6 +169,15 @@ parseJobLine(const std::string &line, size_t lineno, std::string &error)
             ok = wantString(spec.device);
         } else if (key == "devices") {
             ok = wantString(spec.devices);
+        } else if (key == "backend") {
+            std::string text;
+            if (!wantString(text))
+                return fail("\"backend\" wants a string");
+            if (!backendByName(text))
+                return fail("\"backend\" wants a device backend "
+                            "(ocl, amp, acc, hc, omp, cuda), got '" +
+                            text + "'");
+            spec.backend = text;
         } else if (key == "policy") {
             ok = wantString(spec.policy);
         } else if (key == "scale") {
@@ -277,10 +304,14 @@ std::string
 jobClassKey(const JobSpec &spec)
 {
     std::string key = spec.app + "|";
-    if (spec.coexec())
+    if (spec.coexec()) {
         key += "coexec:" + spec.policy;
-    else
+        // Canonicalized so "ocl" and "opencl" share one cost class.
+        if (auto backend = backendByName(spec.backend))
+            key += ":" + std::string(ir::toString(*backend));
+    } else {
         key += spec.model;
+    }
     key += spec.doublePrecision ? "|dp" : "|sp";
     key += "|scale=" + formatDouble(spec.scale);
     if (spec.freq.coreMhz > 0.0 || spec.freq.memMhz > 0.0)
@@ -342,7 +373,8 @@ writeResultLine(std::ostream &os, const JobResult &res)
                << ",\"validated\":"
                << (res.validated ? "true" : "false");
         }
-        os << ",\"faults_injected\":" << res.faultsInjected
+        os << ",\"energy_j\":" << formatDouble(res.energyJoules)
+           << ",\"faults_injected\":" << res.faultsInjected
            << ",\"fault_schedule_hash\":\"0x" << std::hex
            << res.faultScheduleHash << std::dec << "\"";
     }

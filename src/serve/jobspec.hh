@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "fault/fault.hh"
+#include "kernelir/codegen.hh"
 #include "sim/device.hh"
 
 namespace hetsim::serve
@@ -47,6 +48,8 @@ struct JobSpec
     std::string device = "dgpu";
     /** Non-empty ('+'-separated pool) selects a co-execution job. */
     std::string devices;
+    /** Co-execution GPU-slot backend ("" = hc default). */
+    std::string backend;
     /** Co-execution scheduling policy. */
     std::string policy = "adaptive";
     double scale = 1.0;
@@ -114,6 +117,16 @@ enum class JobStatus : u8
 /** @return printable name, e.g. "ok". */
 const char *toString(JobStatus status);
 
+/**
+ * @return the programming model a `--backend` / "backend" alias
+ * selects for GPU pool slots, if valid.  Accepted: ocl/opencl,
+ * amp/cppamp, acc/openacc, hc, omp/omptarget/target, cuda.  NOTE:
+ * unlike the `--model` alias table, "omp" here means the OpenMP
+ * *target-offload* backend - a backend choice always names a device
+ * model, never the host-CPU OpenMP baseline.
+ */
+std::optional<ir::ModelKind> backendByName(const std::string &name);
+
 /** Outcome of one job. */
 struct JobResult
 {
@@ -133,6 +146,9 @@ struct JobResult
     double simSeconds = 0.0;
     double kernelSeconds = 0.0;
     double transferSeconds = 0.0;
+    /** Energy-to-solution (J) under the active power table; computed
+     *  from the job's own timeline, so it is worker-count invariant. */
+    double energyJoules = 0.0;
     double checksum = 0.0;
     bool functionalRun = false;
     bool validated = false;
@@ -170,10 +186,10 @@ struct JobResult
  * Parse one JSONL job line (1-based @p lineno, for error messages).
  * Recognized keys:
  *
- *   id, app, model, device, devices, policy, scale, dp, functional,
- *   freq ("core:mem"), timing_cache, faults ("kind:rate,..."),
- *   fault_seed, retry_max, fail_device, deadline_ms,
- *   service_deadline_ms, priority, tenant
+ *   id, app, model, device, devices, backend, policy, scale, dp,
+ *   functional, freq ("core:mem"), timing_cache,
+ *   faults ("kind:rate,..."), fault_seed, retry_max, fail_device,
+ *   deadline_ms, service_deadline_ms, priority, tenant
  *
  * @return nullopt and set @p error on malformed JSON, an unknown key,
  * or a wrong value type.

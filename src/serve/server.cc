@@ -134,6 +134,7 @@ runSingleDeviceJob(const JobSpec &spec, JobResult &res)
     res.simSeconds = run.seconds;
     res.kernelSeconds = run.kernelSeconds;
     res.transferSeconds = run.transferSeconds;
+    res.energyJoules = run.energyJoules;
     res.checksum = run.checksum;
     res.functionalRun = spec.functional;
     res.validated = run.validated;
@@ -157,6 +158,14 @@ runCoexecJob(const JobSpec &spec, double budgetSeconds,
     if (!policy) {
         res.error = "unknown policy '" + spec.policy + "'";
         return;
+    }
+    if (!spec.backend.empty()) {
+        auto backend = backendByName(spec.backend);
+        if (!backend) {
+            res.error = "unknown backend '" + spec.backend + "'";
+            return;
+        }
+        pool->setGpuModel(*backend);
     }
     Precision prec = spec.doublePrecision ? Precision::Double
                                           : Precision::Single;
@@ -206,6 +215,7 @@ runCoexecJob(const JobSpec &spec, double budgetSeconds,
     for (const auto &dev : run.devices)
         res.kernelSeconds += dev.kernelSeconds;
     res.transferSeconds = run.transferSeconds;
+    res.energyJoules = run.energyJoules;
     res.checksum = run.checksum;
     res.functionalRun = run.functional;
     res.validated = run.validated;
@@ -858,6 +868,7 @@ Server::workerLoop(u32 index)
             job.accumSimSeconds += slice.result.simSeconds;
             job.accumKernelSeconds += slice.result.kernelSeconds;
             job.accumTransferSeconds += slice.result.transferSeconds;
+            job.accumEnergyJoules += slice.result.energyJoules;
             job.accumFaults += slice.result.faultsInjected;
             if (job.spec.faultsGiven) {
                 sim::HashMix fold;
@@ -928,6 +939,7 @@ Server::workerLoop(u32 index)
             res.simSeconds += job.accumSimSeconds;
             res.kernelSeconds += job.accumKernelSeconds;
             res.transferSeconds += job.accumTransferSeconds;
+            res.energyJoules += job.accumEnergyJoules;
             res.faultsInjected += job.accumFaults;
             if (job.spec.faultsGiven) {
                 sim::HashMix fold;
@@ -1025,9 +1037,22 @@ Server::report()
         u64 preemptions = 0;
         u64 ranJobs = 0;
         double serviceSeqSum = 0.0;
+        double energyJoules = 0.0;
     };
     std::map<std::string, TenantFold> tenantFold;
-    for (const auto &res : results) {
+    // Fold in job-id order: `results` holds completion order, which
+    // depends on worker interleaving, and floating-point sums (energy,
+    // busy seconds) must stay byte-identical at any worker count.
+    std::vector<const JobResult *> ordered;
+    ordered.reserve(results.size());
+    for (const auto &res : results)
+        ordered.push_back(&res);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const JobResult *a, const JobResult *b) {
+                  return a->id < b->id;
+              });
+    for (const JobResult *resPtr : ordered) {
+        const JobResult &res = *resPtr;
         TenantFold &fold = tenantFold[res.tenant];
         fold.submitted += 1;
         fold.preemptions += res.preemptions;
@@ -1036,6 +1061,8 @@ Server::report()
             ++rep.completed;
             ++fold.completed;
             rep.simBusySeconds += res.simSeconds;
+            rep.energyJoules += res.energyJoules;
+            fold.energyJoules += res.energyJoules;
             break;
           case JobStatus::Error:
             ++rep.errors;
@@ -1074,6 +1101,7 @@ Server::report()
                 ? fold.serviceSeqSum /
                       static_cast<double>(fold.ranJobs)
                 : 0.0;
+        stats.energyJoules = fold.energyJoules;
         if (metrics.enabled()) {
             const std::string t = tenant.empty() ? "-" : tenant;
             metrics.set("serve.tenant." + t + ".mean_service_seq",

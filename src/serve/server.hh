@@ -209,6 +209,8 @@ struct ServerReport
          *  fair-share observable: under contention a weighted-up
          *  tenant's jobs dispatch earlier on average. */
         double meanServiceSeq = 0.0;
+        /** Simulated energy (J) over the tenant's Ok jobs. */
+        double energyJoules = 0.0;
     };
     std::vector<TenantStats> tenants;
     /** Host wall latencies of jobs that ran. */
@@ -218,6 +220,8 @@ struct ServerReport
     double wallSeconds = 0.0;
     /** Sum of simulated seconds over Ok jobs. */
     double simBusySeconds = 0.0;
+    /** Sum of simulated energy (J) over Ok jobs, in id order. */
+    double energyJoules = 0.0;
     /** Virtual-cluster makespan of the ran jobs on `workers` virtual
      *  workers (deterministic; see file comment). */
     double virtualMakespanSeconds = 0.0;
@@ -356,6 +360,7 @@ class Server
         double accumSimSeconds = 0.0;
         double accumKernelSeconds = 0.0;
         double accumTransferSeconds = 0.0;
+        double accumEnergyJoules = 0.0;
         u64 accumFaults = 0;
         /** Running fold of per-slice fault-schedule hashes. */
         u64 accumFaultHash = 0;

@@ -19,6 +19,7 @@
 #include "core/harness.hh"
 #include "fleet/costing.hh"
 #include "fleet/fleet.hh"
+#include "kernelir/captable.hh"
 #include "model/surrogate.hh"
 #include "obs/crashdump.hh"
 #include "obs/flightrec.hh"
@@ -26,6 +27,7 @@
 #include "obs/profile.hh"
 #include "obs/report.hh"
 #include "obs/tracer.hh"
+#include "power/power.hh"
 #include "serve/server.hh"
 #include "serve/stream.hh"
 #include "serve/tenant.hh"
@@ -102,7 +104,8 @@ parse(const std::vector<std::string> &argv)
         return args;
     }
     args.command = argv[0];
-    if (args.command != "list" && args.command != "run" &&
+    if (args.command != "list" && args.command != "backends" &&
+        args.command != "run" &&
         args.command != "compare" && args.command != "sweep" &&
         args.command != "coexec" && args.command != "breakdown" &&
         args.command != "profile" && args.command != "batch" &&
@@ -144,6 +147,30 @@ parse(const std::vector<std::string> &argv)
             if (auto v = value("--devices")) {
                 args.devices = *v;
                 args.devicesGiven = true;
+            }
+        } else if (arg == "--backend") {
+            if (auto v = value("--backend")) {
+                if (!serve::backendByName(*v)) {
+                    args.error = "--backend wants a device backend "
+                                 "(ocl, amp, acc, hc, omp, cuda), "
+                                 "got '" + *v + "'";
+                } else {
+                    args.backend = *v;
+                }
+            }
+        } else if (arg == "--power-model") {
+            if (auto v = value("--power-model")) {
+                if (v->empty())
+                    args.error = "--power-model wants a file path";
+                else
+                    args.powerModel = *v;
+            }
+        } else if (arg == "--energy-out") {
+            if (auto v = value("--energy-out")) {
+                if (v->empty())
+                    args.error = "--energy-out wants a file path";
+                else
+                    args.energyOut = *v;
             }
         } else if (arg == "--trace-out") {
             if (auto v = value("--trace-out")) {
@@ -550,6 +577,12 @@ parse(const std::vector<std::string> &argv)
                      "(hetsim serve --stream < jobs.jsonl)";
         return args;
     }
+    if (!args.energyOut.empty() && args.command != "run" &&
+        args.command != "coexec") {
+        args.error = "--energy-out writes one run's energy report; "
+                     "it is a run/coexec-verb flag";
+        return args;
+    }
     if (args.autoscale) {
         const u64 ceiling =
             args.maxWorkers != 0 ? args.maxWorkers : args.workers;
@@ -574,6 +607,7 @@ usage(std::ostream &os)
     os << "hetsim - programming-model study driver (IISWC'15 "
           "reproduction)\n\n"
           "  hetsim list\n"
+          "  hetsim backends\n"
           "  hetsim run --app <app> --model <model> --device <dev>\n"
           "             [--scale f] [--dp] [--functional]\n"
           "             [--freq core:mem] [--stats] [--kernels]\n"
@@ -583,6 +617,7 @@ usage(std::ostream &os)
           "             [--scale f]\n"
           "  hetsim coexec --app <app> --devices <d1+d2[+..]>\n"
           "             [--policy static|dynamic|adaptive]\n"
+          "             [--backend ocl|amp|acc|hc|omp|cuda]\n"
           "             [--chunk n] [--min-chunk n] [--scale f] "
           "[--dp] [--functional]\n"
           "             [--inject-faults spec] [--fault-seed n]\n"
@@ -730,6 +765,32 @@ usage(std::ostream &os)
           "                      after its first completed chunk; the "
           "pool degrades\n"
           "                      and rescues its work\n\n"
+          "energy (any verb):\n"
+          "  --power-model FILE  per-device idle/busy wattage JSONL "
+          "overriding the\n"
+          "                      built-in table; keys: device, "
+          "compute_idle_w,\n"
+          "                      compute_busy_w, dma_idle_w, "
+          "dma_busy_w,\n"
+          "                      host_idle_w, host_busy_w (device "
+          "\"default\"\n"
+          "                      replaces the fallback row)\n"
+          "  --energy-out FILE   run/coexec: per-resource energy "
+          "buckets as JSON\n"
+          "                      (buckets tile makespan x power within "
+          "1e-9)\n"
+          "  --backend B         coexec/breakdown/predict: device "
+          "backend the GPU\n"
+          "                      slots compile under (ocl, amp, acc, "
+          "hc, omp,\n"
+          "                      cuda; default hc).  NB --backend omp "
+          "is OpenMP\n"
+          "                      target offload; --model omp is the "
+          "CPU host\n"
+          "                      model\n"
+          "  energy-to-solution columns appear on run/compare/coexec/"
+          "batch/\n"
+          "  serve/fleet output\n\n"
           "performance (any verb):\n"
           "  --no-timing-cache   disable timing memoization: re-derive "
           "miss ratios and\n"
@@ -765,7 +826,8 @@ usage(std::ostream &os)
           "predict-admission)\n\n"
           "apps:    readmem lulesh comd xsbench minife\n"
           "         (coexec: readmem xsbench minife)\n"
-          "models:  serial openmp opencl cppamp openacc hc\n"
+          "models:  serial openmp opencl cppamp openacc hc omptarget "
+          "cuda\n"
           "devices: dgpu apu cpu hd7950\n";
 }
 
@@ -788,6 +850,104 @@ cmdList(std::ostream &os)
         table.addRow({name, wl->cmdline(), models});
     }
     table.print(os);
+    return 0;
+}
+
+/**
+ * Dumps the declarative backend capability table (kernelir/captable) -
+ * the single source every frontend, the coexec splitter and the serve
+ * layer compile against.  Rows follow backendTable()'s fixed ModelKind
+ * order and the columns a fixed key order, so the output is stable
+ * enough for CI to diff.
+ */
+int
+cmdBackends(std::ostream &os)
+{
+    const auto yn = [](bool v) { return v ? "yes" : "-"; };
+
+    Table caps("Backend capability table (one declarative row per "
+               "programming model)");
+    caps.setHeader({"backend", "display", "toolchain", "vec", "lds",
+                    "sync", "unroll", "hoist", "xfers", "xfer eff",
+                    "base eff", "bw eff", "chain eff", "launch us"});
+    for (const ir::BackendCaps &row : ir::backendTable()) {
+        caps.addRow({row.name, row.display, row.toolchain,
+                     yn(row.features.vectorization),
+                     yn(row.features.localDataStore),
+                     yn(row.features.fineGrainedSync),
+                     yn(row.features.explicitUnrolling),
+                     yn(row.features.reducedCodeMotion),
+                     row.managesTransfers ? "runtime" : "explicit",
+                     Table::num(row.transferEfficiency, 3),
+                     Table::num(row.baseEfficiency, 3),
+                     Table::num(row.bwEfficiency, 3),
+                     Table::num(row.chainEfficiency, 3),
+                     Table::num(row.launchOverheadUs, 1)});
+    }
+    caps.print(os);
+
+    Table traits("\nTrait multipliers (SIMD efficiency per loop "
+                 "trait; 1.000 = no effect)");
+    traits.setHeader({"backend", "divergent", "div untiled",
+                      "var trip", "vt untiled", "indirect", "ind x vt",
+                      "red lds", "red no-lds", "unroll", "hoist"});
+    for (const ir::BackendCaps &row : ir::backendTable()) {
+        const ir::TraitMultipliers &t = row.traits;
+        traits.addRow({row.name, Table::num(t.divergent, 3),
+                       Table::num(t.divergentUntiled, 3),
+                       Table::num(t.variableTrip, 3),
+                       Table::num(t.variableTripUntiled, 3),
+                       Table::num(t.indirect, 3),
+                       Table::num(t.indirectVariableTrip, 3),
+                       Table::num(t.reductionWithLds, 3),
+                       Table::num(t.reductionNoLds, 3),
+                       Table::num(t.unrollBonus, 3),
+                       Table::num(t.hoistBonus, 3)});
+    }
+    traits.print(os);
+
+    Table quirks("\nCodegen quirks");
+    quirks.setHeader({"backend", "tiling gates vec", "lds-hint warn",
+                      "collapse relief", "occ limit", "occ penalty",
+                      "note"});
+    for (const ir::BackendCaps &row : ir::backendTable()) {
+        quirks.addRow({row.name, yn(row.tilingGatesVectorization),
+                       yn(row.warnsOnLdsHint),
+                       Table::num(row.collapseRelief, 3),
+                       row.occupancyWorkgroupLimit > 0
+                           ? std::to_string(row.occupancyWorkgroupLimit)
+                           : "-",
+                       Table::num(row.occupancyPenalty, 3),
+                       row.note});
+    }
+    quirks.print(os);
+    return 0;
+}
+
+/**
+ * Writes the --energy-out report (run/coexec verbs).  A path that
+ * cannot be opened or written is loud and exits 2, like every other
+ * output flag.
+ */
+int
+writeEnergyOut(const Args &args, const power::EnergyReport &report,
+               std::ostream &os)
+{
+    if (args.energyOut.empty())
+        return 0;
+    std::ofstream out(args.energyOut);
+    if (!out.is_open()) {
+        os << "error: cannot open energy output '" << args.energyOut
+           << "': " << std::strerror(errno) << "\n";
+        return 2;
+    }
+    power::writeEnergyJson(out, report);
+    out.flush();
+    if (!out) {
+        os << "error: failed writing energy output '"
+           << args.energyOut << "'\n";
+        return 2;
+    }
     return 0;
 }
 
@@ -831,6 +991,11 @@ cmdRun(const Args &args, std::ostream &os)
     table.addRow({"LLC miss ratio",
                   Table::num(result.llcMissRatio, 4)});
     table.addRow({"IPC", Table::num(result.ipc, 3)});
+    table.addRow({"energy (J)", Table::num(result.energyJoules, 6)});
+    table.addRow({"busy energy (J)",
+                  Table::num(result.busyJoules, 6)});
+    table.addRow({"idle energy (J)",
+                  Table::num(result.idleJoules, 6)});
     table.addRow({"checksum", Table::num(result.checksum, 6)});
     if (args.functional) {
         table.addRow({"validated",
@@ -859,6 +1024,8 @@ cmdRun(const Args &args, std::ostream &os)
         result.stats.dump(oss);
         os << oss.str();
     }
+    if (int rc = writeEnergyOut(args, result.energy, os))
+        return rc;
     return args.functional && !result.validated ? 1 : 0;
 }
 
@@ -876,7 +1043,7 @@ cmdCompare(const Args &args, std::ostream &os)
     core::Harness harness(*wl, args.scale, false);
     Table table(wl->name() + " on " + device->name + " (" +
                 toString(prec) + ", vs 4-core OpenMP)");
-    table.setHeader({"model", "time (s)", "speedup"});
+    table.setHeader({"model", "time (s)", "speedup", "energy (J)"});
     for (core::ModelKind model : wl->supportedModels()) {
         if (model == core::ModelKind::Serial ||
             model == core::ModelKind::OpenMp)
@@ -884,7 +1051,8 @@ cmdCompare(const Args &args, std::ostream &os)
         auto point = harness.speedup(*device, model, prec);
         table.addRow({ir::displayName(model),
                       Table::num(point.seconds, 5),
-                      Table::num(point.speedup, 2)});
+                      Table::num(point.speedup, 2),
+                      Table::num(point.energyJoules, 4)});
     }
     table.print(os);
     return 0;
@@ -936,6 +1104,8 @@ cmdCoexec(const Args &args, std::ostream &os)
            << "' (static, dynamic, adaptive)\n";
         return 2;
     }
+    if (!args.backend.empty())
+        pool->setGpuModel(*serve::backendByName(args.backend));
     Precision prec = args.doublePrecision ? Precision::Double
                                           : Precision::Single;
     auto kernel = apps::coex::coKernelByName(args.app, args.scale,
@@ -1000,7 +1170,7 @@ cmdCoexec(const Args &args, std::ostream &os)
                 " (" + result.policy + ", " + toString(prec) + ")");
     table.setHeader({"device", "share", "items", "chunks",
                      "kernel (s)", "pcie (s)", "idle (s)",
-                     "finish (s)"});
+                     "finish (s)", "energy (J)"});
     for (const auto &dev : result.devices) {
         table.addRow({dev.device,
                       Table::num(100.0 * dev.share, 1) + "%",
@@ -1009,7 +1179,8 @@ cmdCoexec(const Args &args, std::ostream &os)
                       Table::num(dev.kernelSeconds, 6),
                       Table::num(dev.transferSeconds, 6),
                       Table::num(dev.idleSeconds, 6),
-                      Table::num(dev.finishSeconds, 6)});
+                      Table::num(dev.finishSeconds, 6),
+                      Table::num(dev.energyJoules, 6)});
     }
     table.print(os);
 
@@ -1024,6 +1195,10 @@ cmdCoexec(const Args &args, std::ostream &os)
                     Table::num(best_single, 6)});
     summary.addRow({"co-exec speedup",
                     Table::num(best_single / result.seconds, 2)});
+    summary.addRow({"energy (J)",
+                    Table::num(result.energyJoules, 6)});
+    summary.addRow({"energy bucket error",
+                    Table::num(result.energy.bucketError(), 12)});
     if (args.faultsGiven) {
         summary.addRow({"faults injected",
                         std::to_string(result.faultsInjected)});
@@ -1048,6 +1223,8 @@ cmdCoexec(const Args &args, std::ostream &os)
         summary.addRow({"validated", result.validated ? "yes" : "NO"});
     }
     summary.print(os);
+    if (int rc = writeEnergyOut(args, result.energy, os))
+        return rc;
     return args.functional && !result.validated ? 1 : 0;
 }
 
@@ -1072,6 +1249,8 @@ runForBreakdown(const Args &args, std::ostream &os, std::string &title)
                << "' (static, dynamic, adaptive)\n";
             return -1.0;
         }
+        if (!args.backend.empty())
+            pool->setGpuModel(*serve::backendByName(args.backend));
         Precision prec = args.doublePrecision ? Precision::Double
                                               : Precision::Single;
         auto kernel = apps::coex::coKernelByName(args.app, args.scale,
@@ -1339,6 +1518,8 @@ printServeSummary(const serve::ServerReport &report, std::ostream &os)
     table.addRow({"host wall (s)", Table::num(report.wallSeconds, 3)});
     table.addRow({"sim busy (s)",
                   Table::num(report.simBusySeconds, 6)});
+    table.addRow({"sim energy (J)",
+                  Table::num(report.energyJoules, 6)});
     table.addRow({"virtual makespan (s)",
                   Table::num(report.virtualMakespanSeconds, 6)});
     table.addRow({"sim throughput (jobs/s)",
@@ -1363,7 +1544,7 @@ printServeSummary(const serve::ServerReport &report, std::ostream &os)
         Table tenants("per-tenant fair share");
         tenants.setHeader({"tenant", "weight", "submitted", "ok",
                            "shed", "expired", "preempted",
-                           "mean svc seq"});
+                           "mean svc seq", "energy (J)"});
         for (const auto &t : report.tenants)
             tenants.addRow({t.tenant.empty() ? "-" : t.tenant,
                             Table::num(t.weight, 2),
@@ -1372,7 +1553,8 @@ printServeSummary(const serve::ServerReport &report, std::ostream &os)
                             std::to_string(t.shed),
                             std::to_string(t.expired),
                             std::to_string(t.preemptions),
-                            Table::num(t.meanServiceSeq, 2)});
+                            Table::num(t.meanServiceSeq, 2),
+                            Table::num(t.energyJoules, 6)});
         tenants.print(os);
     }
 }
@@ -1510,16 +1692,19 @@ cmdServe(const Args &args, std::ostream &os)
     struct MixEntry
     {
         const char *app;
-        const char *model;  ///< "" selects the coexec path
-        const char *device; ///< pool spec for coexec entries
+        const char *model;   ///< "" selects the coexec path
+        const char *device;  ///< pool spec for coexec entries
+        const char *backend; ///< coexec GPU-slot backend ("" = hc)
     };
     static const MixEntry kMix[] = {
-        {"readmem", "opencl", "dgpu"},
-        {"xsbench", "opencl", "apu"},
-        {"minife", "openmp", "cpu"},
-        {"readmem", "hc", "apu"},
-        {"xsbench", "", "cpu+dgpu"},
-        {"minife", "opencl", "dgpu"},
+        {"readmem", "opencl", "dgpu", ""},
+        {"xsbench", "opencl", "apu", ""},
+        {"minife", "openmp", "cpu", ""},
+        {"readmem", "cuda", "dgpu", ""},
+        {"xsbench", "", "cpu+dgpu", "cuda"},
+        {"minife", "omptarget", "dgpu", ""},
+        {"readmem", "hc", "apu", ""},
+        {"minife", "", "cpu+apu", "omp"},
     };
 
     std::vector<serve::JobSpec> jobs;
@@ -1532,6 +1717,7 @@ cmdServe(const Args &args, std::ostream &os)
         if (*mix.model == '\0') {
             spec.devices = mix.device;
             spec.policy = "adaptive";
+            spec.backend = mix.backend;
         } else {
             spec.model = mix.model;
             spec.device = mix.device;
@@ -1745,8 +1931,9 @@ cmdFleet(const Args &args, std::ostream &os)
                 std::to_string(cfg.jobs) + " jobs, seed " +
                 std::to_string(cfg.seed) + ")");
     table.setHeader({"nodes", "makespan s", "jobs/s", "util",
-                     "p50 ms", "p99 ms", "slo miss", "off-home",
-                     "deaths", "retries", "faults", "digest"});
+                     "energy J", "p50 ms", "p99 ms", "slo miss",
+                     "off-home", "deaths", "retries", "faults",
+                     "digest"});
     std::optional<fleet::FleetResult> single;
     for (u32 factor : factors) {
         const fleet::Topology scaled =
@@ -1766,6 +1953,7 @@ cmdFleet(const Args &args, std::ostream &os)
                       Table::num(res->makespanSeconds, 3),
                       Table::num(res->throughputJobsPerSec, 1),
                       Table::num(res->utilization, 3),
+                      Table::num(res->energyJoules, 1),
                       Table::num(res->latencyMs.p50, 2),
                       Table::num(res->latencyMs.p99, 2),
                       std::to_string(res->sloViolations),
@@ -1779,30 +1967,38 @@ cmdFleet(const Args &args, std::ostream &os)
 
     if (single) {
         // Per-device-kind rollup of the single run.
-        std::map<std::string, std::pair<u64, double>> byKind;
+        struct KindFold
+        {
+            u64 jobs = 0;
+            double busy = 0.0;
+            double energy = 0.0;
+        };
+        std::map<std::string, KindFold> byKind;
         u64 deadNodes = 0;
         for (const auto &node : single->nodes) {
-            auto &[jobs, busy] = byKind[node.device];
-            jobs += node.jobs;
-            busy += node.busySeconds;
+            KindFold &fold = byKind[node.device];
+            fold.jobs += node.jobs;
+            fold.busy += node.busySeconds;
+            fold.energy += node.energyJoules;
             if (node.died)
                 ++deadNodes;
         }
         Table rollup("Per-device-kind rollup");
-        rollup.setHeader(
-            {"device", "nodes", "jobs", "busy s", "busy share"});
+        rollup.setHeader({"device", "nodes", "jobs", "busy s",
+                          "busy share", "energy J"});
         for (const std::string &kind : topo.deviceKinds()) {
             u64 count = 0;
             for (const auto &node : topo.nodes)
                 count += node.device == kind ? 1 : 0;
-            const auto &[jobs, busy] = byKind[kind];
+            const KindFold &fold = byKind[kind];
             rollup.addRow(
-                {kind, std::to_string(count), std::to_string(jobs),
-                 Table::num(busy, 3),
+                {kind, std::to_string(count),
+                 std::to_string(fold.jobs), Table::num(fold.busy, 3),
                  Table::num(single->busySeconds > 0.0
-                                ? busy / single->busySeconds
+                                ? fold.busy / single->busySeconds
                                 : 0.0,
-                            3)});
+                            3),
+                 Table::num(fold.energy, 1)});
         }
         os << "\n";
         rollup.print(os);
@@ -1935,6 +2131,8 @@ cmdPredict(const Args &args, std::ostream &os)
                       "devices (e.g. cpu+dgpu)\n";
                 return 2;
             }
+            if (!args.backend.empty())
+                pool->setGpuModel(*serve::backendByName(args.backend));
             model::GroupKey keys[2];
             for (size_t d = 0; d < 2; ++d) {
                 const sim::DeviceSpec &spec = pool->spec(d);
@@ -2196,6 +2394,20 @@ struct TimingCacheSession
     bool prior;
 };
 
+/**
+ * Installs a --power-model table as the process-wide active table for
+ * the duration of one command and restores the built-in table on exit
+ * (library users of execute() keep their own wattages).
+ */
+struct PowerSession
+{
+    PowerSession() : prior(power::PowerTable::active()) {}
+
+    ~PowerSession() { power::PowerTable::active() = prior; }
+
+    power::PowerTable prior;
+};
+
 } // namespace
 
 int
@@ -2219,9 +2431,29 @@ execute(const Args &args, std::ostream &os)
                            args.traceOut, args.metricsOut);
     TimingCacheSession cache_session(args.timingCache);
 
+    PowerSession power_session;
+    if (!args.powerModel.empty()) {
+        std::ifstream is(args.powerModel);
+        if (!is.is_open()) {
+            os << "error: cannot open power model '" << args.powerModel
+               << "': " << std::strerror(errno) << "\n";
+            return 2;
+        }
+        std::string error;
+        auto table = power::PowerTable::load(is, args.powerModel,
+                                             error);
+        if (!table) {
+            os << "error: " << error << "\n";
+            return 2;
+        }
+        power::PowerTable::active() = *table;
+    }
+
     int rc;
     if (args.command == "list")
         rc = cmdList(os);
+    else if (args.command == "backends")
+        rc = cmdBackends(os);
     else if (args.command == "run")
         rc = cmdRun(args, os);
     else if (args.command == "compare")

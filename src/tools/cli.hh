@@ -3,12 +3,14 @@
  * Command-line driver for the hetsim workload suite.
  *
  *   hetsim list
+ *   hetsim backends
  *   hetsim run --app lulesh --model opencl --device dgpu
  *              [--scale 1.0] [--dp] [--functional] [--freq 925:1500]
  *              [--stats]
  *   hetsim compare --app xsbench --device apu [--scale 1.0] [--dp]
  *   hetsim sweep --app comd [--scale 0.5]
  *   hetsim coexec --app readmem --devices cpu+dgpu
+ *                 [--backend hc|ocl|amp|acc|omp|cuda]
  *                 [--policy adaptive] [--chunk N] [--scale 1.0]
  *                 [--dp] [--functional]
  *   hetsim breakdown --app xsbench --device dgpu [--model opencl]
@@ -47,6 +49,11 @@
  * (per-signature observation records as JSONL).  The fleet verb
  * additionally accepts --trace-sample K to bound trace memory.
  *
+ * Every verb also accepts --power-model FILE (per-device idle/busy
+ * wattages as JSONL, replacing the built-in table) and --energy-out
+ * FILE (the run's energy report as JSON); energy-to-solution columns
+ * appear on run/compare/coexec/batch/serve/fleet output.
+ *
  * The parsing and command logic live here (unit-testable); main.cc is
  * a thin wrapper.
  */
@@ -69,13 +76,15 @@ namespace hetsim::cli
 /** Parsed command line. */
 struct Args
 {
-    /** list | run | compare | sweep | coexec | breakdown | profile |
-     *  batch | serve | fleet | predict */
+    /** list | backends | run | compare | sweep | coexec | breakdown |
+     *  profile | batch | serve | fleet | predict */
     std::string command;
     std::string app = "readmem";
     std::string model = "opencl";
     std::string device = "dgpu";
     std::string devices = "cpu+dgpu"; ///< coexec pool, '+'-separated
+    /** coexec GPU-slot programming model ("" = hc default). */
+    std::string backend;
     std::string policy = "adaptive";  ///< coexec scheduling policy
     u64 chunk = 0;                    ///< coexec chunk size (0 = auto)
     u64 minChunk = 0;                 ///< adaptive chunk floor (0 = auto)
@@ -95,6 +104,8 @@ struct Args
     bool timingCache = true;
     std::string traceOut;   ///< Chrome trace JSON path ("" = off)
     std::string metricsOut; ///< metrics JSON path ("" = off)
+    std::string powerModel; ///< power-table JSONL path ("" = built-in)
+    std::string energyOut;  ///< energy report JSON path ("" = off)
     std::string profileOut; ///< profile report JSON path ("" = off)
     /** per-signature observation JSONL path ("" = off). */
     std::string observationsOut;

@@ -171,7 +171,9 @@ TEST(CliLookups, Aliases)
     EXPECT_EQ(workloadByName("nope"), nullptr);
     EXPECT_EQ(modelByName("amp"), core::ModelKind::CppAmp);
     EXPECT_EQ(modelByName("ocl"), core::ModelKind::OpenCl);
-    EXPECT_FALSE(modelByName("cuda").has_value());
+    EXPECT_EQ(modelByName("omptarget"), core::ModelKind::OmpTarget);
+    EXPECT_EQ(modelByName("cuda"), core::ModelKind::Cuda);
+    EXPECT_FALSE(modelByName("sycl").has_value());
     ASSERT_TRUE(deviceByName("apu").has_value());
     EXPECT_TRUE(deviceByName("apu")->zeroCopy);
     EXPECT_FALSE(deviceByName("fpga").has_value());
@@ -844,6 +846,129 @@ TEST(CliExecute, FleetRunsFromATopologyFile)
     EXPECT_NE(os.str().find("first-fit"), std::string::npos)
         << os.str();
     EXPECT_NE(os.str().find("apu"), std::string::npos);
+}
+
+
+// Satellite: strict validation for the energy/backend flags.
+TEST(CliParse, EnergyAndBackendFlags)
+{
+    Args args = parse({"coexec", "--app", "xsbench", "--backend",
+                       "cuda", "--power-model", "watts.jsonl",
+                       "--energy-out", "energy.json"});
+    EXPECT_TRUE(args.error.empty()) << args.error;
+    EXPECT_EQ(args.backend, "cuda");
+    EXPECT_EQ(args.powerModel, "watts.jsonl");
+    EXPECT_EQ(args.energyOut, "energy.json");
+
+    // Every serve-layer alias is accepted.
+    for (const char *alias : {"ocl", "amp", "acc", "hc", "omp",
+                              "cuda", "omptarget", "target"}) {
+        EXPECT_TRUE(
+            parse({"coexec", "--backend", alias}).error.empty())
+            << alias;
+    }
+
+    // Unknown backend names fail at parse time, naming the choices.
+    Args bad = parse({"coexec", "--backend", "sycl"});
+    EXPECT_FALSE(bad.error.empty());
+    EXPECT_NE(bad.error.find("sycl"), std::string::npos) << bad.error;
+    EXPECT_NE(bad.error.find("cuda"), std::string::npos) << bad.error;
+
+    // Values are required, not optional.
+    EXPECT_FALSE(parse({"coexec", "--backend"}).error.empty());
+    EXPECT_FALSE(parse({"run", "--power-model"}).error.empty());
+    EXPECT_FALSE(parse({"run", "--energy-out"}).error.empty());
+
+    // --energy-out is a single-run report: run/coexec only.
+    Args misplaced = parse({"serve", "--energy-out", "e.json"});
+    EXPECT_FALSE(misplaced.error.empty());
+    EXPECT_NE(misplaced.error.find("--energy-out"), std::string::npos)
+        << misplaced.error;
+    EXPECT_TRUE(
+        parse({"run", "--energy-out", "e.json"}).error.empty());
+    EXPECT_TRUE(
+        parse({"coexec", "--energy-out", "e.json"}).error.empty());
+    // --power-model is global: any verb may swap the wattage table.
+    EXPECT_TRUE(
+        parse({"serve", "--power-model", "w.jsonl"}).error.empty());
+}
+
+TEST(CliExecute, BackendsDumpsTheCapabilityTable)
+{
+    std::ostringstream os;
+    EXPECT_EQ(execute(parse({"backends"}), os), 0);
+    const std::string text = os.str();
+    for (const char *name : {"opencl", "cppamp", "openacc", "hc",
+                             "omptarget", "cuda"})
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+    EXPECT_NE(text.find("Trait multipliers"), std::string::npos);
+    EXPECT_NE(text.find("Codegen quirks"), std::string::npos);
+}
+
+TEST(CliExecute, EnergyOutWritesAReportAndPowerModelOverridesIt)
+{
+    const std::string energyPath = "hetsim_test_energy.json";
+    std::vector<std::string> base{"run",     "--app",  "readmem",
+                                  "--model", "cuda",   "--scale",
+                                  "0.05",    "--energy-out",
+                                  energyPath};
+
+    std::ostringstream os;
+    ASSERT_EQ(execute(parse(base), os), 0);
+    EXPECT_NE(os.str().find("energy (J)"), std::string::npos)
+        << os.str();
+    std::ifstream in(energyPath);
+    ASSERT_TRUE(in.good());
+    std::stringstream report;
+    report << in.rdbuf();
+    EXPECT_NE(report.str().find("\"bucket_error\""),
+              std::string::npos);
+    EXPECT_NE(report.str().find("\"buckets\""), std::string::npos);
+
+    // A hotter wattage table changes the reported joules.
+    TempJobsFile watts("{\"device\": \"dgpu\", "
+                       "\"compute_busy_w\": 2500}\n");
+    std::vector<std::string> hot = base;
+    hot.insert(hot.end(), {"--power-model", watts.path()});
+    std::ostringstream hotOs;
+    ASSERT_EQ(execute(parse(hot), hotOs), 0);
+    EXPECT_NE(hotOs.str(), os.str());
+
+    std::remove(energyPath.c_str());
+}
+
+TEST(CliExecute, PowerModelErrorsAreLoud)
+{
+    // Missing file: exit 2 and the path in the message.
+    std::ostringstream missing;
+    Args args = parse({"run", "--app", "readmem", "--scale", "0.05",
+                       "--power-model", "no_such_watts.jsonl"});
+    EXPECT_EQ(execute(args, missing), 2);
+    EXPECT_NE(missing.str().find("cannot open power model"),
+              std::string::npos)
+        << missing.str();
+    EXPECT_NE(missing.str().find("no_such_watts.jsonl"),
+              std::string::npos);
+
+    // Malformed row: exit 2 with path:line context.
+    TempJobsFile badWatts("{\"device\": \"dgpu\", "
+                          "\"compute_watts\": 9}\n");
+    std::ostringstream malformed;
+    Args badArgs = parse({"run", "--app", "readmem", "--scale",
+                          "0.05", "--power-model", badWatts.path()});
+    EXPECT_EQ(execute(badArgs, malformed), 2);
+    EXPECT_NE(malformed.str().find("compute_watts"), std::string::npos)
+        << malformed.str();
+
+    // Unwritable --energy-out path: exit 2, run output still shown.
+    std::ostringstream unwritable;
+    Args outArgs = parse({"run", "--app", "readmem", "--scale",
+                          "0.05", "--energy-out",
+                          "/nonexistent-dir/e.json"});
+    EXPECT_EQ(execute(outArgs, unwritable), 2);
+    EXPECT_NE(unwritable.str().find("cannot open energy output"),
+              std::string::npos)
+        << unwritable.str();
 }
 
 } // namespace

@@ -31,8 +31,8 @@ TEST(Harness, SpeedupsCoverDeviceModelsAndPrecisions)
     auto wl = makeReadMem();
     Harness harness(*wl, 0.05, false);
     auto points = harness.speedups(sim::a10_7850kGpu());
-    // 4 device models (OCL, AMP, ACC, HC) x SP/DP.
-    EXPECT_EQ(points.size(), 8u);
+    // 6 device models (OCL, AMP, ACC, HC, OMP target, CUDA) x SP/DP.
+    EXPECT_EQ(points.size(), 12u);
     for (const auto &p : points) {
         EXPECT_NE(p.model, ModelKind::Serial);
         EXPECT_NE(p.model, ModelKind::OpenMp);

@@ -133,7 +133,7 @@ TEST(ServeRunJob, BadSpecsAreStructuredErrors)
     EXPECT_NE(res.error.find("co-execution"), std::string::npos);
 
     JobSpec badModel = tinyJob(3);
-    badModel.model = "cuda";
+    badModel.model = "sycl";
     EXPECT_EQ(runJob(badModel).status, JobStatus::Error);
 }
 
